@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Extra ablation (beyond the paper, motivated by DESIGN.md §4):
+ * round-aware allocation costing vs the continuous-time cost model.
+ * The continuous model ignores end-of-round idle bubbles and prices
+ * 1-step orphan segments as nearly free, producing systematic
+ * near-deadline misses; this bench quantifies the SAR gap.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Ablation: round-aware vs continuous planning",
+                "FLUX.1-dev, 8xH100, 12 req/min, Uniform mix");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  Table table({"SLO scale", "round-aware SAR", "continuous SAR",
+               "delta"});
+  for (double scale : {1.0, 1.1, 1.2, 1.3, 1.5}) {
+    workload::TraceSpec spec;
+    spec.num_requests = 300;
+    spec.slo_scale = scale;
+
+    core::TetriOptions round_aware;
+    core::TetriOptions continuous;
+    continuous.use_continuous_planner = true;
+    core::TetriScheduler sched_round(&system.table(), round_aware);
+    core::TetriScheduler sched_cont(&system.table(), continuous);
+
+    const double sar_round =
+        bench::AveragedSar(system, &sched_round, spec).overall;
+    const double sar_cont =
+        bench::AveragedSar(system, &sched_cont, spec).overall;
+    table.AddRow({FormatDouble(scale, 1) + "x",
+                  FormatDouble(sar_round, 3),
+                  FormatDouble(sar_cont, 3),
+                  FormatDouble(sar_round - sar_cont, 3)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpectation: round-aware planning wins at tight scales where\n"
+      "quantization slack matters; the gap closes as SLOs loosen.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Extra ablation (beyond the paper): selective continuous batching
+ * (§5) on vs off, under a small-resolution-heavy workload where
+ * batching has the most to amortize, and under the standard Uniform
+ * mix. Reports SAR and GPU utilization.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Ablation: selective continuous batching",
+                "FLUX.1-dev, 8xH100; small-heavy and Uniform mixes");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  // Small-heavy: 60% 256px, 25% 512px, 10% 1024px, 5% 2048px.
+  auto small_heavy = workload::ResolutionMix::FromWeights(
+      {0.60, 0.25, 0.10, 0.05}, "SmallHeavy");
+
+  Table table({"Mix", "rate", "SLO", "batching SAR",
+               "no-batching SAR", "batched util", "unbatched util"});
+  struct Case {
+    workload::ResolutionMix mix;
+    double rate;
+    double scale;
+  };
+  const std::vector<Case> cases = {
+      {small_heavy, 120.0, 1.0},
+      {small_heavy, 120.0, 1.5},
+      {small_heavy, 200.0, 1.5},
+      {workload::ResolutionMix::Uniform(), 12.0, 1.0},
+  };
+  for (const Case& c : cases) {
+    double sar_on = 0.0, sar_off = 0.0, util_on = 0.0, util_off = 0.0;
+    for (std::uint64_t seed : bench::kSeeds) {
+      workload::TraceSpec spec;
+      spec.num_requests = 300;
+      spec.slo_scale = c.scale;
+      spec.mix = c.mix;
+      spec.arrival_rate_per_min = c.rate;
+      spec.seed = seed;
+      auto trace = workload::BuildTrace(spec);
+
+      core::TetriOptions with;
+      core::TetriOptions without;
+      without.selective_batching = false;
+      core::TetriScheduler on(&system.table(), with);
+      core::TetriScheduler off(&system.table(), without);
+      const double n = static_cast<double>(bench::kSeeds.size());
+      auto r_on = system.Run(&on, trace);
+      auto r_off = system.Run(&off, trace);
+      sar_on += r_on.Sar().overall / n;
+      sar_off += r_off.Sar().overall / n;
+      util_on += r_on.GpuUtilization(8) / n;
+      util_off += r_off.GpuUtilization(8) / n;
+    }
+    table.AddRow({c.mix.name(), FormatDouble(c.rate, 0) + "/min",
+                  FormatDouble(c.scale, 1) + "x",
+                  FormatDouble(sar_on, 3), FormatDouble(sar_off, 3),
+                  FormatPercent(util_on, 1),
+                  FormatPercent(util_off, 1)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nExpectation: batching engages when SLOs leave pace headroom\n"
+      "for merged (slower per-step, higher-throughput) execution and\n"
+      "the round is capacity constrained; it is strictly neutral\n"
+      "elsewhere because the SLO-safety test rejects merges that\n"
+      "would compromise deadlines.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/. Each bench
+ * binary regenerates one table or figure of the paper: it builds the
+ * workload the paper describes, runs every policy on the identical
+ * trace set, and prints the same rows/series the paper reports.
+ *
+ * Absolute numbers come from the calibrated simulator, so they are
+ * not expected to match the paper's testbed; the *shape* — who wins,
+ * by roughly what factor, where crossovers fall — is the
+ * reproduction target (see EXPERIMENTS.md).
+ */
+#ifndef TETRI_BENCH_BENCH_COMMON_H
+#define TETRI_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/edf.h"
+#include "baselines/fixed_sp.h"
+#include "baselines/rssp.h"
+#include "core/tetri_scheduler.h"
+#include "metrics/metrics.h"
+#include "serving/system.h"
+#include "util/table.h"
+#include "workload/trace.h"
+
+namespace tetri::bench {
+
+/** Seeds averaged for every reported SAR value. */
+inline const std::vector<std::uint64_t> kSeeds = {1, 2, 3};
+
+/** The policy set compared in the end-to-end figures. */
+struct PolicySet {
+  std::vector<std::unique_ptr<serving::Scheduler>> schedulers;
+
+  /** xDiT SP=1/2/4/8 (capped at the node size), RSSP, TetriServe. */
+  static PolicySet Standard(const serving::ServingSystem& system)
+  {
+    PolicySet set;
+    for (int k = 1; k <= system.topology().num_gpus(); k *= 2) {
+      set.schedulers.push_back(
+          std::make_unique<baselines::FixedSpScheduler>(k));
+    }
+    set.schedulers.push_back(
+        std::make_unique<baselines::RsspScheduler>(&system.table()));
+    set.schedulers.push_back(
+        std::make_unique<core::TetriScheduler>(&system.table()));
+    return set;
+  }
+};
+
+/** Run a spec under a policy, averaging SAR across kSeeds. */
+inline metrics::SarSummary
+AveragedSar(serving::ServingSystem& system, serving::Scheduler* sched,
+            workload::TraceSpec spec)
+{
+  metrics::SarSummary avg;
+  for (std::uint64_t seed : kSeeds) {
+    spec.seed = seed;
+    auto sar =
+        system.Run(sched, workload::BuildTrace(spec)).Sar();
+    avg.overall += sar.overall / kSeeds.size();
+    for (int r = 0; r < costmodel::kNumResolutions; ++r) {
+      avg.per_resolution[r] += sar.per_resolution[r] / kSeeds.size();
+      avg.counts[r] += sar.counts[r];
+    }
+    avg.total += sar.total;
+    avg.met += sar.met;
+  }
+  return avg;
+}
+
+/** Print a figure banner. */
+inline void
+Banner(const std::string& title, const std::string& setup)
+{
+  std::printf("\n==================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", setup.c_str());
+  std::printf("==================================================\n");
+}
+
+}  // namespace tetri::bench
+
+#endif  // TETRI_BENCH_BENCH_COMMON_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 10: SAR stability over time under the Uniform workload at
+ * 12 req/min with a 1.5x SLO scale, on a bursty arrival trace.
+ * Windowed SAR per policy plus mean and variability.
+ */
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 10: SAR stability over time (bursty arrivals)",
+                "Uniform mix, 12 req/min, SLO scale 1.5x, 2-min windows");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 400;
+  spec.slo_scale = 1.5;
+  spec.bursty = true;
+  spec.burst_factor = 4.0;
+  spec.seed = 1;
+  auto trace = workload::BuildTrace(spec);
+
+  auto policies = bench::PolicySet::Standard(system);
+  Table table({"Strategy", "mean windowed SAR", "stddev", "min window",
+               "windows"});
+  std::vector<std::pair<std::string, std::vector<metrics::TimePoint>>>
+      series;
+  for (auto& sched : policies.schedulers) {
+    auto result = system.Run(sched.get(), trace);
+    auto windows = metrics::WindowedSar(result.records, 120.0);
+    RunningStat stat;
+    for (const auto& point : windows) stat.Add(point.value);
+    table.AddRow({sched->Name(), FormatDouble(stat.mean(), 2),
+                  FormatDouble(stat.Stddev(), 2),
+                  FormatDouble(stat.min(), 2),
+                  std::to_string(windows.size())});
+    series.emplace_back(sched->Name(), windows);
+  }
+  table.Print();
+
+  std::printf("\nTime series (windowed SAR):\n");
+  std::printf("%-12s", "t (min)");
+  for (const auto& [name, windows] : series) {
+    std::printf(" %-12s", name.substr(0, 12).c_str());
+  }
+  std::printf("\n");
+  const std::size_t rows = series.front().second.size();
+  for (std::size_t w = 0; w < rows; ++w) {
+    std::printf("%-12s", FormatDouble(
+        series.front().second[w].time_sec / 60.0, 1).c_str());
+    for (const auto& [name, windows] : series) {
+      std::printf(" %-12s",
+                  w < windows.size()
+                      ? FormatDouble(windows[w].value, 2).c_str()
+                      : "-");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shape: TetriServe stays high with low variance; fixed\n"
+      "xDiT variants oscillate as bursts create queueing.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 11: average sequence-parallel degree of TetriServe during
+ * serving under the Uniform workload (1.5x SLO scale) — overall time
+ * series plus the per-resolution average degree, demonstrating that
+ * intensive requests receive more GPUs while small ones stay narrow.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 11: TetriServe's average SP degree over time",
+                "Uniform mix, 12 req/min, SLO scale 1.5x");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 300;
+  spec.slo_scale = 1.5;
+  spec.seed = 1;
+  auto trace = workload::BuildTrace(spec);
+
+  core::TetriScheduler tetri(&system.table());
+  auto result = system.Run(&tetri, trace);
+
+  std::printf("\nPer-resolution average SP degree:\n");
+  Table per_res({"Resolution", "avg degree", "requests", "SAR"});
+  auto sar = result.Sar();
+  for (costmodel::Resolution res : costmodel::kAllResolutions) {
+    double degree_steps = 0.0;
+    double steps = 0.0;
+    for (const auto& rec : result.records) {
+      if (rec.resolution != res) continue;
+      degree_steps += rec.degree_step_sum;
+      steps += rec.steps_executed;
+    }
+    const int idx = costmodel::ResolutionIndex(res);
+    per_res.AddRow({costmodel::ResolutionName(res),
+                    FormatDouble(steps > 0 ? degree_steps / steps : 0, 2),
+                    std::to_string(sar.counts[idx]),
+                    FormatDouble(sar.per_resolution[idx], 2)});
+  }
+  per_res.Print();
+
+  std::printf("\nAverage degree over time (2-min windows):\n");
+  Table series({"t (min)", "avg SP degree", "requests"});
+  for (const auto& point :
+       metrics::WindowedAvgDegree(result.records, 120.0)) {
+    series.AddRow({FormatDouble(point.time_sec / 60.0, 1),
+                   FormatDouble(point.value, 2),
+                   std::to_string(point.count)});
+  }
+  series.Print();
+
+  std::printf(
+      "\nPaper shape: computationally intensive requests run at high\n"
+      "degrees (longer bars) while small ones keep SP near 1; the\n"
+      "average rises during contention bursts.\n");
+  return 0;
+}

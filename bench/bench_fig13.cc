@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 13: SAR vs arrival rate (6 to 18 req/min) under the Uniform
+ * mix at SLO scale 1.0x — TetriServe degrades gracefully as load
+ * rises while fixed strategies fall off early.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 13: SAR vs arrival rate",
+                "Uniform mix, SLO scale 1.0x, 6-18 req/min");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+  auto policies = bench::PolicySet::Standard(system);
+
+  const std::vector<double> rates = {6, 9, 12, 15, 18};
+  std::vector<std::string> header{"Strategy"};
+  for (double r : rates) {
+    header.push_back(FormatDouble(r, 0) + " req/min");
+  }
+  Table table(header);
+  for (auto& sched : policies.schedulers) {
+    std::vector<std::string> row{sched->Name()};
+    for (double rate : rates) {
+      workload::TraceSpec spec;
+      spec.num_requests = 300;
+      spec.slo_scale = 1.0;
+      spec.arrival_rate_per_min = rate;
+      row.push_back(FormatDouble(
+          bench::AveragedSar(system, sched.get(), spec).overall, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper shape: TetriServe leads across the full range with\n"
+      "graceful degradation at high load.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 14: SAR for homogeneous workloads (a single resolution per
+ * run) at 12 req/min with a 1.5x SLO scale — TetriServe stays highest
+ * even without resolution heterogeneity.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 14: homogeneous-resolution workloads",
+                "12 req/min, SLO scale 1.5x, one resolution per run");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+  auto policies = bench::PolicySet::Standard(system);
+
+  std::vector<std::string> header{"Strategy"};
+  for (costmodel::Resolution res : costmodel::kAllResolutions) {
+    header.push_back(costmodel::ResolutionName(res));
+  }
+  Table table(header);
+  for (auto& sched : policies.schedulers) {
+    std::vector<std::string> row{sched->Name()};
+    for (costmodel::Resolution res : costmodel::kAllResolutions) {
+      workload::TraceSpec spec;
+      spec.num_requests = 300;
+      spec.slo_scale = 1.5;
+      spec.mix = workload::ResolutionMix::Homogeneous(res);
+      row.push_back(FormatDouble(
+          bench::AveragedSar(system, sched.get(), spec).overall, 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper shape: TetriServe achieves the highest SAR in every\n"
+      "column — adaptive allocation helps even homogeneous loads.\n");
+  return 0;
+}

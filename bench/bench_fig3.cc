@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 3: end-to-end scaling efficiency of FLUX.1-dev per
+ * resolution on 8xH100 for batch sizes 1/2/4. Efficiency(k) =
+ * T(1) / (k * T(k)); sub-linear everywhere, better for large images.
+ */
+#include "bench/bench_common.h"
+#include "costmodel/step_cost.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 3: scaling efficiency, FLUX.1-dev on 8xH100",
+                "Efficiency = T(SP=1) / (k * T(SP=k)) per batch size");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  costmodel::StepCostModel cost(&model, &topo);
+
+  for (int bs : {1, 2, 4}) {
+    std::printf("\n-- Batch size %d --\n", bs);
+    Table table({"Image Size", "SP=1", "SP=2", "SP=4", "SP=8",
+                 "speedup@8"});
+    for (costmodel::Resolution res : costmodel::kAllResolutions) {
+      std::vector<std::string> row{costmodel::ResolutionName(res)};
+      const double t1 = cost.StepTimeUs(res, 1, bs);
+      for (int k : {1, 2, 4, 8}) {
+        const double eff = t1 / (k * cost.StepTimeUs(res, k, bs));
+        row.push_back(FormatPercent(eff, 1));
+      }
+      row.push_back(
+          FormatDouble(t1 / cost.StepTimeUs(res, 8, bs), 2) + "x");
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nPaper shape: efficiency decreases with SP degree; larger\n"
+      "resolutions scale better, small ones plateau quickly.\n");
+  return 0;
+}

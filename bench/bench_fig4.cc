@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4: performance of fixed-degree xDiT variants under the
+ * Uniform workload. (a) overall SAR per fixed strategy at SLO scale
+ * 1.0x; (b) the per-resolution breakdown ("spider plot") at
+ * 12 req/min showing why no single degree works across the board.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 4: fixed-degree xDiT under the Uniform mix",
+                "FLUX.1-dev, 8xH100, 12 req/min, SLO scale 1.0x");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 300;
+  spec.slo_scale = 1.0;
+
+  Table table({"Strategy", "Overall SAR", "256px", "512px", "1024px",
+               "2048px"});
+  for (int k : {1, 2, 4, 8}) {
+    baselines::FixedSpScheduler sched(k);
+    auto sar = bench::AveragedSar(system, &sched, spec);
+    std::vector<std::string> row{sched.Name(),
+                                 FormatDouble(sar.overall, 2)};
+    for (int r = 0; r < costmodel::kNumResolutions; ++r) {
+      row.push_back(FormatDouble(sar.per_resolution[r], 2));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper shape: no fixed strategy exceeds 0.6 overall SAR at\n"
+      "1.0x. Low degrees are near-perfect on 256px and zero on\n"
+      "2048px; high degrees invert the trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 7: end-to-end SAR on the Uniform workload at 12 req/min.
+ * (Top) SAR vs SLO scale for every policy; (bottom) per-resolution
+ * spider breakdowns at the tightest (1.0x) and loosest (1.5x) scales.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 7: end-to-end SAR, Uniform mix",
+                "FLUX.1-dev, 8xH100, 12 req/min, SLO scale 1.0-1.5x");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+  auto policies = bench::PolicySet::Standard(system);
+
+  const std::vector<double> scales = {1.0, 1.1, 1.2, 1.3, 1.4, 1.5};
+
+  std::printf("\n(a) SAR vs SLO scale\n");
+  {
+    std::vector<std::string> header{"Strategy"};
+    for (double s : scales) header.push_back(FormatDouble(s, 1) + "x");
+    Table table(header);
+    for (auto& sched : policies.schedulers) {
+      std::vector<std::string> row{sched->Name()};
+      for (double scale : scales) {
+        workload::TraceSpec spec;
+        spec.num_requests = 300;
+        spec.slo_scale = scale;
+        row.push_back(FormatDouble(
+            bench::AveragedSar(system, sched.get(), spec).overall, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  for (double scale : {1.0, 1.5}) {
+    std::printf("\n(%s) per-resolution SAR at %.1fx\n",
+                scale == 1.0 ? "b" : "c", scale);
+    Table table({"Strategy", "256px", "512px", "1024px", "2048px"});
+    for (auto& sched : policies.schedulers) {
+      workload::TraceSpec spec;
+      spec.num_requests = 300;
+      spec.slo_scale = scale;
+      auto sar = bench::AveragedSar(system, sched.get(), spec);
+      std::vector<std::string> row{sched->Name()};
+      for (int r = 0; r < costmodel::kNumResolutions; ++r) {
+        row.push_back(FormatDouble(sar.per_resolution[r], 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nPaper shape: TetriServe highest at every scale; near-perfect\n"
+      "across all resolutions at 1.5x; fixed degrees excel only on\n"
+      "their favored resolution.\n");
+  return 0;
+}

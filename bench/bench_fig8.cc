@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 8: end-to-end SAR on the Skewed workload (resolution
+ * probability proportional to exp(L_i / L_max), biased toward large
+ * images) at 12 req/min: SAR vs SLO scale plus per-resolution
+ * spiders at 1.0x and 1.5x.
+ */
+#include "bench/bench_common.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  bench::Banner("Figure 8: end-to-end SAR, Skewed mix (alpha = 1.0)",
+                "FLUX.1-dev, 8xH100, 12 req/min, SLO scale 1.0-1.5x");
+
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+  auto policies = bench::PolicySet::Standard(system);
+
+  const std::vector<double> scales = {1.0, 1.1, 1.2, 1.3, 1.4, 1.5};
+
+  std::printf("\n(a) SAR vs SLO scale\n");
+  {
+    std::vector<std::string> header{"Strategy"};
+    for (double s : scales) header.push_back(FormatDouble(s, 1) + "x");
+    Table table(header);
+    for (auto& sched : policies.schedulers) {
+      std::vector<std::string> row{sched->Name()};
+      for (double scale : scales) {
+        workload::TraceSpec spec;
+        spec.num_requests = 300;
+        spec.slo_scale = scale;
+        spec.mix = workload::ResolutionMix::Skewed();
+        row.push_back(FormatDouble(
+            bench::AveragedSar(system, sched.get(), spec).overall, 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  for (double scale : {1.0, 1.5}) {
+    std::printf("\n(%s) per-resolution SAR at %.1fx\n",
+                scale == 1.0 ? "b" : "c", scale);
+    Table table({"Strategy", "256px", "512px", "1024px", "2048px"});
+    for (auto& sched : policies.schedulers) {
+      workload::TraceSpec spec;
+      spec.num_requests = 300;
+      spec.slo_scale = scale;
+      spec.mix = workload::ResolutionMix::Skewed();
+      auto sar = bench::AveragedSar(system, sched.get(), spec);
+      std::vector<std::string> row{sched->Name()};
+      for (int r = 0; r < costmodel::kNumResolutions; ++r) {
+        row.push_back(FormatDouble(sar.per_resolution[r], 2));
+      }
+      table.AddRow(row);
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nPaper shape: TetriServe again highest throughout; margins\n"
+      "over the best fixed strategy are largest at tight scales\n"
+      "(paper reports up to +32%% at 1.2x).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the tiny-DiT substrate: serial
+ * forward vs Ulysses sequence-parallel execution at various degrees
+ * (worker threads), and the toy VAE decode.
+ */
+#include <benchmark/benchmark.h>
+
+#include "dit/sequence_parallel.h"
+#include "dit/vae.h"
+
+namespace tetri::dit {
+namespace {
+
+const TinyDit&
+Model()
+{
+  static TinyDit model([] {
+    TinyDitConfig cfg;
+    cfg.hidden = 64;
+    cfg.heads = 8;
+    cfg.layers = 4;
+    return cfg;
+  }());
+  return model;
+}
+
+void
+BM_SerialForward(benchmark::State& state)
+{
+  const auto& model = Model();
+  auto text = model.EmbedText("bench prompt");
+  auto noise = MakeNoise(model, static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(noise, text, 0.5));
+  }
+}
+BENCHMARK(BM_SerialForward)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_UlyssesForward(benchmark::State& state)
+{
+  const auto& model = Model();
+  UlyssesExecutor executor(&model);
+  auto text = model.EmbedText("bench prompt");
+  auto noise = MakeNoise(model, 128, 1);
+  const int degree = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Forward(noise, text, 0.5, degree));
+  }
+}
+BENCHMARK(BM_UlyssesForward)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_VaeDecode(benchmark::State& state)
+{
+  const auto& model = Model();
+  ToyVae vae(model.config().latent_channels, model.config().patch, 4);
+  auto latent = MakeNoise(model, 64, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vae.Decode(latent, 8));
+  }
+}
+BENCHMARK(BM_VaeDecode);
+
+}  // namespace
+}  // namespace tetri::dit
+
+BENCHMARK_MAIN();

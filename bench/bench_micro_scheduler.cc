@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of TetriServe's control plane:
+ * the group-knapsack DP (Algorithm 1), deadline-aware allocation,
+ * round-aware planning, and a full Plan() invocation at varying
+ * queue depths — substantiating the paper's claim of millisecond
+ * control-plane latency (§5, Table 6).
+ */
+#include <benchmark/benchmark.h>
+
+#include "core/allocation.h"
+#include "core/dp_packer.h"
+#include "core/tetri_scheduler.h"
+#include "costmodel/model_config.h"
+#include "serving/request_tracker.h"
+#include "util/rng.h"
+#include "workload/slo.h"
+
+namespace tetri {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : model(costmodel::ModelConfig::FluxDev()),
+        topo(cluster::Topology::H100Node()),
+        cost(&model, &topo),
+        table(costmodel::LatencyTable::Profile(cost, 4, 20, 5))
+  {
+  }
+  costmodel::ModelConfig model;
+  cluster::Topology topo;
+  costmodel::StepCostModel cost;
+  costmodel::LatencyTable table;
+};
+
+Fixture& F()
+{
+  static Fixture fixture;
+  return fixture;
+}
+
+std::vector<core::PackGroup>
+RandomGroups(int count, Rng& rng)
+{
+  std::vector<core::PackGroup> groups;
+  for (int g = 0; g < count; ++g) {
+    core::PackGroup group;
+    group.id = g;
+    group.survives_if_idle = rng.NextDouble() < 0.5;
+    for (int o = 0; o < 2; ++o) {
+      core::PackOption opt;
+      opt.degree = 1 << rng.NextBelow(4);
+      opt.steps = 1 + static_cast<int>(rng.NextBelow(8));
+      opt.survives = rng.NextDouble() < 0.7;
+      opt.work = rng.NextDouble();
+      group.options.push_back(opt);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+void
+BM_PackRound(benchmark::State& state)
+{
+  Rng rng(7);
+  auto groups = RandomGroups(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::PackRound(groups, 8));
+  }
+}
+BENCHMARK(BM_PackRound)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_FindPlan(benchmark::State& state)
+{
+  const auto& table = F().table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::FindPlan(
+        table, costmodel::Resolution::k2048, 50, 4.5e6));
+  }
+}
+BENCHMARK(BM_FindPlan);
+
+void
+BM_RoundAwarePlan(benchmark::State& state)
+{
+  const auto& table = F().table;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::RoundAwarePlan(
+        table, costmodel::Resolution::k2048, 50, 4.5e6, 3e5));
+  }
+}
+BENCHMARK(BM_RoundAwarePlan);
+
+void
+BM_FullPlan(benchmark::State& state)
+{
+  const int depth = static_cast<int>(state.range(0));
+  auto& fixture = F();
+  core::TetriScheduler sched(&fixture.table);
+
+  serving::RequestTracker tracker;
+  Rng rng(depth);
+  for (int i = 0; i < depth; ++i) {
+    workload::TraceRequest meta;
+    meta.id = i;
+    meta.resolution = costmodel::ResolutionFromIndex(
+        static_cast<int>(rng.NextBelow(4)));
+    meta.arrival_us = 0;
+    meta.deadline_us = static_cast<TimeUs>(
+        workload::SloPolicy::BaseTargetSec(meta.resolution) * 1e6 *
+        rng.NextRange(0.9, 1.5));
+    meta.num_steps = 50;
+    tracker.Admit(meta);
+  }
+  auto schedulable = tracker.Schedulable(0);
+  serving::ScheduleContext ctx;
+  ctx.now = 0;
+  ctx.round_end = sched.RoundDurationUs();
+  ctx.free_gpus = cluster::FullMask(8);
+  ctx.schedulable = &schedulable;
+  ctx.topology = &fixture.topo;
+  ctx.table = &fixture.table;
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched.Plan(ctx));
+  }
+}
+BENCHMARK(BM_FullPlan)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace tetri
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Extending the framework: implement a custom scheduling policy
+ * against the public Scheduler interface and benchmark it against
+ * TetriServe on the same trace. The example policy is a simple
+ * "deadline-aware greedy" that serves the tightest deadline first at
+ * its fastest profiled degree — a natural idea that the comparison
+ * shows wastes GPU-hours and loses to min-GPU-hour packing.
+ */
+#include <cstdio>
+
+#include "cluster/allocator.h"
+#include "core/tetri_scheduler.h"
+#include "serving/system.h"
+
+using namespace tetri;
+
+namespace {
+
+/** Greedy EDF at each request's fastest degree, non-preemptive. */
+class FastestFirstScheduler : public serving::Scheduler {
+ public:
+  explicit FastestFirstScheduler(const costmodel::LatencyTable* table)
+      : table_(table)
+  {
+  }
+
+  std::string Name() const override { return "FastestFirst"; }
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kEventDriven;
+  }
+
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override
+  {
+    serving::RoundPlan plan;
+    cluster::GpuAllocator allocator(ctx.topology);
+    allocator.SetFree(ctx.free_gpus);
+    // ctx.schedulable is already deadline-sorted.
+    for (serving::Request* req : *ctx.schedulable) {
+      const int degree = table_->FastestDegree(req->meta.resolution);
+      auto mask = allocator.Allocate(degree, req->last_mask);
+      if (!mask.has_value()) continue;
+      serving::Assignment assignment;
+      assignment.requests.push_back(req->meta.id);
+      assignment.mask = *mask;
+      assignment.max_steps = req->RemainingSteps();
+      plan.assignments.push_back(std::move(assignment));
+    }
+    return plan;
+  }
+
+ private:
+  const costmodel::LatencyTable* table_;
+};
+
+}  // namespace
+
+int
+main()
+{
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topology = cluster::Topology::H100Node();
+  serving::ServingSystem system(&topology, &model);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 200;
+  spec.slo_scale = 1.0;
+  auto trace = workload::BuildTrace(spec);
+
+  FastestFirstScheduler custom(&system.table());
+  core::TetriScheduler tetri(&system.table());
+
+  auto custom_result = system.Run(&custom, trace);
+  auto tetri_result = system.Run(&tetri, trace);
+
+  std::printf("policy comparison on the identical trace:\n");
+  std::printf("  %-12s SAR %.2f  GPU-hours %.2f\n",
+              custom.Name().c_str(), custom_result.Sar().overall,
+              metrics::TotalGpuHours(custom_result.records));
+  std::printf("  %-12s SAR %.2f  GPU-hours %.2f\n",
+              tetri.Name().c_str(), tetri_result.Sar().overall,
+              metrics::TotalGpuHours(tetri_result.records));
+  std::printf(
+      "\nFastestFirst over-parallelizes everything (max speed, max\n"
+      "GPU-hours), starving the queue; TetriServe's minimal-GPU-hour\n"
+      "packing serves more deadlines with less GPU time.\n");
+  return 0;
+}

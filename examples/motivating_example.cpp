@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's Figure 1 motivating scenario, replayed through the real
+ * system: three requests with different resolutions and deadlines
+ * arrive over time. Fixed-degree serving (xDiT SP=1 and SP=4) misses
+ * deadlines that TetriServe meets by adapting the parallel degree at
+ * the step level and packing requests together.
+ */
+#include <cstdio>
+
+#include "baselines/fixed_sp.h"
+#include "core/tetri_scheduler.h"
+#include "serving/system.h"
+
+using namespace tetri;
+
+namespace {
+
+/** Three requests: small / medium / large, staggered arrivals. */
+workload::Trace
+Figure1Trace()
+{
+  workload::Trace trace;
+  trace.mix_name = "Figure1";
+  auto add = [&](RequestId id, costmodel::Resolution res,
+                 double arrival_sec, double budget_sec) {
+    workload::TraceRequest req;
+    req.id = id;
+    req.resolution = res;
+    req.arrival_us = UsFromSec(arrival_sec);
+    req.deadline_us = UsFromSec(arrival_sec + budget_sec);
+    req.num_steps = 50;
+    req.prompt = "figure-1 request";
+    trace.requests.push_back(req);
+  };
+  // Budgets scaled for 50-step requests (the paper's Figure 1 uses a
+  // 5-step toy); each is tight for a non-adaptive policy.
+  add(0, costmodel::Resolution::k512, 0.0, 2.0);    // small, early
+  add(1, costmodel::Resolution::k1024, 0.3, 3.2);   // medium
+  add(2, costmodel::Resolution::k2048, 0.6, 6.0);   // large, tight
+  return trace;
+}
+
+void
+Report(const char* name, const serving::ServingResult& result)
+{
+  std::printf("\n%s\n", name);
+  for (const auto& rec : result.records) {
+    std::printf(
+        "  request %ld (%s): %s  latency %.2fs vs budget %.2fs, "
+        "avg SP degree %.1f\n",
+        rec.id, costmodel::ResolutionName(rec.resolution).c_str(),
+        rec.MetSlo() ? "MET   " : "MISSED",
+        SecFromUs(rec.LatencyUs()),
+        SecFromUs(rec.deadline_us - rec.arrival_us),
+        rec.steps_executed > 0
+            ? rec.degree_step_sum / rec.steps_executed
+            : 0.0);
+  }
+  int met = 0;
+  for (const auto& rec : result.records) met += rec.MetSlo() ? 1 : 0;
+  std::printf("  => %d of %zu deadlines met\n", met,
+              result.records.size());
+}
+
+}  // namespace
+
+int
+main()
+{
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topology = cluster::Topology::H100Node(8);
+  serving::ServingSystem system(&topology, &model);
+  auto trace = Figure1Trace();
+
+  std::printf("Figure 1 scenario: 512px (2s budget), 1024px (3.2s), "
+              "2048px (6s) on 8 GPUs\n");
+
+  baselines::FixedSpScheduler sp1(1);
+  Report("xDiT SP=1 (data parallel)", system.Run(&sp1, trace));
+
+  baselines::FixedSpScheduler sp4(4);
+  Report("xDiT SP=4", system.Run(&sp4, trace));
+
+  baselines::FixedSpScheduler sp8(8);
+  Report("xDiT SP=8 (full-node sequence parallel)",
+         system.Run(&sp8, trace));
+
+  core::TetriScheduler tetri(&system.table());
+  Report("TetriServe (step-level adaptive)", system.Run(&tetri, trace));
+
+  std::printf(
+      "\nAs in the paper's Figure 1, the fixed strategies each lose\n"
+      "deadlines to under-parallelization or head-of-line blocking,\n"
+      "while TetriServe meets all three by reshaping parallelism per\n"
+      "step.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The paper's "no quality degradation" claim, demonstrated on a real
+ * (tiny) diffusion transformer: generate an image serially, then with
+ * Ulysses sequence parallelism at every degree, then with a schedule
+ * that changes the degree at nearly every step (what TetriServe does
+ * in production). All latents — and the decoded images — are
+ * bit-identical.
+ */
+#include <cstdio>
+
+#include "dit/sequence_parallel.h"
+#include "dit/vae.h"
+
+using namespace tetri;
+
+int
+main()
+{
+  dit::TinyDitConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 8;
+  cfg.layers = 4;
+  dit::TinyDit model(cfg);
+  dit::ToyVae vae(cfg.latent_channels, cfg.patch, 4);
+
+  const std::string prompt = "a lighthouse in heavy rain, cinematic";
+  auto text = model.EmbedText(prompt);
+  auto noise = dit::MakeNoise(model, /*image_tokens=*/64, /*seed=*/2026);
+  const int steps = 20;
+
+  std::printf("prompt: \"%s\"\n", prompt.c_str());
+  std::printf("sampling %d denoising steps over 64 latent tokens\n\n",
+              steps);
+
+  auto serial = dit::SampleEuler(model, noise, text, steps);
+  auto image = vae.Decode(serial, 8);
+  std::printf("serial reference: %dx%d image decoded\n", image.dim(0),
+              image.dim(1));
+
+  dit::UlyssesExecutor executor(&model);
+  for (int degree : {1, 2, 4, 8}) {
+    auto latent = executor.Sample(noise, text, steps, {degree});
+    std::printf("SP degree %d: latents bit-identical to serial: %s\n",
+                degree, latent.Equals(serial) ? "YES" : "NO");
+  }
+
+  // The TetriServe case: a different degree almost every step, as the
+  // round scheduler reshapes parallelism under contention.
+  const std::vector<int> schedule = {1, 2, 8, 4, 2, 8, 1, 4, 8, 2};
+  auto reconfigured = executor.Sample(noise, text, steps, schedule);
+  auto reconfigured_image = vae.Decode(reconfigured, 8);
+  std::printf(
+      "\nstep-level reconfiguration (degrees cycle through "
+      "{1,2,8,4,...}):\n");
+  std::printf("  latents bit-identical: %s\n",
+              reconfigured.Equals(serial) ? "YES" : "NO");
+  std::printf("  decoded images bit-identical: %s\n",
+              reconfigured_image.Equals(image) ? "YES" : "NO");
+  std::printf(
+      "\nConclusion: changing the sequence-parallel degree between\n"
+      "steps is mathematically invisible to the output — scheduling\n"
+      "freedom comes at zero quality cost.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: serve a small mixed-resolution workload with TetriServe
+ * on a simulated 8xH100 node in ~30 lines of API use.
+ *
+ *   1. pick a model + node topology,
+ *   2. build a ServingSystem (profiles the latency table offline),
+ *   3. construct the TetriServe scheduler against that table,
+ *   4. generate a workload trace and run it,
+ *   5. read SAR / latency metrics from the result.
+ */
+#include <cstdio>
+
+#include "core/tetri_scheduler.h"
+#include "metrics/metrics.h"
+#include "serving/system.h"
+
+int
+main()
+{
+  using namespace tetri;
+
+  // 1. Model and hardware.
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topology = cluster::Topology::H100Node();
+
+  // 2. Serving system: profiling happens here, once.
+  serving::ServingSystem system(&topology, &model);
+
+  // 3. The paper's scheduler with default options (granularity 5,
+  //    placement preservation, elastic scale-up, batching).
+  core::TetriScheduler scheduler(&system.table());
+
+  // 4. A 2-minute Poisson workload: uniform resolution mix, 12
+  //    requests/minute, tight 1.0x SLOs.
+  workload::TraceSpec spec;
+  spec.num_requests = 100;
+  spec.arrival_rate_per_min = 12.0;
+  spec.slo_scale = 1.0;
+  auto trace = workload::BuildTrace(spec);
+
+  auto result = system.Run(&scheduler, trace);
+
+  // 5. Metrics.
+  auto sar = result.Sar();
+  std::printf("served %d requests: SLO attainment %.1f%%\n", sar.total,
+              100.0 * sar.overall);
+  for (costmodel::Resolution res : costmodel::kAllResolutions) {
+    const int idx = costmodel::ResolutionIndex(res);
+    std::printf("  %-10s  SAR %.2f  (%d requests)\n",
+                costmodel::ResolutionName(res).c_str(),
+                sar.per_resolution[idx], sar.counts[idx]);
+  }
+  std::printf("mean latency %.2f s, GPU utilization %.1f%%, "
+              "%d scheduler calls averaging %.0f us\n",
+              metrics::MeanLatencySec(result.records),
+              100.0 * result.GpuUtilization(topology.num_gpus()),
+              result.num_scheduler_calls,
+              result.scheduler_wall_us_total /
+                  result.num_scheduler_calls);
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "baselines/edf.h"
+
+#include "cluster/allocator.h"
+
+namespace tetri::baselines {
+
+serving::RoundPlan
+EdfScheduler::Plan(const serving::ScheduleContext& ctx)
+{
+  serving::RoundPlan plan;
+  // ctx.schedulable is already (deadline, id)-sorted.
+  cluster::GpuAllocator allocator(ctx.topology);
+  allocator.SetFree(ctx.free_gpus);
+  for (serving::Request* req : *ctx.schedulable) {
+    const int degree = rssp_.DegreeFor(req->meta.resolution);
+    auto mask = allocator.Allocate(degree, req->last_mask);
+    if (!mask.has_value()) continue;
+    serving::Assignment assignment;
+    assignment.requests.push_back(req->meta.id);
+    assignment.mask = *mask;
+    assignment.max_steps = req->RemainingSteps();
+    plan.assignments.push_back(std::move(assignment));
+  }
+  return plan;
+}
+
+}  // namespace tetri::baselines

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Earliest-Deadline-First variant (an extra baseline beyond the
+ * paper): like RSSP it fixes each resolution's degree from offline
+ * profiling, but it serves in deadline order rather than arrival
+ * order. Isolates how much of TetriServe's gain comes from deadline
+ * awareness alone versus step-level parallelism adaptation.
+ */
+#ifndef TETRI_BASELINES_EDF_H
+#define TETRI_BASELINES_EDF_H
+
+#include "baselines/rssp.h"
+
+namespace tetri::baselines {
+
+/** Deadline-ordered static-degree scheduler. */
+class EdfScheduler : public serving::Scheduler {
+ public:
+  explicit EdfScheduler(const costmodel::LatencyTable* table,
+                        int steps_per_request = 50)
+      : rssp_(table, steps_per_request) {}
+
+  std::string Name() const override { return "EDF-RSSP"; }
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kEventDriven;
+  }
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
+
+ private:
+  RsspScheduler rssp_;
+};
+
+}  // namespace tetri::baselines
+
+#endif  // TETRI_BASELINES_EDF_H

@@ -1,0 +1,56 @@
+#include "baselines/fixed_sp.h"
+
+#include <algorithm>
+
+#include "cluster/allocator.h"
+#include "util/check.h"
+
+namespace tetri::baselines {
+
+FixedSpScheduler::FixedSpScheduler(int degree) : degree_(degree)
+{
+  TETRI_CHECK(cluster::IsPow2(degree));
+}
+
+std::string
+FixedSpScheduler::Name() const
+{
+  return "xDiT-SP" + std::to_string(degree_);
+}
+
+serving::RoundPlan
+FixedSpScheduler::Plan(const serving::ScheduleContext& ctx)
+{
+  serving::RoundPlan plan;
+  TETRI_CHECK(degree_ <= ctx.topology->num_gpus());
+
+  // FIFO by arrival time (schedulable arrives deadline-sorted, which
+  // for a fixed per-resolution budget is not arrival order).
+  std::vector<serving::Request*> fifo = *ctx.schedulable;
+  std::sort(fifo.begin(), fifo.end(),
+            [](const serving::Request* a, const serving::Request* b) {
+              if (a->meta.arrival_us != b->meta.arrival_us) {
+                return a->meta.arrival_us < b->meta.arrival_us;
+              }
+              return a->meta.id < b->meta.id;
+            });
+
+  // Static groups: the aligned blocks of size `degree`.
+  GpuMask free = ctx.free_gpus;
+  std::size_t next = 0;
+  for (GpuMask block :
+       cluster::AlignedBlocks(ctx.topology->num_gpus(), degree_)) {
+    if ((block & free) != block) continue;  // group busy
+    if (next >= fifo.size()) break;
+    serving::Request* req = fifo[next++];
+    serving::Assignment assignment;
+    assignment.requests.push_back(req->meta.id);
+    assignment.mask = block;
+    assignment.max_steps = req->RemainingSteps();  // non-preemptive
+    plan.assignments.push_back(std::move(assignment));
+    free &= ~block;
+  }
+  return plan;
+}
+
+}  // namespace tetri::baselines

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * xDiT-style fixed sequence-parallelism baseline (§6.1).
+ *
+ * The node is statically partitioned into N/k data-parallel groups of
+ * k GPUs. Requests are served strictly FIFO and non-preemptively: the
+ * head of the queue waits for a whole group to become free (head-of-
+ * line blocking, exactly as in Figure 1), then runs every remaining
+ * step on that group.
+ */
+#ifndef TETRI_BASELINES_FIXED_SP_H
+#define TETRI_BASELINES_FIXED_SP_H
+
+#include <string>
+
+#include "serving/scheduler.h"
+
+namespace tetri::baselines {
+
+/** xDiT with a constant SP degree for every request. */
+class FixedSpScheduler : public serving::Scheduler {
+ public:
+  /** @param degree the fixed SP degree (power of two, <= node size). */
+  explicit FixedSpScheduler(int degree);
+
+  std::string Name() const override;
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kEventDriven;
+  }
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
+
+  int degree() const { return degree_; }
+
+ private:
+  int degree_;
+};
+
+}  // namespace tetri::baselines
+
+#endif  // TETRI_BASELINES_FIXED_SP_H

@@ -1,0 +1,84 @@
+#include "baselines/rssp.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/allocator.h"
+#include "util/check.h"
+#include "workload/slo.h"
+
+namespace tetri::baselines {
+
+using costmodel::Resolution;
+
+RsspScheduler::RsspScheduler(const costmodel::LatencyTable* table,
+                             int steps_per_request, bool backfill)
+    : backfill_(backfill)
+{
+  TETRI_CHECK(table != nullptr);
+  // Offline profiling pass: the cheapest degree (min k*T(k)) whose
+  // solo completion time fits the base SLO; otherwise the degree with
+  // the fastest completion.
+  for (Resolution res : costmodel::kAllResolutions) {
+    const double budget_us =
+        workload::SloPolicy::BaseTargetSec(res) * 1e6;
+    int best = table->FastestDegree(res);
+    double best_gpu_time = std::numeric_limits<double>::max();
+    bool found = false;
+    for (int k : table->degrees()) {
+      const double total =
+          steps_per_request * table->StepTimeUs(res, k) +
+          table->VaeDecodeUs(res);
+      if (total > budget_us) continue;
+      const double gpu_time = table->GpuTimeUs(res, k);
+      if (gpu_time < best_gpu_time) {
+        best_gpu_time = gpu_time;
+        best = k;
+        found = true;
+      }
+    }
+    if (!found) best = table->FastestDegree(res);
+    degrees_[costmodel::ResolutionIndex(res)] = best;
+  }
+}
+
+RsspScheduler::RsspScheduler(
+    std::array<int, costmodel::kNumResolutions> degrees, bool backfill)
+    : degrees_(degrees), backfill_(backfill)
+{
+  for (int k : degrees_) TETRI_CHECK(cluster::IsPow2(k));
+}
+
+serving::RoundPlan
+RsspScheduler::Plan(const serving::ScheduleContext& ctx)
+{
+  serving::RoundPlan plan;
+
+  std::vector<serving::Request*> fifo = *ctx.schedulable;
+  std::sort(fifo.begin(), fifo.end(),
+            [](const serving::Request* a, const serving::Request* b) {
+              if (a->meta.arrival_us != b->meta.arrival_us) {
+                return a->meta.arrival_us < b->meta.arrival_us;
+              }
+              return a->meta.id < b->meta.id;
+            });
+
+  cluster::GpuAllocator allocator(ctx.topology);
+  allocator.SetFree(ctx.free_gpus);
+  for (serving::Request* req : fifo) {
+    const int degree = DegreeFor(req->meta.resolution);
+    auto mask = allocator.Allocate(degree, req->last_mask);
+    if (!mask.has_value()) {
+      if (backfill_) continue;  // skip the blocked head
+      break;                    // strict FIFO: head-of-line blocking
+    }
+    serving::Assignment assignment;
+    assignment.requests.push_back(req->meta.id);
+    assignment.mask = *mask;
+    assignment.max_steps = req->RemainingSteps();
+    plan.assignments.push_back(std::move(assignment));
+  }
+  return plan;
+}
+
+}  // namespace tetri::baselines

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Resolution-Specific SP (RSSP) baseline (§6.1): the oracle static
+ * configuration. Each resolution uses the best fixed degree found by
+ * offline profiling (in the paper: SP=1 for 256/512, SP=2 for 1024,
+ * SP=8 for 2048). Serving is FIFO and non-preemptive like xDiT, but a
+ * request only needs a group of its resolution's size. Dispatch is
+ * strict FIFO: a blocked head stalls everything behind it (the same
+ * head-of-line blocking as xDiT, §2.3). An optional backfill mode
+ * (beyond the paper) lets later requests fill GPUs the head cannot
+ * use, which makes RSSP considerably stronger.
+ */
+#ifndef TETRI_BASELINES_RSSP_H
+#define TETRI_BASELINES_RSSP_H
+
+#include <array>
+#include <string>
+
+#include "costmodel/latency_table.h"
+#include "serving/scheduler.h"
+
+namespace tetri::baselines {
+
+/** Oracle static per-resolution configuration. */
+class RsspScheduler : public serving::Scheduler {
+ public:
+  /** Derive per-resolution degrees from a profiled table (min k*T(k)
+   * subject to meeting the base SLO when idle; falls back to the
+   * fastest degree). */
+  explicit RsspScheduler(const costmodel::LatencyTable* table,
+                         int steps_per_request = 50,
+                         bool backfill = false);
+
+  /** Explicit per-resolution degrees, e.g. the paper's {1,1,2,8}. */
+  explicit RsspScheduler(
+      std::array<int, costmodel::kNumResolutions> degrees,
+      bool backfill = false);
+
+  std::string Name() const override {
+    return backfill_ ? "RSSP-Backfill" : "RSSP";
+  }
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kEventDriven;
+  }
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
+
+  int DegreeFor(costmodel::Resolution res) const {
+    return degrees_[costmodel::ResolutionIndex(res)];
+  }
+
+ private:
+  std::array<int, costmodel::kNumResolutions> degrees_{};
+  bool backfill_ = false;
+};
+
+}  // namespace tetri::baselines
+
+#endif  // TETRI_BASELINES_RSSP_H

@@ -1,0 +1,53 @@
+#include "baselines/throughput.h"
+
+#include <algorithm>
+
+#include "cluster/allocator.h"
+#include "util/check.h"
+
+namespace tetri::baselines {
+
+ThroughputScheduler::ThroughputScheduler(
+    const costmodel::LatencyTable* table)
+    : table_(table)
+{
+  TETRI_CHECK(table_ != nullptr);
+}
+
+serving::RoundPlan
+ThroughputScheduler::Plan(const serving::ScheduleContext& ctx)
+{
+  serving::RoundPlan plan;
+
+  // Shortest remaining GPU-work first, at the min-GPU-hour degree.
+  std::vector<serving::Request*> queue = *ctx.schedulable;
+  auto remaining_work = [&](const serving::Request* req) {
+    const auto res = req->meta.resolution;
+    return req->RemainingSteps() *
+           table_->GpuTimeUs(res, table_->MostEfficientDegree(res));
+  };
+  std::sort(queue.begin(), queue.end(),
+            [&](const serving::Request* a, const serving::Request* b) {
+              const double wa = remaining_work(a);
+              const double wb = remaining_work(b);
+              if (wa != wb) return wa < wb;
+              return a->meta.id < b->meta.id;
+            });
+
+  cluster::GpuAllocator allocator(ctx.topology);
+  allocator.SetFree(ctx.free_gpus);
+  for (serving::Request* req : queue) {
+    const int degree =
+        table_->MostEfficientDegree(req->meta.resolution);
+    auto mask = allocator.Allocate(degree, req->last_mask);
+    if (!mask.has_value()) continue;  // pack whatever fits
+    serving::Assignment assignment;
+    assignment.requests.push_back(req->meta.id);
+    assignment.mask = *mask;
+    assignment.max_steps = req->RemainingSteps();
+    plan.assignments.push_back(std::move(assignment));
+  }
+  return plan;
+}
+
+}  // namespace tetri::baselines

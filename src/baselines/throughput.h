@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Throughput-maximizing baseline in the spirit of DDiT (§7 related
+ * work): deadline-oblivious, it orders the queue by shortest
+ * remaining GPU-work first (SJF) and runs every request at its most
+ * GPU-efficient degree, packing the node greedily. Maximizes work
+ * completed per GPU-hour; the comparison against TetriServe isolates
+ * what deadline awareness buys beyond raw efficiency.
+ */
+#ifndef TETRI_BASELINES_THROUGHPUT_H
+#define TETRI_BASELINES_THROUGHPUT_H
+
+#include "costmodel/latency_table.h"
+#include "serving/scheduler.h"
+
+namespace tetri::baselines {
+
+/** SJF at the min-GPU-hour degree; deadline-oblivious. */
+class ThroughputScheduler : public serving::Scheduler {
+ public:
+  explicit ThroughputScheduler(const costmodel::LatencyTable* table);
+
+  std::string Name() const override { return "Throughput-SJF"; }
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kEventDriven;
+  }
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
+
+ private:
+  const costmodel::LatencyTable* table_;
+};
+
+}  // namespace tetri::baselines
+
+#endif  // TETRI_BASELINES_THROUGHPUT_H

@@ -1,0 +1,95 @@
+#include "cluster/allocator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tetri::cluster {
+
+GpuAllocator::GpuAllocator(const Topology* topology)
+    : topology_(topology), free_(topology->all_gpus())
+{
+  TETRI_CHECK(topology_ != nullptr);
+}
+
+std::optional<GpuMask>
+GpuAllocator::Allocate(int k, GpuMask prefer)
+{
+  TETRI_CHECK(IsPow2(k));
+  if (k > NumFree()) return std::nullopt;
+
+  // 1. Placement preservation: exact previous mask.
+  if (prefer != 0 && Popcount(prefer) == k && (prefer & free_) == prefer) {
+    free_ &= ~prefer;
+    return prefer;
+  }
+
+  // 2. Fully free buddy-aligned block; among those, prefer the one with
+  //    the most overlap with the previous mask, then lowest index for
+  //    determinism.
+  std::optional<GpuMask> best;
+  int best_overlap = -1;
+  for (GpuMask block : AlignedBlocks(topology_->num_gpus(), k)) {
+    if ((block & free_) != block) continue;
+    const int overlap = OverlapCount(block, prefer);
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = block;
+    }
+  }
+  if (best) {
+    free_ &= ~*best;
+    return best;
+  }
+
+  // 3. No aligned block: gather k free GPUs, favouring bits of the
+  //    previous mask first, then fast-link neighbours of those bits,
+  //    then lowest index.
+  GpuMask mask = 0;
+  int needed = k;
+  for (int i : GpuIndices(prefer & free_)) {
+    if (needed == 0) break;
+    mask |= GpuMask{1} << i;
+    --needed;
+  }
+  for (int i : GpuIndices(free_ & ~mask)) {
+    if (needed == 0) break;
+    mask |= GpuMask{1} << i;
+    --needed;
+  }
+  TETRI_CHECK(needed == 0);
+  free_ &= ~mask;
+  return mask;
+}
+
+void
+GpuAllocator::Release(GpuMask mask)
+{
+  TETRI_CHECK_MSG((mask & free_) == 0,
+                  "double free of GPUs " << MaskToString(mask & free_));
+  TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
+  free_ |= mask;
+}
+
+bool
+GpuAllocator::TryAllocateExact(GpuMask mask)
+{
+  if ((mask & free_) != mask) return false;
+  free_ &= ~mask;
+  return true;
+}
+
+void
+GpuAllocator::Clear()
+{
+  free_ = topology_->all_gpus();
+}
+
+void
+GpuAllocator::SetFree(GpuMask free)
+{
+  TETRI_CHECK((free & ~topology_->all_gpus()) == 0);
+  free_ = free;
+}
+
+}  // namespace tetri::cluster

@@ -1,0 +1,79 @@
+#include "cluster/process_group.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri::cluster {
+
+ProcessGroupCache::ProcessGroupCache(const Topology* topology,
+                                     double warmup_latency_us,
+                                     double buffer_mib_per_gpu)
+    : topology_(topology),
+      warmup_latency_us_(warmup_latency_us),
+      buffer_mib_per_gpu_(buffer_mib_per_gpu),
+      buffer_mib_(topology->num_gpus(), 0.0)
+{
+}
+
+TimeUs
+ProcessGroupCache::WarmupCost(GpuMask mask) const
+{
+  const int k = Popcount(mask);
+  if (k <= 1) return 0;
+  const double scale = std::log2(static_cast<double>(k)) + 1.0;
+  const double pcie = topology_->IsNvLinkOnly(mask) ? 1.0 : 2.5;
+  return static_cast<TimeUs>(warmup_latency_us_ * scale * pcie);
+}
+
+TimeUs
+ProcessGroupCache::EnsureWarm(GpuMask mask)
+{
+  TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
+  if (Popcount(mask) <= 1) return 0;
+  auto it = warm_.find(mask);
+  if (it != warm_.end()) return 0;
+  warm_.emplace(mask, true);
+  for (int gpu : GpuIndices(mask)) {
+    buffer_mib_[gpu] += buffer_mib_per_gpu_;
+  }
+  const TimeUs cost = WarmupCost(mask);
+  total_warmup_us_ += cost;
+  return cost;
+}
+
+TimeUs
+ProcessGroupCache::WarmAll(const std::vector<GpuMask>& groups)
+{
+  TimeUs total = 0;
+  for (GpuMask g : groups) total += EnsureWarm(g);
+  return total;
+}
+
+bool
+ProcessGroupCache::IsWarm(GpuMask mask) const
+{
+  if (Popcount(mask) <= 1) return true;
+  return warm_.contains(mask);
+}
+
+double
+ProcessGroupCache::BufferMibOnGpu(int gpu) const
+{
+  TETRI_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
+  return buffer_mib_[gpu];
+}
+
+std::vector<GpuMask>
+ProcessGroupCache::DefaultWarmSet(const Topology& topology)
+{
+  std::vector<GpuMask> out;
+  for (int k = 2; k <= topology.num_gpus(); k *= 2) {
+    for (GpuMask block : AlignedBlocks(topology.num_gpus(), k)) {
+      out.push_back(block);
+    }
+  }
+  return out;
+}
+
+}  // namespace tetri::cluster

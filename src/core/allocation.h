@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deadline-aware GPU allocation (§4.2.1).
+ *
+ * For a request with identical remaining steps, find the per-step GPU
+ * allocation multiset minimizing total GPU time subject to the sum of
+ * step times fitting in the remaining slack:
+ *
+ *     min sum_j A_ij * T(A_ij)   s.t.  sum_j T(A_ij) <= slack.
+ *
+ * Because all steps of a request cost the same, an optimal plan needs
+ * at most two distinct degrees (the LP vertex argument; verified
+ * against the exhaustive DP in tests). FindPlan enumerates two-degree
+ * mixes in O(K^2); ExhaustivePlan is the reference DP used by tests
+ * and the ablation bench.
+ */
+#ifndef TETRI_CORE_ALLOCATION_H
+#define TETRI_CORE_ALLOCATION_H
+
+#include <vector>
+
+#include "costmodel/latency_table.h"
+#include "util/types.h"
+
+namespace tetri::core {
+
+/** A run of steps at one parallelism degree. */
+struct AllocationSegment {
+  int degree = 0;
+  int steps = 0;
+};
+
+/** The per-request output of deadline-aware allocation. */
+struct AllocationPlan {
+  /**
+   * Step counts per degree, ascending by degree. Empty if no steps
+   * remain. When infeasible, holds the fastest-degree fallback plan.
+   */
+  std::vector<AllocationSegment> segments;
+  /** True if the plan's total time fits the slack. */
+  bool feasible = false;
+  /** Sum of degree * T(degree) over all steps, GPU-microseconds. */
+  double gpu_time_us = 0.0;
+  /** Sum of step times, microseconds. */
+  double exec_time_us = 0.0;
+
+  /** Steps scheduled at a given degree (0 if absent). */
+  int StepsAtDegree(int degree) const;
+  int TotalSteps() const;
+};
+
+/** Per-degree effective step cost used by the planner. */
+struct DegreeCost {
+  int degree = 0;
+  /** Effective per-step wall time (may include round quantization). */
+  double step_time_us = 0.0;
+  /** GPU time charged per step (degree * reserved time). */
+  double gpu_time_us = 0.0;
+};
+
+/**
+ * Two-degree minimal-GPU-time plan over explicit per-degree costs.
+ * @param costs one entry per candidate degree (ascending by degree).
+ * @param remaining_steps steps left (> 0).
+ * @param slack_us time until the (VAE-adjusted) deadline.
+ */
+AllocationPlan FindPlanWithCosts(const std::vector<DegreeCost>& costs,
+                                 int remaining_steps, double slack_us);
+
+/**
+ * Two-degree minimal-GPU-time plan using raw profiled step times.
+ * @param table profiled step times.
+ * @param res request resolution.
+ * @param remaining_steps steps left (> 0).
+ * @param slack_us time until the (VAE-adjusted) deadline.
+ */
+AllocationPlan FindPlan(const costmodel::LatencyTable& table,
+                        costmodel::Resolution res, int remaining_steps,
+                        double slack_us);
+
+/**
+ * Round-aware minimal-GPU-time plan (the production path used by
+ * TetriScheduler). Because the round packer admits at most one
+ * allocation per request per round, a two-degree mix executes as
+ * whole rounds of the fast degree followed by whole rounds of the
+ * slow degree, with only the very last segment finishing mid-round.
+ * This costing charges that quantization honestly — a 1-step leftover
+ * segment costs a full extra round of wall-clock — which FindPlan's
+ * continuous model misprices near the deadline.
+ *
+ * @param table profiled step times.
+ * @param res request resolution.
+ * @param remaining_steps steps left (> 0).
+ * @param slack_us time until the (VAE-adjusted) deadline.
+ * @param round_us the scheduler round length tau.
+ */
+AllocationPlan RoundAwarePlan(const costmodel::LatencyTable& table,
+                              costmodel::Resolution res,
+                              int remaining_steps, double slack_us,
+                              double round_us);
+
+/**
+ * Tightest achievable residual completion time under round
+ * quantization: min over degrees of full rounds plus a mid-round
+ * finishing tail. Used as the survival lower bound LB_i.
+ */
+double RoundAwareLowerBoundUs(const costmodel::LatencyTable& table,
+                              costmodel::Resolution res,
+                              int remaining_steps, double round_us);
+
+/**
+ * Reference solution: exact DP over (steps x degrees) minimizing GPU
+ * time under the slack, with time discretized to @p buckets. Slow;
+ * for tests and ablations only.
+ */
+AllocationPlan ExhaustivePlan(const costmodel::LatencyTable& table,
+                              costmodel::Resolution res,
+                              int remaining_steps, double slack_us,
+                              int buckets = 2000);
+
+}  // namespace tetri::core
+
+#endif  // TETRI_CORE_ALLOCATION_H

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Round packing via group knapsack (Algorithm 1, §4.2.2).
+ *
+ * Per round, every request contributes a group of options: `none`
+ * (consume no GPUs, make no progress) plus one option per candidate
+ * allocation that can complete at least one step within the round.
+ * Each option has a width (its GPU count) and a binary survival value:
+ * whether the request is *not definitely late* at the next round start
+ * under the conservative lower bound LB = remaining_steps * T_min.
+ * The DP maximizes survivors under the GPU capacity; ties prefer
+ * running more requests, then consuming fewer GPUs (GPU-hour economy).
+ */
+#ifndef TETRI_CORE_DP_PACKER_H
+#define TETRI_CORE_DP_PACKER_H
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace tetri::core {
+
+/** One runnable option of a request for the current round. */
+struct PackOption {
+  int degree = 0;
+  /** Steps completing this round at this degree (q_i^m > 0). */
+  int steps = 0;
+  /** Survival indicator sv_i(o). */
+  bool survives = false;
+  /**
+   * GPU-work accomplished by the option (steps * degree * step time).
+   * Used as the tie-break between equal-survivor packings: banking
+   * the steepest plan segments early is robust to later contention.
+   */
+  double work = 0.0;
+};
+
+/** A request's option group. */
+struct PackGroup {
+  RequestId id = kInvalidRequest;
+  std::vector<PackOption> options;
+  /** sv_i(none): survival when idling this round. */
+  bool survives_if_idle = false;
+};
+
+/** Chosen option per group. */
+struct PackResult {
+  /** Index into group.options, or -1 for `none`. Parallel to input. */
+  std::vector<int> choice;
+  int survivors = 0;
+  int gpus_used = 0;
+  int running = 0;
+  double work = 0.0;
+};
+
+/**
+ * Solve the per-round group knapsack over @p capacity GPUs.
+ * O(R * capacity * max|options|) time, O(R * capacity) space.
+ */
+PackResult PackRound(const std::vector<PackGroup>& groups, int capacity);
+
+/**
+ * Reference exhaustive packer for tests: enumerates every choice
+ * combination. Exponential — only for small instances.
+ */
+PackResult PackRoundExhaustive(const std::vector<PackGroup>& groups,
+                               int capacity);
+
+}  // namespace tetri::core
+
+#endif  // TETRI_CORE_DP_PACKER_H

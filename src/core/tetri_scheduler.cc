@@ -1,0 +1,414 @@
+#include "core/tetri_scheduler.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "cluster/allocator.h"
+#include "util/check.h"
+
+namespace tetri::core {
+
+using costmodel::Resolution;
+using serving::Request;
+
+TetriScheduler::TetriScheduler(const costmodel::LatencyTable* table,
+                               TetriOptions options)
+    : table_(table),
+      options_(options),
+      round_us_(ComputeRoundDuration(*table, options.step_granularity))
+{
+  TETRI_CHECK(table_ != nullptr);
+  TETRI_CHECK(options_.step_granularity >= 1);
+  TETRI_CHECK(options_.max_batch >= 1);
+}
+
+std::string
+TetriScheduler::Name() const
+{
+  std::string name = "TetriServe";
+  if (!options_.placement_preservation) name += "-NoPlace";
+  if (!options_.elastic_scale_up) name += "-NoElastic";
+  if (!options_.selective_batching) name += "-NoBatch";
+  return name;
+}
+
+TimeUs
+TetriScheduler::ComputeRoundDuration(const costmodel::LatencyTable& table,
+                                     int step_granularity)
+{
+  // tau is anchored to the reference (1024px) resolution at its most
+  // GPU-efficient degree so heterogeneous step lengths pack into a
+  // round with few leftover bubbles (§4.2.2 "Round Duration").
+  const Resolution ref = Resolution::k1024;
+  const double ref_step =
+      table.StepTimeUs(ref, table.MostEfficientDegree(ref));
+  return static_cast<TimeUs>(step_granularity * ref_step);
+}
+
+double
+TetriScheduler::EffectiveDeadlineUs(const Request& req) const
+{
+  // VAE decode is sequential after the last step, and a small margin
+  // absorbs jitter plus re-sharding stalls the cost model excludes
+  // from deadline accounting (§5).
+  const double budget =
+      static_cast<double>(req.meta.deadline_us - req.meta.arrival_us);
+  return static_cast<double>(req.meta.deadline_us) -
+         table_->VaeDecodeUs(req.meta.resolution) -
+         options_.deadline_margin_frac * budget;
+}
+
+std::vector<DegreeCost>
+TetriScheduler::RoundEffectiveCosts(costmodel::Resolution res,
+                                    double tau) const
+{
+  std::vector<DegreeCost> costs;
+  for (int k : table_->degrees()) {
+    const double t = table_->StepTimeUs(res, k);
+    const int q = static_cast<int>(std::floor(tau / t));
+    DegreeCost cost;
+    cost.degree = k;
+    if (q >= 1) {
+      cost.step_time_us = tau / q;
+    } else {
+      // A step longer than the round spills over ceil(T/tau) rounds.
+      cost.step_time_us = std::ceil(t / tau) * tau;
+    }
+    cost.gpu_time_us = k * cost.step_time_us;
+    costs.push_back(cost);
+  }
+  return costs;
+}
+
+int
+TetriScheduler::StepsInRound(Resolution res, int degree, int batch,
+                             double window_us) const
+{
+  const double t = table_->StepTimeUs(res, degree, batch);
+  return static_cast<int>(std::floor(window_us / t));
+}
+
+serving::RoundPlan
+TetriScheduler::Plan(const serving::ScheduleContext& ctx)
+{
+  const double tau = static_cast<double>(ctx.round_end - ctx.now);
+  const int capacity = cluster::Popcount(ctx.free_gpus);
+  serving::RoundPlan plan;
+  if (capacity == 0 || ctx.schedulable->empty()) return plan;
+
+  // ---- Stage 1: deadline-aware GPU allocation (§4.2.1) ----
+  std::vector<Entry> entries;
+  entries.reserve(ctx.schedulable->size());
+  for (Request* req : *ctx.schedulable) {
+    Entry entry;
+    entry.request = req;
+    entry.slack_us =
+        EffectiveDeadlineUs(*req) - static_cast<double>(ctx.now);
+    const int rem = req->RemainingSteps();
+    TETRI_CHECK(rem > 0);
+    if (options_.use_continuous_planner) {
+      entry.alloc = FindPlan(*table_, req->meta.resolution, rem,
+                             std::max(entry.slack_us, 0.0));
+    } else {
+      entry.alloc = RoundAwarePlan(*table_, req->meta.resolution, rem,
+                                   std::max(entry.slack_us, 0.0), tau);
+    }
+    entry.late = !entry.alloc.feasible;
+    entries.push_back(std::move(entry));
+  }
+
+  // ---- Stage 1.5: EDF overload control ----
+  // The survival bound is per-request optimistic: two requests can
+  // each look salvageable while their joint GPU-work provably exceeds
+  // the capacity available before their deadlines. Scan in deadline
+  // order; whenever the cumulative minimal GPU-work of a prefix
+  // overruns capacity * horizon, demote the largest-work member of
+  // the prefix to the best-effort lane so the rest can actually make
+  // their deadlines.
+  {
+    std::vector<Entry*> edf;
+    for (Entry& entry : entries) {
+      if (!entry.late) edf.push_back(&entry);
+    }
+    // entries are already deadline-sorted (schedulable order).
+    std::vector<Entry*> admitted;
+    double work_us = 0.0;  // GPU-us of admitted prefix
+    for (Entry* entry : edf) {
+      admitted.push_back(entry);
+      work_us += entry->alloc.gpu_time_us;
+      const double horizon =
+          EffectiveDeadlineUs(*entry->request) -
+          static_cast<double>(ctx.now);
+      while (work_us >
+                 capacity * horizon * options_.overload_utilization &&
+             !admitted.empty()) {
+        auto victim = std::max_element(
+            admitted.begin(), admitted.end(),
+            [](const Entry* a, const Entry* b) {
+              return a->alloc.gpu_time_us < b->alloc.gpu_time_us;
+            });
+        (*victim)->late = true;
+        work_us -= (*victim)->alloc.gpu_time_us;
+        admitted.erase(victim);
+      }
+    }
+  }
+
+  // ---- Stage 2: round packing DP (Algorithm 1) ----
+  std::vector<PackGroup> groups;
+  std::vector<int> group_entry;  // group index -> entry index
+  for (int ei = 0; ei < static_cast<int>(entries.size()); ++ei) {
+    Entry& entry = entries[ei];
+    if (entry.late) continue;
+    const Request& req = *entry.request;
+    const Resolution res = req.meta.resolution;
+    const int rem = req.RemainingSteps();
+    const double deadline_eff = EffectiveDeadlineUs(req);
+    const double next_round = static_cast<double>(ctx.round_end);
+    auto lb = [&](int steps_left) {
+      return RoundAwareLowerBoundUs(*table_, res, steps_left, tau);
+    };
+
+    PackGroup group;
+    group.id = req.meta.id;
+    group.survives_if_idle = next_round + lb(rem) <= deadline_eff;
+
+    // Laxity: rounds this request can afford to idle before the
+    // survival bound trips. The tie-break weight decays with laxity
+    // (least-laxity-first), so under contention the requests closest
+    // to becoming definitely late receive GPUs first, while relaxed
+    // ones defer to the work-conserving elastic stage.
+    const double laxity_us = deadline_eff - next_round - lb(rem);
+    const double laxity_rounds =
+        std::max(0.0, std::floor(laxity_us / tau));
+    const double weight = 1.0 / (1.0 + laxity_rounds);
+    const double t_min = lb(rem) / rem;  // per-step progress value
+
+    for (const AllocationSegment& seg : entry.alloc.segments) {
+      // The plan is recomputed from scratch every round, so an option
+      // may run more steps at its degree than the segment nominally
+      // holds; only the remaining step count caps it.
+      const int q =
+          std::min(rem, StepsInRound(res, seg.degree, 1, tau));
+      if (q <= 0) continue;  // discard q == 0 options (Algorithm 1)
+      PackOption opt;
+      opt.degree = seg.degree;
+      opt.steps = q;
+      opt.survives = next_round + lb(rem - q) <= deadline_eff;
+      // Progress measured in residual-lower-bound reduction (q steps,
+      // each worth T_min), urgency-weighted.
+      opt.work = weight * static_cast<double>(q) * t_min;
+      group.options.push_back(opt);
+    }
+    groups.push_back(std::move(group));
+    group_entry.push_back(ei);
+  }
+
+  const PackResult packed = PackRound(groups, capacity);
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    if (packed.choice[gi] < 0) continue;
+    const PackOption& opt = groups[gi].options[packed.choice[gi]];
+    Entry& entry = entries[group_entry[gi]];
+    entry.chosen_degree = opt.degree;
+    entry.chosen_steps = opt.steps;
+  }
+
+  // Working assignments before placement.
+  struct Pending {
+    std::vector<Request*> members;
+    int degree = 0;
+    int steps = 0;
+  };
+  std::vector<Pending> pendings;
+  for (Entry& entry : entries) {
+    if (entry.chosen_degree == 0) continue;
+    pendings.push_back(
+        Pending{{entry.request}, entry.chosen_degree, entry.chosen_steps});
+  }
+  auto gpus_used = [&]() {
+    int used = 0;
+    for (const Pending& p : pendings) used += p.degree;
+    return used;
+  };
+
+  // ---- Stage 4: best-effort lane for definitely-late requests ----
+  for (Entry& entry : entries) {
+    if (!entry.late) continue;
+    if (gpus_used() >= capacity) break;
+    const Resolution res = entry.request->meta.resolution;
+    const int rem = entry.request->RemainingSteps();
+    const int steps =
+        std::clamp(StepsInRound(res, 1, 1, tau), 1, rem);
+    pendings.push_back(Pending{{entry.request}, 1, steps});
+    entry.chosen_degree = 1;
+    entry.chosen_steps = steps;
+  }
+
+  // ---- Stage 5a/5b: work-conserving admission + selective
+  // continuous batching (§4.2.3, §5) ----
+  // Unselected requests are admitted onto idle GPUs at their
+  // cheapest plan degree. When no GPUs are left, a small-resolution
+  // request may instead JOIN an already-selected assignment of the
+  // same resolution as a continuous-batch guest: it gains a round of
+  // progress it would otherwise not get, and the merge is admitted
+  // only if every member still meets its deadline at the slower
+  // batched pace (the paper's "only if SLOs are not compromised"
+  // test).
+  auto try_batch_join = [&](Entry& entry) {
+    if (!options_.selective_batching) return false;
+    Request* guest = entry.request;
+    const Resolution res = guest->meta.resolution;
+    if (costmodel::ResolutionIndex(res) >
+        costmodel::ResolutionIndex(options_.batch_max_resolution)) {
+      return false;
+    }
+    for (Pending& host : pendings) {
+      if (host.members.front()->meta.resolution != res) continue;
+      const int new_bs = static_cast<int>(host.members.size() + 1);
+      if (new_bs > std::min(options_.max_batch, table_->max_batch())) {
+        continue;
+      }
+      const double t_batched =
+          table_->StepTimeUs(res, host.degree, new_bs);
+      const int q_round = static_cast<int>(std::floor(tau / t_batched));
+      int q = q_round;
+      for (Request* member : host.members) {
+        q = std::min(q, member->RemainingSteps());
+      }
+      q = std::min(q, guest->RemainingSteps());
+      // A nearly-finished member would cap the batch below a full
+      // round of work, idling the group; skip such merges.
+      if (q < std::max(1, q_round)) continue;
+      auto safe = [&](const Request& member) {
+        const double slack = EffectiveDeadlineUs(member) -
+                             static_cast<double>(ctx.now);
+        // Pace headroom so jitter and round quantization do not push
+        // batch members over their deadlines.
+        return member.RemainingSteps() * t_batched <= 0.8 * slack;
+      };
+      bool all_safe = safe(*guest);
+      for (Request* member : host.members) {
+        if (!safe(*member)) all_safe = false;
+      }
+      if (!all_safe) continue;
+      host.members.push_back(guest);
+      host.steps = q;
+      entry.chosen_degree = host.degree;
+      entry.chosen_steps = q;
+      return true;
+    }
+    return false;
+  };
+
+  if (options_.elastic_scale_up || options_.selective_batching) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      Entry& entry = entries[group_entry[gi]];
+      if (entry.chosen_degree != 0) continue;
+      const Resolution res = entry.request->meta.resolution;
+      const int rem = entry.request->RemainingSteps();
+      const int free = capacity - gpus_used();
+      // Cheapest plan degree that fits; spill one step if the round
+      // is shorter than even one step (tiny-granularity guard).
+      bool admitted = false;
+      if (options_.elastic_scale_up && free > 0) {
+        for (const AllocationSegment& seg : entry.alloc.segments) {
+          if (seg.degree > free) continue;
+          const int q =
+              std::clamp(StepsInRound(res, seg.degree, 1, tau), 1,
+                         std::min(seg.steps, rem));
+          pendings.push_back(Pending{{entry.request}, seg.degree, q});
+          entry.chosen_degree = seg.degree;
+          entry.chosen_steps = q;
+          admitted = true;
+          break;
+        }
+      }
+      if (!admitted) try_batch_join(entry);
+    }
+  }
+
+  if (options_.elastic_scale_up) {
+    // ---- Stage 5c: elastic scale-up of running assignments ----
+    while (true) {
+      const int free = capacity - gpus_used();
+      if (free <= 0) break;
+      Pending* best = nullptr;
+      double best_benefit = 0.0;
+      int best_new_steps = 0;
+      for (Pending& p : pendings) {
+        const int next_degree = p.degree * 2;
+        if (next_degree > table_->max_degree()) continue;
+        if (p.degree > free) continue;  // needs p.degree extra GPUs
+        const Resolution res = p.members.front()->meta.resolution;
+        const int bs = static_cast<int>(p.members.size());
+        const double t_old = table_->StepTimeUs(res, p.degree, bs);
+        const double t_new = table_->StepTimeUs(res, next_degree, bs);
+        if (t_new >= t_old) continue;  // must actually benefit
+        int q = static_cast<int>(std::floor(tau / t_new));
+        for (Request* member : p.members) {
+          q = std::min(q, member->RemainingSteps());
+        }
+        q = std::max(q, 1);
+        const double benefit = (t_old - t_new) * q;
+        if (benefit > best_benefit) {
+          best_benefit = benefit;
+          best = &p;
+          best_new_steps = q;
+        }
+      }
+      if (best == nullptr) break;
+      best->degree *= 2;
+      best->steps = best_new_steps;
+    }
+  }
+
+  // ---- Stage 6: placement with preservation (§4.2.3) ----
+  cluster::GpuAllocator allocator(ctx.topology);
+  allocator.SetFree(ctx.free_gpus);
+  std::vector<GpuMask> masks(pendings.size(), 0);
+  if (options_.placement_preservation) {
+    for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
+      const Request& lead = *pendings[pi].members.front();
+      if (pendings[pi].members.size() == 1 &&
+          lead.last_degree == pendings[pi].degree &&
+          lead.last_mask != 0 &&
+          allocator.TryAllocateExact(lead.last_mask)) {
+        masks[pi] = lead.last_mask;
+      }
+    }
+  }
+  // Largest groups first to keep blocks aligned.
+  std::vector<std::size_t> order;
+  for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
+    if (masks[pi] == 0) order.push_back(pi);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) {
+              return pendings[a].degree > pendings[b].degree;
+            });
+  for (std::size_t pi : order) {
+    const GpuMask prefer =
+        options_.placement_preservation
+            ? pendings[pi].members.front()->last_mask
+            : 0;
+    auto mask = allocator.Allocate(pendings[pi].degree, prefer);
+    TETRI_CHECK_MSG(mask.has_value(), "placement must succeed");
+    masks[pi] = *mask;
+  }
+
+  // ---- Emit ----
+  for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
+    serving::Assignment assignment;
+    for (Request* member : pendings[pi].members) {
+      assignment.requests.push_back(member->meta.id);
+    }
+    assignment.mask = masks[pi];
+    assignment.max_steps = pendings[pi].steps;
+    plan.assignments.push_back(std::move(assignment));
+  }
+  return plan;
+}
+
+}  // namespace tetri::core

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * TetriServe's deadline-aware round-based scheduler (§4) — the paper's
+ * primary contribution. Each round it:
+ *
+ *  1. runs deadline-aware GPU allocation (allocation.h) to get each
+ *     pending request's minimal-GPU-hour candidate allocations;
+ *  2. packs requests with the group-knapsack DP (dp_packer.h,
+ *     Algorithm 1), maximizing the number of requests that are not
+ *     definitely late at the next round start;
+ *  3. merges small same-resolution selections via selective
+ *     continuous batching (§5);
+ *  4. gives already-late requests one best-effort GPU;
+ *  5. work-conservingly admits unselected requests and elastically
+ *     scales selected ones onto idle GPUs (§4.2.3);
+ *  6. places assignments with GPU placement preservation (§4.2.3).
+ *
+ * Every mechanism is individually switchable for the Table 5 ablation.
+ */
+#ifndef TETRI_CORE_TETRI_SCHEDULER_H
+#define TETRI_CORE_TETRI_SCHEDULER_H
+
+#include <string>
+#include <vector>
+
+#include "core/allocation.h"
+#include "core/dp_packer.h"
+#include "serving/scheduler.h"
+
+namespace tetri::core {
+
+/** Feature switches and tuning knobs. */
+struct TetriOptions {
+  /** Denoising steps per round at the reference resolution (§6.4). */
+  int step_granularity = 5;
+  /** Keep requests on their previous GPU set when possible. */
+  bool placement_preservation = true;
+  /** Use idle GPUs for extra admissions and scale-ups. */
+  bool elastic_scale_up = true;
+  /** Merge small same-resolution steps into batches. */
+  bool selective_batching = true;
+  /** Largest continuous batch formed. */
+  int max_batch = 4;
+  /** Only resolutions up to this are batched (small inputs only). */
+  costmodel::Resolution batch_max_resolution =
+      costmodel::Resolution::k512;
+  /**
+   * Fraction of each request's SLO budget reserved as slop for
+   * execution jitter and re-sharding stalls when planning.
+   */
+  double deadline_margin_frac = 0.015;
+  /**
+   * Fraction of raw GPU capacity assumed reachable by packing when
+   * testing EDF prefix feasibility (overload control). Below 1.0 to
+   * account for packing fragmentation and round quantization.
+   */
+  double overload_utilization = 0.95;
+  /**
+   * Ablation knob: plan with the continuous-time cost model
+   * (FindPlan) instead of round-aware costing (RoundAwarePlan).
+   * The continuous model misprices end-of-round idle bubbles and
+   * orphan segments; bench_ablation_alloc quantifies the damage.
+   */
+  bool use_continuous_planner = false;
+};
+
+/** The TetriServe policy. */
+class TetriScheduler : public serving::Scheduler {
+ public:
+  /**
+   * @param table profiled step-latency table the policy plans with.
+   * @param options feature switches (defaults reproduce the paper).
+   */
+  explicit TetriScheduler(const costmodel::LatencyTable* table,
+                          TetriOptions options = TetriOptions{});
+
+  std::string Name() const override;
+  serving::SchedulingMode Mode() const override {
+    return serving::SchedulingMode::kRoundBased;
+  }
+  TimeUs RoundDurationUs() const override { return round_us_; }
+
+  serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
+
+  const TetriOptions& options() const { return options_; }
+
+  /**
+   * Round duration rule (§4.2.2): granularity x the step time of the
+   * reference resolution (1024px) at its most GPU-efficient degree.
+   */
+  static TimeUs ComputeRoundDuration(const costmodel::LatencyTable& table,
+                                     int step_granularity);
+
+ private:
+  /** Working entry for one schedulable request within Plan. */
+  struct Entry {
+    serving::Request* request = nullptr;
+    AllocationPlan alloc;
+    double slack_us = 0.0;   // deadline - vae - now
+    bool late = false;       // definitely late already
+    int chosen_degree = 0;   // 0 = not selected
+    int chosen_steps = 0;
+  };
+
+  double EffectiveDeadlineUs(const serving::Request& req) const;
+  int StepsInRound(costmodel::Resolution res, int degree, int batch,
+                   double window_us) const;
+
+  /**
+   * Per-degree costs adjusted for round quantization: a degree whose
+   * raw step time is T completes q = floor(tau/T) steps per round, so
+   * its *effective* per-step wall time is tau/q. Planning with these
+   * keeps deadline math honest about end-of-round idle bubbles.
+   */
+  std::vector<DegreeCost> RoundEffectiveCosts(costmodel::Resolution res,
+                                              double tau) const;
+
+  const costmodel::LatencyTable* table_;
+  TetriOptions options_;
+  TimeUs round_us_;
+};
+
+}  // namespace tetri::core
+
+#endif  // TETRI_CORE_TETRI_SCHEDULER_H

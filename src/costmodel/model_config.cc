@@ -1,0 +1,41 @@
+#include "costmodel/model_config.h"
+
+namespace tetri::costmodel {
+
+ModelConfig
+ModelConfig::FluxDev()
+{
+  ModelConfig cfg;
+  cfg.name = "FLUX.1-dev";
+  cfg.hidden_dim = 3072;
+  cfg.num_layers = 57;  // 19 double-stream + 38 single-stream blocks
+  cfg.text_tokens = 512;
+  cfg.default_steps = 50;
+  cfg.latent_channels = 16;
+  // Calibrated against Table 1 (see tests/costmodel/model_config_test).
+  cfg.flops_const_tflops = 286.57;
+  cfg.flops_linear_tflops = 1.047139;
+  cfg.flops_quad_tflops = 2.8029e-5;
+  return cfg;
+}
+
+ModelConfig
+ModelConfig::Sd3Medium()
+{
+  ModelConfig cfg;
+  cfg.name = "SD3-Medium";
+  cfg.hidden_dim = 1536;
+  cfg.num_layers = 24;
+  cfg.text_tokens = 333;  // 77 CLIP + 256 T5 conditioning tokens
+  cfg.default_steps = 50;
+  cfg.latent_channels = 16;
+  // FLUX coefficients scaled by the analytic model-size ratios:
+  // const & linear terms ~ d^2 * L  (ratio 0.1052),
+  // quadratic term       ~ d * L    (ratio 0.2105).
+  cfg.flops_const_tflops = 30.15;
+  cfg.flops_linear_tflops = 0.11016;
+  cfg.flops_quad_tflops = 5.9009e-6;
+  return cfg;
+}
+
+}  // namespace tetri::costmodel

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * DiT model descriptions and their FLOP requirements.
+ *
+ * Per-request compute is modeled as a quadratic in the latent token
+ * count n:  F(n) = a + b*n + c*n^2  (TFLOPs for a full denoising run).
+ * The constant captures text-conditioning work, the linear term the
+ * per-token projections/MLPs, and the quadratic term attention.
+ *
+ * For the FLUX.1-dev configuration the coefficients are calibrated
+ * against Table 1 of the paper: all four published (tokens, TFLOPs)
+ * points are reproduced to within 0.02%. The SD3-Medium configuration
+ * scales the coefficients by the analytic ratios of d^2*L (linear and
+ * constant terms) and d*L (quadratic term) between the two models.
+ */
+#ifndef TETRI_COSTMODEL_MODEL_CONFIG_H
+#define TETRI_COSTMODEL_MODEL_CONFIG_H
+
+#include <string>
+
+#include "costmodel/resolution.h"
+
+namespace tetri::costmodel {
+
+/** Static description of a DiT model. */
+struct ModelConfig {
+  std::string name;
+  /** Transformer hidden dimension. */
+  int hidden_dim = 0;
+  /** Effective transformer depth (double + single stream blocks). */
+  int num_layers = 0;
+  /** Conditioning text tokens appended to the sequence. */
+  int text_tokens = 0;
+  /** Default denoising steps per request. */
+  int default_steps = 0;
+  /** Activation bytes per element (BF16 = 2). */
+  int bytes_per_elem = 2;
+  /** Latent channels (for latent-transfer sizing). */
+  int latent_channels = 16;
+
+  /** FLOP polynomial coefficients, TFLOPs per full request. */
+  double flops_const_tflops = 0.0;
+  double flops_linear_tflops = 0.0;   // per latent token
+  double flops_quad_tflops = 0.0;     // per latent token squared
+
+  /** Total TFLOPs for one request at latent length @p tokens. */
+  double RequestTflops(int tokens) const {
+    const double n = static_cast<double>(tokens);
+    return flops_const_tflops + flops_linear_tflops * n +
+           flops_quad_tflops * n * n;
+  }
+
+  /** TFLOPs for a single denoising step of one image. */
+  double StepTflops(int tokens) const {
+    return RequestTflops(tokens) / static_cast<double>(default_steps);
+  }
+
+  /** Sequence length including text conditioning. */
+  int TotalTokens(Resolution r) const {
+    return LatentTokens(r) + text_tokens;
+  }
+
+  /** Latent tensor size in bytes for one image (pre-VAE). */
+  double LatentBytes(Resolution r) const {
+    const int side = Pixels(r) / 8;
+    return static_cast<double>(side) * side * latent_channels *
+           bytes_per_elem;
+  }
+
+  /** FLUX.1-dev-like 12B model, calibrated to the paper's Table 1. */
+  static ModelConfig FluxDev();
+
+  /** Stable Diffusion 3 Medium-like 2B model. */
+  static ModelConfig Sd3Medium();
+};
+
+}  // namespace tetri::costmodel
+
+#endif  // TETRI_COSTMODEL_MODEL_CONFIG_H

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The discrete set of output resolutions served in the paper's
+ * evaluation (§2.2): 256, 512, 1024, and 2048 square images, and their
+ * latent-token counts. DiT models in this work patchify an 8x-downsampled
+ * VAE latent with 2x2 patches, so a HxW image yields (H/16)*(W/16)
+ * latent tokens — 256 tokens for 256px up to 16384 tokens for 2048px,
+ * matching Table 1.
+ */
+#ifndef TETRI_COSTMODEL_RESOLUTION_H
+#define TETRI_COSTMODEL_RESOLUTION_H
+
+#include <array>
+#include <string>
+
+#include "util/check.h"
+
+namespace tetri::costmodel {
+
+/** Supported square output resolutions. */
+enum class Resolution : int { k256 = 0, k512 = 1, k1024 = 2, k2048 = 3 };
+
+inline constexpr int kNumResolutions = 4;
+
+/** All resolutions in ascending order. */
+inline constexpr std::array<Resolution, kNumResolutions> kAllResolutions = {
+    Resolution::k256, Resolution::k512, Resolution::k1024,
+    Resolution::k2048};
+
+/** Edge length in pixels. */
+inline constexpr int Pixels(Resolution r) {
+  switch (r) {
+    case Resolution::k256: return 256;
+    case Resolution::k512: return 512;
+    case Resolution::k1024: return 1024;
+    case Resolution::k2048: return 2048;
+  }
+  return 0;
+}
+
+/** Latent image tokens: (pixels/16)^2. */
+inline constexpr int LatentTokens(Resolution r) {
+  const int side = Pixels(r) / 16;
+  return side * side;
+}
+
+/** Dense index in [0, kNumResolutions). */
+inline constexpr int ResolutionIndex(Resolution r) {
+  return static_cast<int>(r);
+}
+
+/** Inverse of ResolutionIndex. */
+inline Resolution ResolutionFromIndex(int idx) {
+  TETRI_CHECK(idx >= 0 && idx < kNumResolutions);
+  return static_cast<Resolution>(idx);
+}
+
+/** Human-readable name, e.g. "1024x1024". */
+inline std::string ResolutionName(Resolution r) {
+  const int p = Pixels(r);
+  return std::to_string(p) + "x" + std::to_string(p);
+}
+
+}  // namespace tetri::costmodel
+
+#endif  // TETRI_COSTMODEL_RESOLUTION_H

@@ -1,0 +1,138 @@
+#include "dit/ring_attention.h"
+
+#include <algorithm>
+
+namespace tetri::dit {
+
+using tensor::Tensor;
+
+RingExecutor::RingExecutor(const TinyDit* model) : model_(model)
+{
+  TETRI_CHECK(model_ != nullptr);
+}
+
+namespace {
+
+std::pair<int, int>
+RowShard(int n, int count, int w)
+{
+  const int base = n / count;
+  const int extra = n % count;
+  const int begin = w * base + std::min(w, extra);
+  const int end = begin + base + (w < extra ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace
+
+Tensor
+RingExecutor::Forward(const Tensor& latent, const Tensor& text,
+                      double timestep, int degree,
+                      RingStats* stats) const
+{
+  const TinyDitConfig& cfg = model_->config();
+  TETRI_CHECK(degree >= 1);
+
+  const Tensor cond = model_->TimestepCond(timestep);
+  Tensor x = model_->EmbedTokens(latent, text);
+  const int n = x.dim(0);
+  TETRI_CHECK_MSG(degree <= n, "more ring workers than tokens");
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // Each worker projects Q/K/V for its own token shard.
+    std::vector<Tensor> q_shard(degree), k_shard(degree),
+        v_shard(degree);
+    for (int w = 0; w < degree; ++w) {
+      auto [begin, end] = RowShard(n, degree, w);
+      model_->ProjectQkv(layer, x.SliceRows(begin, end), cond,
+                         &q_shard[w], &k_shard[w], &v_shard[w]);
+    }
+
+    // Ring passes: worker w holds block (w - hop) mod degree after
+    // `hop` hops. Each worker buffers every block it sees, tagged by
+    // its global origin, so attention can run in canonical order.
+    std::vector<std::vector<const Tensor*>> k_seen(degree),
+        v_seen(degree);
+    for (int w = 0; w < degree; ++w) {
+      k_seen[w].assign(degree, nullptr);
+      v_seen[w].assign(degree, nullptr);
+      k_seen[w][w] = &k_shard[w];  // own block, hop 0
+      v_seen[w][w] = &v_shard[w];
+    }
+    for (int hop = 1; hop < degree; ++hop) {
+      for (int w = 0; w < degree; ++w) {
+        // Receive the block the left neighbour held `hop - 1` hops
+        // ago, i.e. origin (w - hop + degree) mod degree.
+        const int origin = (w - hop + degree) % degree;
+        k_seen[w][origin] = &k_shard[origin];
+        v_seen[w][origin] = &v_shard[origin];
+        if (stats != nullptr) {
+          ++stats->hops;
+          stats->floats_moved +=
+              k_shard[origin].size() + v_shard[origin].size();
+        }
+      }
+    }
+
+    // With all blocks present, reassemble K/V in global token order
+    // (the canonical arithmetic order) and attend per query shard.
+    std::vector<Tensor> k_parts, v_parts;
+    for (int origin = 0; origin < degree; ++origin) {
+      auto [begin, end] = RowShard(n, degree, origin);
+      if (begin == end) continue;
+      k_parts.push_back(k_shard[origin]);
+      v_parts.push_back(v_shard[origin]);
+    }
+    const Tensor k_full = tensor::ConcatRows(k_parts);
+    const Tensor v_full = tensor::ConcatRows(v_parts);
+
+    std::vector<Tensor> x_next;
+    for (int w = 0; w < degree; ++w) {
+      auto [begin, end] = RowShard(n, degree, w);
+      if (begin == end) continue;
+      // Every worker verified to have seen every block.
+      for (int origin = 0; origin < degree; ++origin) {
+        TETRI_CHECK(k_seen[w][origin] != nullptr);
+        TETRI_CHECK(v_seen[w][origin] != nullptr);
+      }
+      // Query rows live locally; pad Q to full height for the
+      // row-windowed kernel (only [begin, end) rows are touched).
+      std::vector<Tensor> q_parts;
+      for (int origin = 0; origin < degree; ++origin) {
+        auto [qb, qe] = RowShard(n, degree, origin);
+        if (qb == qe) continue;
+        q_parts.push_back(q_shard[origin]);
+      }
+      const Tensor q_full = tensor::ConcatRows(q_parts);
+      Tensor attn_rows = model_->AttendHeads(q_full, k_full, v_full, 0,
+                                             cfg.heads, begin, end);
+      x_next.push_back(model_->BlockTail(
+          layer, x.SliceRows(begin, end), attn_rows, cond));
+    }
+    x = tensor::ConcatRows(x_next);
+  }
+
+  Tensor x_img = x.SliceRows(0, latent.dim(0));
+  return model_->FinalProject(x_img, cond);
+}
+
+Tensor
+RingExecutor::Sample(const Tensor& noise, const Tensor& text,
+                     int num_steps,
+                     const std::vector<int>& degrees) const
+{
+  TETRI_CHECK(num_steps > 0 && !degrees.empty());
+  Tensor latent = noise;
+  const double dt = 1.0 / num_steps;
+  for (int s = 0; s < num_steps; ++s) {
+    const double t = 1.0 - s * dt;
+    const Tensor velocity =
+        Forward(latent, text, t, degrees[s % degrees.size()]);
+    for (std::size_t i = 0; i < latent.size(); ++i) {
+      latent.data()[i] -= static_cast<float>(dt) * velocity.data()[i];
+    }
+  }
+  return latent;
+}
+
+}  // namespace tetri::dit

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Ring-attention sequence-parallel execution (§2.1, Liu et al.).
+ *
+ * The second representative SP implementation in the paper: instead of
+ * Ulysses' all-to-all head exchange, workers keep their own *query*
+ * shard and pass K/V blocks peer-to-peer around a ring, one hop per
+ * iteration, attending to each block as it arrives.
+ *
+ * To preserve bitwise equality with the serial reference (and with the
+ * Ulysses executor), each worker buffers the K/V blocks it receives
+ * over the k-1 ring hops and evaluates attention in ascending global
+ * token order once all blocks are present. The communication pattern
+ * is the genuine ring (each hop moves exactly one neighbour's block);
+ * only the arithmetic is ordered canonically, which is what a
+ * production implementation gives up for overlap — and why this
+ * executor exists: to show both SP strategies compute the same
+ * function over different wire patterns.
+ */
+#ifndef TETRI_DIT_RING_ATTENTION_H
+#define TETRI_DIT_RING_ATTENTION_H
+
+#include <vector>
+
+#include "dit/tiny_dit.h"
+
+namespace tetri::dit {
+
+/** Per-executor communication statistics (for the comm-model bench). */
+struct RingStats {
+  /** Ring hops performed (layers * (degree - 1)). */
+  int hops = 0;
+  /** Total K/V floats forwarded around the ring. */
+  std::size_t floats_moved = 0;
+};
+
+/** Ring-attention executor over TinyDit. */
+class RingExecutor {
+ public:
+  explicit RingExecutor(const TinyDit* model);
+
+  /**
+   * One denoising forward pass with token shards on a ring of
+   * @p degree workers. Bit-identical to TinyDit::Forward.
+   */
+  tensor::Tensor Forward(const tensor::Tensor& latent,
+                         const tensor::Tensor& text, double timestep,
+                         int degree, RingStats* stats = nullptr) const;
+
+  /** Euler sampling with a per-step degree schedule. */
+  tensor::Tensor Sample(const tensor::Tensor& noise,
+                        const tensor::Tensor& text, int num_steps,
+                        const std::vector<int>& degrees) const;
+
+ private:
+  const TinyDit* model_;
+};
+
+}  // namespace tetri::dit
+
+#endif  // TETRI_DIT_RING_ATTENTION_H

@@ -1,0 +1,147 @@
+#include "dit/sequence_parallel.h"
+
+#include <functional>
+#include <thread>
+
+namespace tetri::dit {
+
+using tensor::Tensor;
+
+UlyssesExecutor::UlyssesExecutor(const TinyDit* model, bool use_threads)
+    : model_(model), use_threads_(use_threads)
+{
+  TETRI_CHECK(model_ != nullptr);
+}
+
+namespace {
+
+/** Run `count` workers, each executing fn(worker), in parallel or
+ * sequentially. Workers must write disjoint state. */
+void
+RunWorkers(int count, bool threads, const std::function<void(int)>& fn)
+{
+  if (!threads || count == 1) {
+    for (int w = 0; w < count; ++w) fn(w);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(count);
+  for (int w = 0; w < count; ++w) pool.emplace_back(fn, w);
+  for (std::thread& t : pool) t.join();
+}
+
+/** Contiguous row range of worker w among `count` over n rows. */
+std::pair<int, int>
+RowShard(int n, int count, int w)
+{
+  const int base = n / count;
+  const int extra = n % count;
+  const int begin = w * base + std::min(w, extra);
+  const int end = begin + base + (w < extra ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace
+
+Tensor
+UlyssesExecutor::Forward(const Tensor& latent, const Tensor& text,
+                         double timestep, int degree) const
+{
+  const TinyDitConfig& cfg = model_->config();
+  TETRI_CHECK(degree >= 1);
+  TETRI_CHECK_MSG(cfg.heads % degree == 0,
+                  "SP degree must divide head count");
+
+  const Tensor cond = model_->TimestepCond(timestep);
+  Tensor x = model_->EmbedTokens(latent, text);
+  const int n = x.dim(0);
+  const int heads_per_worker = cfg.heads / degree;
+  const int dh = model_->head_dim();
+
+  for (int layer = 0; layer < cfg.layers; ++layer) {
+    // Phase A: each worker projects Q/K/V for its token shard.
+    std::vector<Tensor> q_shard(degree), k_shard(degree),
+        v_shard(degree);
+    RunWorkers(degree, use_threads_, [&](int w) {
+      auto [begin, end] = RowShard(n, degree, w);
+      if (begin == end) return;
+      const Tensor rows = x.SliceRows(begin, end);
+      model_->ProjectQkv(layer, rows, cond, &q_shard[w], &k_shard[w],
+                         &v_shard[w]);
+    });
+
+    // All-to-all #1: every worker receives the full sequence for its
+    // head slice. (Assembled into shared full tensors; AttendHeads
+    // touches only the columns of the worker's heads.)
+    std::vector<Tensor> nonempty_q, nonempty_k, nonempty_v;
+    for (int w = 0; w < degree; ++w) {
+      auto [begin, end] = RowShard(n, degree, w);
+      if (begin == end) continue;
+      nonempty_q.push_back(std::move(q_shard[w]));
+      nonempty_k.push_back(std::move(k_shard[w]));
+      nonempty_v.push_back(std::move(v_shard[w]));
+    }
+    const Tensor q_full = tensor::ConcatRows(nonempty_q);
+    const Tensor k_full = tensor::ConcatRows(nonempty_k);
+    const Tensor v_full = tensor::ConcatRows(nonempty_v);
+
+    // Phase B: attention per head slice over all tokens.
+    std::vector<Tensor> attn_by_worker(degree);
+    RunWorkers(degree, use_threads_, [&](int w) {
+      attn_by_worker[w] = model_->AttendHeads(
+          q_full, k_full, v_full, w * heads_per_worker,
+          (w + 1) * heads_per_worker, 0, n);
+    });
+
+    // All-to-all #2: reassemble [n, hidden] with columns in absolute
+    // head order, then shard back to token ranges.
+    Tensor attn_full({n, cfg.hidden});
+    for (int w = 0; w < degree; ++w) {
+      const int col0 = w * heads_per_worker * dh;
+      for (int i = 0; i < n; ++i) {
+        for (int c = 0; c < heads_per_worker * dh; ++c) {
+          attn_full.At(i, col0 + c) = attn_by_worker[w].At(i, c);
+        }
+      }
+    }
+
+    // Phase C: block tail on own rows.
+    std::vector<Tensor> x_next(degree);
+    RunWorkers(degree, use_threads_, [&](int w) {
+      auto [begin, end] = RowShard(n, degree, w);
+      if (begin == end) return;
+      x_next[w] = model_->BlockTail(layer, x.SliceRows(begin, end),
+                                    attn_full.SliceRows(begin, end),
+                                    cond);
+    });
+    std::vector<Tensor> nonempty_x;
+    for (int w = 0; w < degree; ++w) {
+      if (x_next[w].size() > 0) nonempty_x.push_back(std::move(x_next[w]));
+    }
+    x = tensor::ConcatRows(nonempty_x);
+  }
+
+  Tensor x_img = x.SliceRows(0, latent.dim(0));
+  return model_->FinalProject(x_img, cond);
+}
+
+Tensor
+UlyssesExecutor::Sample(const Tensor& noise, const Tensor& text,
+                        int num_steps,
+                        const std::vector<int>& degrees) const
+{
+  TETRI_CHECK(num_steps > 0 && !degrees.empty());
+  Tensor latent = noise;
+  const double dt = 1.0 / num_steps;
+  for (int s = 0; s < num_steps; ++s) {
+    const double t = 1.0 - s * dt;
+    const int degree = degrees[s % degrees.size()];
+    const Tensor velocity = Forward(latent, text, t, degree);
+    for (std::size_t i = 0; i < latent.size(); ++i) {
+      latent.data()[i] -= static_cast<float>(dt) * velocity.data()[i];
+    }
+  }
+  return latent;
+}
+
+}  // namespace tetri::dit

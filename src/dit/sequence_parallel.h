@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ulysses-style sequence-parallel execution of TinyDit (§2.1).
+ *
+ * Tokens are sharded contiguously across `degree` workers. Each layer:
+ *
+ *   1. every worker computes Q/K/V for its own token shard
+ *      (row-independent, so values match serial exactly);
+ *   2. first all-to-all: workers exchange so each holds the *full*
+ *      token sequence for a contiguous slice of heads;
+ *   3. each worker runs attention for its heads over all tokens;
+ *   4. second all-to-all: head slices return to token shards;
+ *   5. every worker runs the block tail (projection, gates, MLP) on
+ *      its own rows.
+ *
+ * Workers run on real std::threads with explicit message buffers for
+ * the collectives. Because every scalar is produced by the same
+ * formula in the same order as the serial path, the output is
+ * BIT-IDENTICAL to TinyDit::Forward — which is the paper's "no
+ * quality degradation" claim, and what allows TetriServe to change
+ * the parallel degree between steps at will.
+ */
+#ifndef TETRI_DIT_SEQUENCE_PARALLEL_H
+#define TETRI_DIT_SEQUENCE_PARALLEL_H
+
+#include <vector>
+
+#include "dit/tiny_dit.h"
+
+namespace tetri::dit {
+
+/** Executes TinyDit forward passes across simulated SP workers. */
+class UlyssesExecutor {
+ public:
+  /**
+   * @param model the network (shared, read-only across workers).
+   * @param use_threads run workers on std::threads (true) or as a
+   *        deterministic sequential loop (false). Results match.
+   */
+  explicit UlyssesExecutor(const TinyDit* model, bool use_threads = true);
+
+  /**
+   * One denoising forward pass at the given SP degree.
+   * @param degree worker count; must divide the model's head count.
+   * @return velocity prediction, bit-identical to model->Forward().
+   */
+  tensor::Tensor Forward(const tensor::Tensor& latent,
+                         const tensor::Tensor& text, double timestep,
+                         int degree) const;
+
+  /**
+   * Full Euler sampling where step s runs at degrees[s % size] —
+   * i.e. the parallel degree may change at every step, exactly what
+   * TetriServe's step-level scheduling does.
+   */
+  tensor::Tensor Sample(const tensor::Tensor& noise,
+                        const tensor::Tensor& text, int num_steps,
+                        const std::vector<int>& degrees) const;
+
+ private:
+  const TinyDit* model_;
+  bool use_threads_;
+};
+
+}  // namespace tetri::dit
+
+#endif  // TETRI_DIT_SEQUENCE_PARALLEL_H

@@ -1,0 +1,284 @@
+#include "dit/tiny_dit.h"
+
+#include <cmath>
+#include <string>
+
+namespace tetri::dit {
+
+using tensor::Tensor;
+
+TinyDit::TinyDit(TinyDitConfig config) : config_(config)
+{
+  TETRI_CHECK(config_.hidden % config_.heads == 0);
+  Rng rng(config_.seed);
+  const int h = config_.hidden;
+  const int patch_dim =
+      config_.latent_channels * config_.patch * config_.patch;
+  const float wscale = 1.0f / std::sqrt(static_cast<float>(h));
+
+  patch_proj_ = Tensor::Randn({patch_dim, h}, rng, 0.2f);
+  pos_embed_ = Tensor::Randn({config_.max_tokens, h}, rng, 0.02f);
+  cond_proj_ = Tensor::Randn({h, h}, rng, wscale);
+  final_proj_ = Tensor::Randn({h, patch_dim}, rng, wscale);
+  final_mod_ = Tensor::Randn({h, 2 * h}, rng, 0.02f);
+
+  blocks_.reserve(config_.layers);
+  for (int layer = 0; layer < config_.layers; ++layer) {
+    BlockWeights w;
+    w.wq = Tensor::Randn({h, h}, rng, wscale);
+    w.wk = Tensor::Randn({h, h}, rng, wscale);
+    w.wv = Tensor::Randn({h, h}, rng, wscale);
+    w.wo = Tensor::Randn({h, h}, rng, wscale);
+    w.w1 = Tensor::Randn({h, config_.mlp_ratio * h}, rng, wscale);
+    w.w2 = Tensor::Randn({config_.mlp_ratio * h, h}, rng,
+                         wscale / std::sqrt(4.0f));
+    w.b1 = Tensor::Zeros({config_.mlp_ratio * h});
+    w.b2 = Tensor::Zeros({h});
+    w.mod = Tensor::Randn({h, 6 * h}, rng, 0.02f);
+    w.mod_bias = Tensor::Zeros({6 * h});
+    blocks_.push_back(std::move(w));
+  }
+}
+
+Tensor
+TinyDit::EmbedText(const std::string& prompt) const
+{
+  // Feature-hash the prompt into deterministic token embeddings.
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : prompt) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  Rng rng(hash);
+  return Tensor::Randn({config_.text_tokens, config_.hidden}, rng,
+                       0.5f);
+}
+
+Tensor
+TinyDit::TimestepCond(double timestep) const
+{
+  const int h = config_.hidden;
+  Tensor sinus({1, h});
+  for (int j = 0; j < h; ++j) {
+    const double freq =
+        std::exp(-std::log(10000.0) * (j / 2) / (h / 2.0));
+    const double angle = timestep * 1000.0 * freq;
+    sinus.At(0, j) = static_cast<float>(j % 2 == 0 ? std::sin(angle)
+                                                   : std::cos(angle));
+  }
+  return tensor::MatMul(sinus, cond_proj_);
+}
+
+Tensor
+TinyDit::EmbedTokens(const Tensor& latent, const Tensor& text) const
+{
+  TETRI_CHECK(latent.rank() == 2 && text.rank() == 2);
+  TETRI_CHECK(text.dim(1) == config_.hidden);
+  Tensor img = tensor::MatMul(latent, patch_proj_);
+  const int n = img.dim(0) + text.dim(0);
+  TETRI_CHECK(n <= config_.max_tokens);
+  Tensor x({n, config_.hidden});
+  for (int i = 0; i < img.dim(0); ++i) {
+    for (int j = 0; j < config_.hidden; ++j) {
+      x.At(i, j) = img.At(i, j) + pos_embed_.At(i, j);
+    }
+  }
+  for (int i = 0; i < text.dim(0); ++i) {
+    for (int j = 0; j < config_.hidden; ++j) {
+      x.At(img.dim(0) + i, j) =
+          text.At(i, j) + pos_embed_.At(img.dim(0) + i, j);
+    }
+  }
+  return x;
+}
+
+namespace {
+
+/** Split a 6h modulation row into views (shift/scale/gate pairs). */
+struct Modulation {
+  std::vector<float> shift_a, scale_a, gate_a;
+  std::vector<float> shift_m, scale_m, gate_m;
+};
+
+Modulation
+ComputeModulation(const Tensor& cond, const BlockWeights& w, int hidden)
+{
+  Tensor m = tensor::AddBias(tensor::MatMul(cond, w.mod), w.mod_bias);
+  Modulation out;
+  auto grab = [&](int part) {
+    std::vector<float> v(hidden);
+    for (int j = 0; j < hidden; ++j) v[j] = m.At(0, part * hidden + j);
+    return v;
+  };
+  out.shift_a = grab(0);
+  out.scale_a = grab(1);
+  out.gate_a = grab(2);
+  out.shift_m = grab(3);
+  out.scale_m = grab(4);
+  out.gate_m = grab(5);
+  return out;
+}
+
+/** xn * (1 + scale) + shift, row-wise. */
+Tensor
+Modulate(const Tensor& xn, const std::vector<float>& scale,
+         const std::vector<float>& shift)
+{
+  Tensor out = xn;
+  for (int i = 0; i < xn.dim(0); ++i) {
+    for (int j = 0; j < xn.dim(1); ++j) {
+      out.At(i, j) = xn.At(i, j) * (1.0f + scale[j]) + shift[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void
+TinyDit::ProjectQkv(int layer, const Tensor& x, const Tensor& cond,
+                    Tensor* q, Tensor* k, Tensor* v) const
+{
+  const BlockWeights& w = blocks_[layer];
+  const Modulation mod = ComputeModulation(cond, w, config_.hidden);
+  Tensor xn = tensor::LayerNormRows(x);
+  Tensor xm = Modulate(xn, mod.scale_a, mod.shift_a);
+  *q = tensor::MatMul(xm, w.wq);
+  *k = tensor::MatMul(xm, w.wk);
+  *v = tensor::MatMul(xm, w.wv);
+}
+
+Tensor
+TinyDit::AttendHeads(const Tensor& q, const Tensor& k, const Tensor& v,
+                     int head_begin, int head_end, int row_begin,
+                     int row_end) const
+{
+  const int dh = head_dim();
+  const int n = k.dim(0);
+  TETRI_CHECK(head_begin >= 0 && head_begin < head_end &&
+              head_end <= config_.heads);
+  TETRI_CHECK(row_begin >= 0 && row_begin < row_end &&
+              row_end <= q.dim(0));
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(dh));
+  const int rows = row_end - row_begin;
+  Tensor out({rows, (head_end - head_begin) * dh});
+  std::vector<float> scores(n);
+  for (int h = head_begin; h < head_end; ++h) {
+    const int col0 = h * dh;
+    for (int i = row_begin; i < row_end; ++i) {
+      // Scores against every key, fixed ascending order.
+      float row_max = -1e30f;
+      for (int t = 0; t < n; ++t) {
+        float acc = 0.0f;
+        for (int d = 0; d < dh; ++d) {
+          acc += q.At(i, col0 + d) * k.At(t, col0 + d);
+        }
+        scores[t] = acc * inv_sqrt;
+        row_max = std::max(row_max, scores[t]);
+      }
+      float total = 0.0f;
+      for (int t = 0; t < n; ++t) {
+        scores[t] = std::exp(scores[t] - row_max);
+        total += scores[t];
+      }
+      const float inv_total = 1.0f / total;
+      for (int d = 0; d < dh; ++d) {
+        float acc = 0.0f;
+        for (int t = 0; t < n; ++t) {
+          acc += scores[t] * v.At(t, col0 + d);
+        }
+        out.At(i - row_begin, (h - head_begin) * dh + d) =
+            acc * inv_total;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor
+TinyDit::BlockTail(int layer, const Tensor& x_rows,
+                   const Tensor& attn_rows, const Tensor& cond) const
+{
+  const BlockWeights& w = blocks_[layer];
+  const Modulation mod = ComputeModulation(cond, w, config_.hidden);
+
+  Tensor h = tensor::MatMul(attn_rows, w.wo);
+  Tensor x = x_rows;
+  for (int i = 0; i < x.dim(0); ++i) {
+    for (int j = 0; j < x.dim(1); ++j) {
+      x.At(i, j) += mod.gate_a[j] * h.At(i, j);
+    }
+  }
+
+  Tensor xn = tensor::LayerNormRows(x);
+  Tensor xm = Modulate(xn, mod.scale_m, mod.shift_m);
+  Tensor mlp = tensor::MatMul(
+      tensor::Gelu(tensor::AddBias(tensor::MatMul(xm, w.w1), w.b1)),
+      w.w2);
+  mlp = tensor::AddBias(mlp, w.b2);
+  for (int i = 0; i < x.dim(0); ++i) {
+    for (int j = 0; j < x.dim(1); ++j) {
+      x.At(i, j) += mod.gate_m[j] * mlp.At(i, j);
+    }
+  }
+  return x;
+}
+
+Tensor
+TinyDit::FinalProject(const Tensor& x_img, const Tensor& cond) const
+{
+  Tensor m = tensor::MatMul(cond, final_mod_);
+  std::vector<float> shift(config_.hidden), scale(config_.hidden);
+  for (int j = 0; j < config_.hidden; ++j) {
+    shift[j] = m.At(0, j);
+    scale[j] = m.At(0, config_.hidden + j);
+  }
+  Tensor xn = tensor::LayerNormRows(x_img);
+  Tensor xm = Modulate(xn, scale, shift);
+  return tensor::MatMul(xm, final_proj_);
+}
+
+Tensor
+TinyDit::Forward(const Tensor& latent, const Tensor& text,
+                 double timestep) const
+{
+  const Tensor cond = TimestepCond(timestep);
+  Tensor x = EmbedTokens(latent, text);
+  for (int layer = 0; layer < config_.layers; ++layer) {
+    Tensor q, k, v;
+    ProjectQkv(layer, x, cond, &q, &k, &v);
+    Tensor attn =
+        AttendHeads(q, k, v, 0, config_.heads, 0, x.dim(0));
+    x = BlockTail(layer, x, attn, cond);
+  }
+  Tensor x_img = x.SliceRows(0, latent.dim(0));
+  return FinalProject(x_img, cond);
+}
+
+Tensor
+SampleEuler(const TinyDit& model, const Tensor& noise,
+            const Tensor& text, int num_steps)
+{
+  TETRI_CHECK(num_steps > 0);
+  Tensor latent = noise;
+  const double dt = 1.0 / num_steps;
+  for (int s = 0; s < num_steps; ++s) {
+    const double t = 1.0 - s * dt;
+    const Tensor velocity = model.Forward(latent, text, t);
+    for (std::size_t i = 0; i < latent.size(); ++i) {
+      latent.data()[i] -=
+          static_cast<float>(dt) * velocity.data()[i];
+    }
+  }
+  return latent;
+}
+
+Tensor
+MakeNoise(const TinyDit& model, int image_tokens, std::uint64_t seed)
+{
+  Rng rng(seed);
+  const int patch_dim = model.config().latent_channels *
+                        model.config().patch * model.config().patch;
+  return Tensor::Randn({image_tokens, patch_dim}, rng);
+}
+
+}  // namespace tetri::dit

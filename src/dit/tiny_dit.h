@@ -1,0 +1,137 @@
+/**
+ * @file
+ * A tiny but real Diffusion Transformer, runnable on CPU.
+ *
+ * Architecture (a faithful miniature of DiT/FLUX-style models):
+ *   - patchified latent tokens + learned positional embedding,
+ *   - sinusoidal timestep embedding -> per-block adaLN modulation
+ *     (scale/shift/gate for attention and MLP),
+ *   - pre-LN multi-head self-attention over image+text tokens,
+ *   - GELU MLP with 4x expansion,
+ *   - final modulated projection back to latent channels,
+ *   - Euler sampler driving `num_steps` denoising steps.
+ *
+ * Everything is deterministic from a seed. The forward pass is written
+ * so each output token depends only on (all input tokens, its own
+ * row-local ops) with a fixed accumulation order — this is what lets
+ * the Ulysses-style executor in sequence_parallel.h reproduce serial
+ * results exactly, shard-by-shard.
+ */
+#ifndef TETRI_DIT_TINY_DIT_H
+#define TETRI_DIT_TINY_DIT_H
+
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tetri::dit {
+
+/** Model hyperparameters. */
+struct TinyDitConfig {
+  int hidden = 64;
+  int heads = 4;
+  int layers = 4;
+  int mlp_ratio = 4;
+  int latent_channels = 4;
+  int patch = 2;            ///< patch edge in latent pixels
+  int text_tokens = 8;
+  int max_tokens = 1024;    ///< positional table size
+  std::uint64_t seed = 1234;
+};
+
+/** Weights of one transformer block. */
+struct BlockWeights {
+  tensor::Tensor wq, wk, wv, wo;     // [hidden, hidden]
+  tensor::Tensor w1, w2;             // MLP
+  tensor::Tensor b1, b2;             // MLP biases
+  tensor::Tensor mod;                // [cond_dim, 6*hidden] adaLN
+  tensor::Tensor mod_bias;           // [6*hidden]
+};
+
+/** The model: weights + forward pass. */
+class TinyDit {
+ public:
+  explicit TinyDit(TinyDitConfig config);
+
+  const TinyDitConfig& config() const { return config_; }
+
+  /**
+   * Predict the denoising direction for the current latent tokens.
+   * @param tokens [n, hidden]-projected image+text token states are
+   *        built internally from @p latent and @p text.
+   * @param latent [n_img, latent_channels * patch^2] patchified latent.
+   * @param text [text_tokens, hidden] conditioning embedding.
+   * @param timestep diffusion time in [0, 1].
+   * @return predicted velocity, same shape as @p latent.
+   */
+  tensor::Tensor Forward(const tensor::Tensor& latent,
+                         const tensor::Tensor& text,
+                         double timestep) const;
+
+  /** Deterministic text embedding for a prompt string. */
+  tensor::Tensor EmbedText(const std::string& prompt) const;
+
+  /** Sinusoidal timestep embedding -> conditioning vector. */
+  tensor::Tensor TimestepCond(double timestep) const;
+
+  // --- internals exposed for the sequence-parallel executor ---
+
+  /** Token states entering the transformer: embed + positional. */
+  tensor::Tensor EmbedTokens(const tensor::Tensor& latent,
+                             const tensor::Tensor& text) const;
+
+  /** Q/K/V projections of one block over given token states. */
+  void ProjectQkv(int layer, const tensor::Tensor& x,
+                  const tensor::Tensor& cond, tensor::Tensor* q,
+                  tensor::Tensor* k, tensor::Tensor* v) const;
+
+  /**
+   * Attention for a contiguous head range [head_begin, head_end) over
+   * query rows [row_begin, row_end), given full K/V. Returns the
+   * concatenated head outputs for those rows ([rows, width]).
+   */
+  tensor::Tensor AttendHeads(const tensor::Tensor& q,
+                             const tensor::Tensor& k,
+                             const tensor::Tensor& v, int head_begin,
+                             int head_end, int row_begin,
+                             int row_end) const;
+
+  /** Post-attention: output proj + gate + MLP for given rows. */
+  tensor::Tensor BlockTail(int layer, const tensor::Tensor& x_rows,
+                           const tensor::Tensor& attn_rows,
+                           const tensor::Tensor& cond) const;
+
+  /** Final modulated projection back to latent patch channels. */
+  tensor::Tensor FinalProject(const tensor::Tensor& x_img,
+                              const tensor::Tensor& cond) const;
+
+  int head_dim() const { return config_.hidden / config_.heads; }
+
+  const std::vector<BlockWeights>& blocks() const { return blocks_; }
+
+ private:
+  TinyDitConfig config_;
+  tensor::Tensor patch_proj_;   // [patch_dim, hidden]
+  tensor::Tensor pos_embed_;    // [max_tokens, hidden]
+  tensor::Tensor cond_proj_;    // [hidden, hidden] timestep conditioning
+  tensor::Tensor final_proj_;   // [hidden, patch_dim]
+  tensor::Tensor final_mod_;    // [hidden, 2*hidden]
+  std::vector<BlockWeights> blocks_;
+};
+
+/**
+ * Euler sampler: integrates the model's velocity field from t=1 noise
+ * to t=0 latent over a fixed step count. Pure serial reference.
+ */
+tensor::Tensor SampleEuler(const TinyDit& model,
+                           const tensor::Tensor& noise,
+                           const tensor::Tensor& text, int num_steps);
+
+/** Deterministic starting noise for a (seed, token count) pair. */
+tensor::Tensor MakeNoise(const TinyDit& model, int image_tokens,
+                         std::uint64_t seed);
+
+}  // namespace tetri::dit
+
+#endif  // TETRI_DIT_TINY_DIT_H

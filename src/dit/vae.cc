@@ -1,0 +1,54 @@
+#include "dit/vae.h"
+
+#include "tensor/ops.h"
+
+namespace tetri::dit {
+
+using tensor::Tensor;
+
+ToyVae::ToyVae(int latent_channels, int patch, int upscale,
+               std::uint64_t seed)
+    : latent_channels_(latent_channels), patch_(patch), upscale_(upscale)
+{
+  TETRI_CHECK(latent_channels > 0 && patch > 0 && upscale > 0);
+  Rng rng(seed);
+  const int patch_dim = latent_channels * patch * patch;
+  const int pixel_block = patch * upscale * patch * upscale;
+  decode_ = Tensor::Randn({patch_dim, pixel_block}, rng, 0.3f);
+}
+
+Tensor
+ToyVae::Decode(const Tensor& latent, int width_patches) const
+{
+  TETRI_CHECK(latent.rank() == 2);
+  TETRI_CHECK(width_patches > 0 &&
+              latent.dim(0) % width_patches == 0);
+  const int height_patches = latent.dim(0) / width_patches;
+  const int block_edge = patch_ * upscale_;
+  Tensor pixels = tensor::MatMul(latent, decode_);
+
+  Tensor image(
+      {height_patches * block_edge, width_patches * block_edge});
+  for (int token = 0; token < latent.dim(0); ++token) {
+    const int py = token / width_patches;
+    const int px = token % width_patches;
+    for (int dy = 0; dy < block_edge; ++dy) {
+      for (int dx = 0; dx < block_edge; ++dx) {
+        image.At(py * block_edge + dy, px * block_edge + dx) =
+            pixels.At(token, dy * block_edge + dx);
+      }
+    }
+  }
+  return image;
+}
+
+std::size_t
+ToyVae::PeakActivationElems(int tokens) const
+{
+  const int pixel_block = patch_ * upscale_ * patch_ * upscale_;
+  // One image's decoded pixels plus its latent — never a batch.
+  return static_cast<std::size_t>(tokens) *
+         (pixel_block + latent_channels_ * patch_ * patch_);
+}
+
+}  // namespace tetri::dit

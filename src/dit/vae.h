@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Toy VAE decoder: maps each latent patch token to its pixel block
+ * through a deterministic linear decode (a stand-in for the real
+ * convolutional decoder). Decoding is sequential per request (§5),
+ * mirroring TetriServe's memory-bounding design: peak activation
+ * memory is one image, never a batch.
+ */
+#ifndef TETRI_DIT_VAE_H
+#define TETRI_DIT_VAE_H
+
+#include "tensor/tensor.h"
+
+namespace tetri::dit {
+
+/** Linear patch decoder from latent space to pixels. */
+class ToyVae {
+ public:
+  /**
+   * @param latent_channels channels per latent pixel.
+   * @param patch latent patch edge (matches TinyDitConfig::patch).
+   * @param upscale pixels per latent pixel edge (VAE factor, 8 in
+   *        real models; small here).
+   * @param seed weight seed.
+   */
+  ToyVae(int latent_channels, int patch, int upscale,
+         std::uint64_t seed = 99);
+
+  /**
+   * Decode patchified latents into a grayscale image.
+   * @param latent [tokens, latent_channels * patch^2].
+   * @param width_patches patches per row; tokens must be a multiple.
+   * @return [H, W] image, H = tokens/width_patches * patch * upscale.
+   */
+  tensor::Tensor Decode(const tensor::Tensor& latent,
+                        int width_patches) const;
+
+  /** Peak activation elements for decoding one image (for the memory
+   * accounting claim in §5). */
+  std::size_t PeakActivationElems(int tokens) const;
+
+ private:
+  int latent_channels_;
+  int patch_;
+  int upscale_;
+  tensor::Tensor decode_;  // [patch_dim, pixel_block]
+};
+
+}  // namespace tetri::dit
+
+#endif  // TETRI_DIT_VAE_H

@@ -1,0 +1,74 @@
+#include "exact/rt_feasibility.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tetri::exact {
+
+namespace {
+
+bool
+FeasibleFrom(const std::vector<RtJob>& jobs, std::vector<bool>& done,
+             TimeUs now, int remaining)
+{
+  if (remaining == 0) return true;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
+    const TimeUs start = std::max(now, jobs[i].release_us);
+    const TimeUs end = start + jobs[i].length_us;
+    if (end > jobs[i].deadline_us) continue;
+    done[i] = true;
+    if (FeasibleFrom(jobs, done, end, remaining - 1)) {
+      done[i] = false;
+      return true;
+    }
+    done[i] = false;
+  }
+  return false;
+}
+
+void
+SearchMax(const std::vector<RtJob>& jobs, std::vector<bool>& done,
+          TimeUs now, int met, int* best)
+{
+  *best = std::max(*best, met);
+  int undone = 0;
+  for (bool d : done) {
+    if (!d) ++undone;
+  }
+  if (met + undone <= *best) return;  // bound prune
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (done[i]) continue;
+    // Run job i next at its earliest feasible start; with every
+    // execution order enumerated, earliest-start is optimal on a
+    // single machine, so no explicit idle-time branching is needed.
+    const TimeUs start = std::max(now, jobs[i].release_us);
+    const TimeUs end = start + jobs[i].length_us;
+    if (end > jobs[i].deadline_us) continue;
+    done[i] = true;
+    SearchMax(jobs, done, end, met + 1, best);
+    done[i] = false;
+  }
+}
+
+}  // namespace
+
+bool
+RtFeasible(const std::vector<RtJob>& jobs)
+{
+  std::vector<bool> done(jobs.size(), false);
+  return FeasibleFrom(jobs, done, 0, static_cast<int>(jobs.size()));
+}
+
+int
+MaxJobsSchedulable(const std::vector<RtJob>& jobs)
+{
+  std::vector<bool> done(jobs.size(), false);
+  int best = 0;
+  SearchMax(jobs, done, 0, 0, &best);
+  return best;
+}
+
+}  // namespace tetri::exact

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The NP-hardness machinery of Appendix A.
+ *
+ * RT-FEASIBILITY: can jobs with release times, deadlines, and lengths
+ * all be scheduled non-preemptively on ONE machine? (Strongly NP-hard;
+ * Bar-Noy et al. / Garey & Johnson.) The paper reduces this to DiT
+ * serving with N = 1 and K = {1}: each job becomes a single-step
+ * request whose only allocation is one GPU, and the RT instance is
+ * feasible iff the DiT objective max sum I_i reaches n.
+ *
+ * We implement both sides so a test can verify the iff:
+ *  - RtFeasible: order-enumeration decider for the RT side;
+ *  - MaxJobsSchedulable: the DiT side objective max sum I_i with
+ *    N = 1 and K = {1}, solved exactly by enumerating which requests
+ *    run and in which order (earliest feasible start per order, which
+ *    is optimal on a single machine).
+ */
+#ifndef TETRI_EXACT_RT_FEASIBILITY_H
+#define TETRI_EXACT_RT_FEASIBILITY_H
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace tetri::exact {
+
+/** A single-machine real-time job. */
+struct RtJob {
+  TimeUs release_us = 0;
+  TimeUs deadline_us = 0;
+  TimeUs length_us = 0;
+};
+
+/**
+ * Exact decision: can all jobs run non-preemptively on one machine
+ * within their windows? Branch-and-bound over job orderings (starting
+ * each job as early as its predecessors allow, which is optimal for
+ * feasibility). Exponential; small instances only.
+ */
+bool RtFeasible(const std::vector<RtJob>& jobs);
+
+/**
+ * The reduced DiT-serving objective: the maximum number of
+ * single-step one-GPU requests meeting their deadlines, computed by
+ * exhaustive search over run subsets and execution orders.
+ */
+int MaxJobsSchedulable(const std::vector<RtJob>& jobs);
+
+}  // namespace tetri::exact
+
+#endif  // TETRI_EXACT_RT_FEASIBILITY_H

@@ -1,0 +1,127 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tetri::metrics {
+
+using costmodel::kNumResolutions;
+using costmodel::ResolutionIndex;
+
+SarSummary
+ComputeSar(const std::vector<RequestRecord>& records)
+{
+  SarSummary out;
+  std::array<int, kNumResolutions> met_by_res{};
+  for (const auto& rec : records) {
+    const int ri = ResolutionIndex(rec.resolution);
+    ++out.total;
+    ++out.counts[ri];
+    if (rec.MetSlo()) {
+      ++out.met;
+      ++met_by_res[ri];
+    }
+  }
+  out.overall = out.total > 0
+                    ? static_cast<double>(out.met) / out.total
+                    : 0.0;
+  for (int ri = 0; ri < kNumResolutions; ++ri) {
+    out.per_resolution[ri] =
+        out.counts[ri] > 0
+            ? static_cast<double>(met_by_res[ri]) / out.counts[ri]
+            : 0.0;
+  }
+  return out;
+}
+
+SampleSet
+LatencyDistributionSec(const std::vector<RequestRecord>& records)
+{
+  SampleSet set;
+  for (const auto& rec : records) {
+    if (rec.Completed()) set.Add(SecFromUs(rec.LatencyUs()));
+  }
+  return set;
+}
+
+double
+MeanLatencySec(const std::vector<RequestRecord>& records)
+{
+  return LatencyDistributionSec(records).Mean();
+}
+
+namespace {
+
+template <typename ValueFn, typename CountFn>
+std::vector<TimePoint>
+Windowed(const std::vector<RequestRecord>& records, double window_sec,
+         ValueFn value_of, CountFn counts)
+{
+  std::vector<TimePoint> out;
+  if (records.empty() || window_sec <= 0.0) return out;
+  TimeUs horizon = 0;
+  for (const auto& rec : records) {
+    horizon = std::max(horizon, rec.deadline_us);
+    if (rec.Completed()) horizon = std::max(horizon, rec.completion_us);
+  }
+  const TimeUs window_us = UsFromSec(window_sec);
+  const int num_windows =
+      static_cast<int>(horizon / window_us) + 1;
+  std::vector<double> sums(num_windows, 0.0);
+  std::vector<double> weights(num_windows, 0.0);
+  std::vector<int> ns(num_windows, 0);
+  for (const auto& rec : records) {
+    if (!counts(rec)) continue;
+    const int w = static_cast<int>(rec.deadline_us / window_us);
+    auto [value, weight] = value_of(rec);
+    sums[w] += value;
+    weights[w] += weight;
+    ++ns[w];
+  }
+  for (int w = 0; w < num_windows; ++w) {
+    if (ns[w] == 0) continue;
+    TimePoint point;
+    point.time_sec = (w + 0.5) * window_sec;
+    point.value = weights[w] > 0.0 ? sums[w] / weights[w] : 0.0;
+    point.count = ns[w];
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimePoint>
+WindowedSar(const std::vector<RequestRecord>& records, double window_sec)
+{
+  return Windowed(
+      records, window_sec,
+      [](const RequestRecord& rec) {
+        return std::pair<double, double>(rec.MetSlo() ? 1.0 : 0.0, 1.0);
+      },
+      [](const RequestRecord&) { return true; });
+}
+
+std::vector<TimePoint>
+WindowedAvgDegree(const std::vector<RequestRecord>& records,
+                  double window_sec)
+{
+  return Windowed(
+      records, window_sec,
+      [](const RequestRecord& rec) {
+        return std::pair<double, double>(
+            rec.degree_step_sum,
+            static_cast<double>(rec.steps_executed));
+      },
+      [](const RequestRecord& rec) { return rec.steps_executed > 0; });
+}
+
+double
+TotalGpuHours(const std::vector<RequestRecord>& records)
+{
+  double total_us = 0.0;
+  for (const auto& rec : records) total_us += rec.gpu_time_us;
+  return total_us / 1e6 / 3600.0;
+}
+
+}  // namespace tetri::metrics

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Outcome records and the evaluation metrics reported in the paper:
+ * SLO Attainment Ratio (overall and per resolution), latency CDFs over
+ * completed requests, windowed SAR time series (Fig. 10), average
+ * sequence-parallel degree time series (Fig. 11), and GPU-hour totals.
+ */
+#ifndef TETRI_METRICS_METRICS_H
+#define TETRI_METRICS_METRICS_H
+
+#include <array>
+#include <vector>
+
+#include "costmodel/resolution.h"
+#include "util/stats.h"
+#include "util/types.h"
+
+namespace tetri::metrics {
+
+/** Final outcome of one served request. */
+struct RequestRecord {
+  RequestId id = kInvalidRequest;
+  costmodel::Resolution resolution = costmodel::Resolution::k256;
+  TimeUs arrival_us = 0;
+  TimeUs deadline_us = 0;
+  /** Completion time; kNeverCompleted if dropped/unfinished. */
+  TimeUs completion_us = kNeverCompleted;
+  /** Total GPU-microseconds consumed by this request's steps. */
+  double gpu_time_us = 0.0;
+  /** Steps executed weighted by degree, for average-SP reporting. */
+  double degree_step_sum = 0.0;
+  int steps_executed = 0;
+
+  static constexpr TimeUs kNeverCompleted = -1;
+
+  bool Completed() const { return completion_us != kNeverCompleted; }
+  bool MetSlo() const {
+    return Completed() && completion_us <= deadline_us;
+  }
+  TimeUs LatencyUs() const {
+    return Completed() ? completion_us - arrival_us : 0;
+  }
+};
+
+/** SLO attainment over a set of records. */
+struct SarSummary {
+  double overall = 0.0;
+  std::array<double, costmodel::kNumResolutions> per_resolution{};
+  std::array<int, costmodel::kNumResolutions> counts{};
+  int total = 0;
+  int met = 0;
+};
+
+/** Compute SAR overall and per resolution. */
+SarSummary ComputeSar(const std::vector<RequestRecord>& records);
+
+/** Latency samples (seconds) over completed requests only (Fig. 9). */
+SampleSet LatencyDistributionSec(
+    const std::vector<RequestRecord>& records);
+
+/** Mean end-to-end latency over completed requests, seconds. */
+double MeanLatencySec(const std::vector<RequestRecord>& records);
+
+/** One point of a windowed time series. */
+struct TimePoint {
+  double time_sec = 0.0;
+  double value = 0.0;
+  int count = 0;
+};
+
+/**
+ * SAR over sliding windows of @p window_sec, keyed by request deadline
+ * time (a request contributes to the window containing its deadline).
+ */
+std::vector<TimePoint> WindowedSar(
+    const std::vector<RequestRecord>& records, double window_sec);
+
+/**
+ * Average sequence-parallel degree (degree-weighted steps / steps) of
+ * the requests completing inside each window.
+ */
+std::vector<TimePoint> WindowedAvgDegree(
+    const std::vector<RequestRecord>& records, double window_sec);
+
+/** Total GPU-hours consumed across records. */
+double TotalGpuHours(const std::vector<RequestRecord>& records);
+
+}  // namespace tetri::metrics
+
+#endif  // TETRI_METRICS_METRICS_H

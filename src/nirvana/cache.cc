@@ -1,0 +1,77 @@
+#include "nirvana/cache.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/prompts.h"
+
+namespace tetri::nirvana {
+
+NirvanaCache::NirvanaCache(std::size_t capacity, int full_steps)
+    : capacity_(capacity), full_steps_(full_steps)
+{
+  TETRI_CHECK(capacity_ > 0);
+  TETRI_CHECK(full_steps_ > 25);
+}
+
+int
+NirvanaCache::SkipForSimilarity(float similarity)
+{
+  // Closer prompts share more of the early denoising trajectory.
+  if (similarity >= 0.995f) return 25;
+  if (similarity >= 0.98f) return 20;
+  if (similarity >= 0.96f) return 15;
+  if (similarity >= 0.93f) return 10;
+  if (similarity >= 0.88f) return 5;
+  return 0;
+}
+
+int
+NirvanaCache::SkippableSteps(const std::string& prompt) const
+{
+  const Embedding e = EmbedPrompt(prompt);
+  float best = -1.0f;
+  for (const Entry& entry : entries_) {
+    best = std::max(best, Cosine(e, entry.embedding));
+  }
+  return SkipForSimilarity(best);
+}
+
+void
+NirvanaCache::Insert(const std::string& prompt)
+{
+  entries_.push_front(Entry{EmbedPrompt(prompt), prompt});
+  if (entries_.size() > capacity_) entries_.pop_back();
+}
+
+int
+NirvanaCache::Serve(const std::string& prompt)
+{
+  ++lookups_;
+  const int skipped = SkippableSteps(prompt);
+  if (skipped > 0) ++hits_;
+  Insert(prompt);
+  return skipped;
+}
+
+void
+NirvanaCache::WarmUp(int requests, std::uint64_t seed)
+{
+  Rng rng(seed);
+  workload::PromptSampler sampler;
+  for (int i = 0; i < requests; ++i) {
+    Insert(sampler.Sample(rng));
+  }
+}
+
+workload::Trace
+NirvanaCache::ApplyToTrace(const workload::Trace& trace)
+{
+  workload::Trace out = trace;
+  for (workload::TraceRequest& req : out.requests) {
+    const int skipped = Serve(req.prompt);
+    req.num_steps = std::max(1, req.num_steps - skipped);
+  }
+  return out;
+}
+
+}  // namespace tetri::nirvana

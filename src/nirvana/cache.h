@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Nirvana-style approximate latent cache (§6.2, Table 3).
+ *
+ * Each served prompt's intermediate latent is cached (keyed by its
+ * embedding). An incoming prompt is matched against the cache; the
+ * closer the best match, the more initial denoising steps can be
+ * skipped by starting from the cached latent: k in {5,10,15,20,25}
+ * of N = 50 default steps. Fixed capacity with LRU eviction; the
+ * paper warms the cache before measuring, which WarmUp reproduces.
+ */
+#ifndef TETRI_NIRVANA_CACHE_H
+#define TETRI_NIRVANA_CACHE_H
+
+#include <list>
+#include <string>
+#include <vector>
+
+#include "nirvana/embedding.h"
+#include "workload/trace.h"
+
+namespace tetri::nirvana {
+
+/** Approximate prompt-to-latent cache with LRU eviction. */
+class NirvanaCache {
+ public:
+  /**
+   * @param capacity cached latents held.
+   * @param full_steps denoising steps without cache help (N = 50).
+   */
+  explicit NirvanaCache(std::size_t capacity = 1024,
+                        int full_steps = 50);
+
+  /**
+   * Steps that can be skipped for this prompt given the current cache
+   * contents: one of {0, 5, 10, 15, 20, 25}.
+   */
+  int SkippableSteps(const std::string& prompt) const;
+
+  /** Record that a prompt's latent is now cached (LRU update). */
+  void Insert(const std::string& prompt);
+
+  /** Lookup + insert in one serving-path call; returns skipped steps. */
+  int Serve(const std::string& prompt);
+
+  /** Pre-populate with synthetic history (the paper's 10K warmup). */
+  void WarmUp(int requests, std::uint64_t seed = 17);
+
+  std::size_t size() const { return entries_.size(); }
+  int full_steps() const { return full_steps_; }
+
+  /** Map a similarity score to skipped steps (exposed for tests). */
+  static int SkipForSimilarity(float similarity);
+
+  /**
+   * Apply the cache to a whole trace: every request's step count is
+   * reduced by its skippable steps. Returns the rewritten trace and
+   * tallies hit statistics.
+   */
+  workload::Trace ApplyToTrace(const workload::Trace& trace);
+
+  int hits() const { return hits_; }
+  int lookups() const { return lookups_; }
+
+ private:
+  struct Entry {
+    Embedding embedding;
+    std::string prompt;
+  };
+
+  std::size_t capacity_;
+  int full_steps_;
+  std::list<Entry> entries_;  // front = most recent
+  int hits_ = 0;
+  int lookups_ = 0;
+};
+
+}  // namespace tetri::nirvana
+
+#endif  // TETRI_NIRVANA_CACHE_H

@@ -1,0 +1,67 @@
+#include "nirvana/embedding.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace tetri::nirvana {
+
+namespace {
+
+std::uint64_t
+HashWord(const std::string& word)
+{
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (char c : word) {
+    hash = (hash ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Embedding
+EmbedPrompt(const std::string& prompt)
+{
+  Embedding e{};
+  std::string word;
+  auto flush = [&]() {
+    if (word.empty()) return;
+    std::uint64_t h = HashWord(word);
+    // Each word contributes to four dimensions with signed weights.
+    for (int rep = 0; rep < 4; ++rep) {
+      const int dim = static_cast<int>(h % kEmbeddingDim);
+      h /= kEmbeddingDim;
+      const float sign = (h & 1) ? 1.0f : -1.0f;
+      h >>= 1;
+      e[dim] += sign;
+    }
+    word.clear();
+  };
+  for (char c : prompt) {
+    if (c == ' ' || c == ',' || c == '.') {
+      flush();
+    } else {
+      word.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  flush();
+
+  float norm = 0.0f;
+  for (float v : e) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0f) {
+    for (float& v : e) v /= norm;
+  }
+  return e;
+}
+
+float
+Cosine(const Embedding& a, const Embedding& b)
+{
+  float dot = 0.0f;
+  for (int i = 0; i < kEmbeddingDim; ++i) dot += a[i] * b[i];
+  return dot;
+}
+
+}  // namespace tetri::nirvana

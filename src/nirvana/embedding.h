@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Prompt embeddings for the Nirvana approximate cache (§6.2, Table 3).
+ * A deterministic feature-hashed bag-of-words embedding stands in for
+ * CLIP: prompts sharing most words land close in cosine similarity,
+ * which is the only property the cache's reuse decision needs.
+ */
+#ifndef TETRI_NIRVANA_EMBEDDING_H
+#define TETRI_NIRVANA_EMBEDDING_H
+
+#include <array>
+#include <string>
+
+namespace tetri::nirvana {
+
+inline constexpr int kEmbeddingDim = 64;
+
+/** L2-normalized prompt embedding. */
+using Embedding = std::array<float, kEmbeddingDim>;
+
+/** Feature-hash a prompt into a unit vector. Deterministic. */
+Embedding EmbedPrompt(const std::string& prompt);
+
+/** Cosine similarity of two unit embeddings (plain dot product). */
+float Cosine(const Embedding& a, const Embedding& b);
+
+}  // namespace tetri::nirvana
+
+#endif  // TETRI_NIRVANA_EMBEDDING_H

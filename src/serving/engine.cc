@@ -1,0 +1,165 @@
+#include "serving/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tetri::serving {
+
+ExecutionEngine::ExecutionEngine(sim::Simulator* simulator,
+                                 const costmodel::StepCostModel* cost,
+                                 RequestTracker* tracker,
+                                 LatentManager* latents,
+                                 std::uint64_t seed)
+    : simulator_(simulator),
+      cost_(cost),
+      tracker_(tracker),
+      latents_(latents),
+      rng_(seed),
+      pg_cache_(&cost->topology(), cost->params().pg_warmup_us,
+                cost->params().pg_buffer_mib)
+{
+  TETRI_CHECK(simulator_ && cost_ && tracker_ && latents_);
+  // Startup warmup of the compact default group set (§5); charged to
+  // startup, not to any request.
+  pg_cache_.WarmAll(
+      cluster::ProcessGroupCache::DefaultWarmSet(cost->topology()));
+}
+
+void
+ExecutionEngine::Dispatch(const Assignment& assignment)
+{
+  TETRI_CHECK(!assignment.requests.empty());
+  TETRI_CHECK(assignment.mask != 0);
+  TETRI_CHECK_MSG((assignment.mask & busy_) == 0,
+                  "dispatch on busy GPUs "
+                      << cluster::MaskToString(assignment.mask & busy_));
+  TETRI_CHECK(assignment.max_steps >= 1);
+
+  const int batch = static_cast<int>(assignment.requests.size());
+  const int degree = cluster::Popcount(assignment.mask);
+  const TimeUs now = simulator_->Now();
+
+  // Validate members and compute the executable step count.
+  Request& first = tracker_->Get(assignment.requests.front());
+  const costmodel::Resolution res = first.meta.resolution;
+  int steps = assignment.max_steps;
+  for (RequestId id : assignment.requests) {
+    Request& req = tracker_->Get(id);
+    TETRI_CHECK_MSG(req.state == RequestState::kQueued,
+                    "request " << id << " not schedulable");
+    TETRI_CHECK_MSG(req.meta.resolution == res,
+                    "batched requests must share a resolution");
+    TETRI_CHECK(req.RemainingSteps() >= 1);
+    steps = std::min(steps, req.RemainingSteps());
+  }
+  TETRI_CHECK(steps >= 1);
+
+  // Re-sharding stall: switching a request onto a different GPU set
+  // costs a communicator switch, plus NCCL warmup if the group is
+  // cold. Placement preservation exists to avoid exactly this.
+  TimeUs stall_us = 0;
+  bool any_reshard = false;
+  for (RequestId id : assignment.requests) {
+    const Request& req = tracker_->Get(id);
+    if (req.last_mask != 0 && req.last_mask != assignment.mask) {
+      any_reshard = true;
+    }
+  }
+  if (degree > 1) {
+    stall_us += pg_cache_.EnsureWarm(assignment.mask);
+  }
+  if (any_reshard) {
+    stall_us +=
+        static_cast<TimeUs>(cost_->params().reconfig_stall_us);
+    ++num_reconfigs_;
+  }
+  reconfig_stall_us_ += static_cast<double>(stall_us);
+
+  // Latent transfers for all members proceed in parallel; the slowest
+  // one gates the start of the first step.
+  TimeUs transfer_us = 0;
+  for (RequestId id : assignment.requests) {
+    Request& req = tracker_->Get(id);
+    transfer_us = std::max(
+        transfer_us, latents_->OnAssignment(id, res, assignment.mask));
+    req.state = RequestState::kRunning;
+    req.last_mask = assignment.mask;
+    req.last_degree = degree;
+    if (req.first_start_us < 0) req.first_start_us = now;
+  }
+  transfer_us += stall_us;
+
+  // Execute `steps` jittered steps on the actual placement.
+  const double mean_us =
+      cost_->StepTimeOnMaskUs(res, batch, assignment.mask);
+  const double cv =
+      cost_->JitterCv(res, degree);
+  double exec_us = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    exec_us += mean_us * std::max(0.5, rng_.NextGaussian(1.0, cv));
+  }
+
+  busy_ |= assignment.mask;
+  ++num_assignments_;
+  busy_gpu_us_ += degree * (exec_us + static_cast<double>(transfer_us));
+
+  const TimeUs end =
+      now + transfer_us + static_cast<TimeUs>(exec_us);
+  if (timeline_ != nullptr) {
+    TimelineEntry entry;
+    entry.start_us = now;
+    entry.end_us = end;
+    entry.mask = assignment.mask;
+    entry.degree = degree;
+    entry.batch = batch;
+    entry.steps = steps;
+    entry.resolution = res;
+    entry.requests = assignment.requests;
+    timeline_->Add(std::move(entry));
+  }
+  Assignment copy = assignment;
+  simulator_->ScheduleAt(end, [this, copy, steps, exec_us,
+                               transfer_us]() mutable {
+    Complete(std::move(copy), steps, exec_us, transfer_us);
+  });
+}
+
+void
+ExecutionEngine::Complete(Assignment assignment, int steps,
+                          double exec_us, TimeUs /*transfer_us*/)
+{
+  const int degree = cluster::Popcount(assignment.mask);
+  const int batch = static_cast<int>(assignment.requests.size());
+  busy_ &= ~assignment.mask;
+
+  for (RequestId id : assignment.requests) {
+    Request& req = tracker_->Get(id);
+    TETRI_CHECK(req.state == RequestState::kRunning);
+    req.steps_done += steps;
+    req.gpu_time_us += degree * exec_us / batch;
+    req.degree_step_sum += static_cast<double>(degree) * steps;
+    if (req.RemainingSteps() == 0) {
+      FinishRequest(req);
+    } else {
+      req.state = RequestState::kQueued;
+    }
+  }
+
+  if (on_assignment_done_) on_assignment_done_(simulator_->Now());
+}
+
+void
+ExecutionEngine::FinishRequest(Request& request)
+{
+  // Sequential per-request VAE decode (§5): cheap, off the critical
+  // GPU path, but part of the user-visible latency.
+  const TimeUs vae_us = static_cast<TimeUs>(
+      cost_->VaeDecodeUs(request.meta.resolution));
+  request.state = RequestState::kFinished;
+  request.completion_us = simulator_->Now() + vae_us;
+  latents_->Forget(request.meta.id);
+  if (on_request_done_) on_request_done_(request);
+}
+
+}  // namespace tetri::serving

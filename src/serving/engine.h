@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Execution Engine (§3): the distributed pool of GPU workers, modeled
+ * in virtual time. Dispatching an assignment occupies its GPU set,
+ * charges any latent transfer, executes the requested number of steps
+ * with measured jitter on the *actual* placement (so a badly placed
+ * A40 pair really pays the PCIe price), and fires completion events.
+ */
+#ifndef TETRI_SERVING_ENGINE_H
+#define TETRI_SERVING_ENGINE_H
+
+#include <functional>
+
+#include "cluster/process_group.h"
+#include "costmodel/step_cost.h"
+#include "serving/latent_manager.h"
+#include "serving/timeline.h"
+#include "serving/request_tracker.h"
+#include "serving/scheduler.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace tetri::serving {
+
+/** Simulated GPU worker pool. */
+class ExecutionEngine {
+ public:
+  ExecutionEngine(sim::Simulator* simulator,
+                  const costmodel::StepCostModel* cost,
+                  RequestTracker* tracker, LatentManager* latents,
+                  std::uint64_t seed);
+
+  /** Called when an assignment's GPUs are released. */
+  void set_on_assignment_done(std::function<void(TimeUs)> cb) {
+    on_assignment_done_ = std::move(cb);
+  }
+
+  /** Called when a request finishes its last step (pre-VAE). */
+  void set_on_request_done(std::function<void(Request&)> cb) {
+    on_request_done_ = std::move(cb);
+  }
+
+  /** Attach an execution-log recorder (nullptr disables). */
+  void set_timeline(Timeline* timeline) { timeline_ = timeline; }
+
+  /** GPUs currently executing. */
+  GpuMask busy_mask() const { return busy_; }
+  GpuMask FreeMask() const {
+    return cost_->topology().all_gpus() & ~busy_;
+  }
+
+  /**
+   * Start executing an assignment at the current virtual time. The
+   * mask must be disjoint from busy GPUs; every member must be in
+   * kQueued state with enough remaining steps.
+   */
+  void Dispatch(const Assignment& assignment);
+
+  /** Total GPU-busy microseconds accumulated (for utilization). */
+  double busy_gpu_us() const { return busy_gpu_us_; }
+
+  /** Number of assignments executed. */
+  int num_assignments() const { return num_assignments_; }
+
+  /** Re-sharding / communicator-switch stall totals. */
+  double reconfig_stall_us() const { return reconfig_stall_us_; }
+  int num_reconfigs() const { return num_reconfigs_; }
+
+  const cluster::ProcessGroupCache& process_groups() const {
+    return pg_cache_;
+  }
+
+ private:
+  void Complete(Assignment assignment, int steps, double exec_us,
+                TimeUs transfer_us);
+  void FinishRequest(Request& request);
+
+  sim::Simulator* simulator_;
+  const costmodel::StepCostModel* cost_;
+  RequestTracker* tracker_;
+  LatentManager* latents_;
+  Rng rng_;
+  cluster::ProcessGroupCache pg_cache_;
+  GpuMask busy_ = 0;
+  double busy_gpu_us_ = 0.0;
+  int num_assignments_ = 0;
+  double reconfig_stall_us_ = 0.0;
+  int num_reconfigs_ = 0;
+  Timeline* timeline_ = nullptr;
+  std::function<void(TimeUs)> on_assignment_done_;
+  std::function<void(Request&)> on_request_done_;
+};
+
+}  // namespace tetri::serving
+
+#endif  // TETRI_SERVING_ENGINE_H

@@ -1,0 +1,47 @@
+#include "serving/latent_manager.h"
+
+#include "cluster/gpu_set.h"
+#include "util/check.h"
+
+namespace tetri::serving {
+
+LatentManager::LatentManager(const costmodel::StepCostModel* cost)
+    : cost_(cost)
+{
+  TETRI_CHECK(cost_ != nullptr);
+}
+
+TimeUs
+LatentManager::OnAssignment(RequestId request, costmodel::Resolution res,
+                            GpuMask mask, int batch)
+{
+  TETRI_CHECK(mask != 0);
+  auto it = location_.find(request);
+  if (it == location_.end()) {
+    // First placement: latent is created in place from the text
+    // encoding; nothing moves.
+    location_.emplace(request, mask);
+    return 0;
+  }
+  const GpuMask prev = it->second;
+  it->second = mask;
+  if (cluster::OverlapCount(prev, mask) > 0) {
+    // Sequence-parallel ranks re-shard locally; the latent is already
+    // resident on at least one member GPU, so no cross-group copy.
+    return 0;
+  }
+  const TimeUs cost =
+      static_cast<TimeUs>(cost_->LatentTransferUs(res, batch));
+  total_transfer_us_ += cost;
+  ++num_transfers_;
+  transfer_stats_.Add(static_cast<double>(cost));
+  return cost;
+}
+
+void
+LatentManager::Forget(RequestId request)
+{
+  location_.erase(request);
+}
+
+}  // namespace tetri::serving

@@ -1,0 +1,20 @@
+#include "serving/request.h"
+
+namespace tetri::serving {
+
+metrics::RequestRecord
+Request::ToRecord() const
+{
+  metrics::RequestRecord rec;
+  rec.id = meta.id;
+  rec.resolution = meta.resolution;
+  rec.arrival_us = meta.arrival_us;
+  rec.deadline_us = meta.deadline_us;
+  rec.completion_us = completion_us;
+  rec.gpu_time_us = gpu_time_us;
+  rec.degree_step_sum = degree_step_sum;
+  rec.steps_executed = steps_done;
+  return rec;
+}
+
+}  // namespace tetri::serving

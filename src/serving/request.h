@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Runtime state of a request inside the serving system. Extends the
+ * immutable trace entry with execution progress, placement history
+ * (for GPU placement preservation), and accounting needed by the
+ * metrics layer.
+ */
+#ifndef TETRI_SERVING_REQUEST_H
+#define TETRI_SERVING_REQUEST_H
+
+#include "metrics/metrics.h"
+#include "workload/trace.h"
+
+namespace tetri::serving {
+
+/** Lifecycle of a request. */
+enum class RequestState {
+  kQueued,    ///< arrived, waiting for GPUs
+  kRunning,   ///< an assignment is executing its steps
+  kFinished,  ///< all steps + VAE decode done
+  kDropped,   ///< timed out far past its deadline and abandoned
+};
+
+/** Mutable serving-side request record. */
+struct Request {
+  workload::TraceRequest meta;
+  RequestState state = RequestState::kQueued;
+
+  int steps_done = 0;
+
+  /** GPU set used by the most recent assignment (0 if none yet). */
+  GpuMask last_mask = 0;
+  /** Degree of the most recent assignment. */
+  int last_degree = 0;
+
+  /** Accounting for metrics. */
+  double gpu_time_us = 0.0;
+  double degree_step_sum = 0.0;
+  TimeUs completion_us = metrics::RequestRecord::kNeverCompleted;
+  TimeUs first_start_us = -1;
+
+  int RemainingSteps() const { return meta.num_steps - steps_done; }
+  bool Arrived(TimeUs now) const { return meta.arrival_us <= now; }
+  bool Active() const {
+    return state == RequestState::kQueued ||
+           state == RequestState::kRunning;
+  }
+
+  /** Convert to the immutable metrics record. */
+  metrics::RequestRecord ToRecord() const;
+};
+
+}  // namespace tetri::serving
+
+#endif  // TETRI_SERVING_REQUEST_H

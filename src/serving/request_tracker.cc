@@ -1,0 +1,79 @@
+#include "serving/request_tracker.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tetri::serving {
+
+Request&
+RequestTracker::Admit(const workload::TraceRequest& meta)
+{
+  TETRI_CHECK_MSG(!Contains(meta.id), "duplicate request id " << meta.id);
+  index_.emplace(meta.id, requests_.size());
+  Request req;
+  req.meta = meta;
+  requests_.push_back(std::move(req));
+  return requests_.back();
+}
+
+Request&
+RequestTracker::Get(RequestId id)
+{
+  auto it = index_.find(id);
+  TETRI_CHECK_MSG(it != index_.end(), "unknown request " << id);
+  return requests_[it->second];
+}
+
+const Request&
+RequestTracker::Get(RequestId id) const
+{
+  auto it = index_.find(id);
+  TETRI_CHECK_MSG(it != index_.end(), "unknown request " << id);
+  return requests_[it->second];
+}
+
+bool
+RequestTracker::Contains(RequestId id) const
+{
+  return index_.contains(id);
+}
+
+std::vector<Request*>
+RequestTracker::Schedulable(TimeUs now)
+{
+  std::vector<Request*> out;
+  for (auto& req : requests_) {
+    if (req.state == RequestState::kQueued && req.Arrived(now)) {
+      out.push_back(&req);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Request* a, const Request* b) {
+    if (a->meta.deadline_us != b->meta.deadline_us) {
+      return a->meta.deadline_us < b->meta.deadline_us;
+    }
+    return a->meta.id < b->meta.id;
+  });
+  return out;
+}
+
+int
+RequestTracker::NumActive() const
+{
+  int count = 0;
+  for (const auto& req : requests_) {
+    if (req.Active()) ++count;
+  }
+  return count;
+}
+
+std::vector<metrics::RequestRecord>
+RequestTracker::Records() const
+{
+  std::vector<metrics::RequestRecord> out;
+  out.reserve(requests_.size());
+  for (const auto& req : requests_) out.push_back(req.ToRecord());
+  return out;
+}
+
+}  // namespace tetri::serving

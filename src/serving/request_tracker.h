@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Request Tracker (§3): owns the metadata and execution state of every
+ * request in flight — resolutions, deadlines, remaining steps — and is
+ * the scheduler's source of truth for what is pending.
+ */
+#ifndef TETRI_SERVING_REQUEST_TRACKER_H
+#define TETRI_SERVING_REQUEST_TRACKER_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "serving/request.h"
+
+namespace tetri::serving {
+
+/** Registry of all requests of one serving run. */
+class RequestTracker {
+ public:
+  /** Register an arrived request. Ids must be unique. */
+  Request& Admit(const workload::TraceRequest& meta);
+
+  /** Lookup by id; the request must exist. */
+  Request& Get(RequestId id);
+  const Request& Get(RequestId id) const;
+  bool Contains(RequestId id) const;
+
+  /**
+   * Requests that are schedulable right now: arrived, in kQueued state
+   * (not currently executing), sorted by deadline then id.
+   */
+  std::vector<Request*> Schedulable(TimeUs now);
+
+  /** All requests still kQueued or kRunning. */
+  int NumActive() const;
+
+  /** Export every request as a metrics record (trace order). */
+  std::vector<metrics::RequestRecord> Records() const;
+
+ private:
+  std::unordered_map<RequestId, std::size_t> index_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace tetri::serving
+
+#endif  // TETRI_SERVING_REQUEST_TRACKER_H

@@ -1,0 +1,160 @@
+#include "serving/system.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <limits>
+
+#include "serving/engine.h"
+#include "serving/latent_manager.h"
+#include "serving/request_tracker.h"
+#include "sim/simulator.h"
+#include "util/check.h"
+
+namespace tetri::serving {
+
+double
+ServingResult::GpuUtilization(int num_gpus) const
+{
+  if (makespan_us <= 0 || num_gpus <= 0) return 0.0;
+  return busy_gpu_us / (static_cast<double>(makespan_us) * num_gpus);
+}
+
+ServingSystem::ServingSystem(const cluster::Topology* topology,
+                             const costmodel::ModelConfig* model,
+                             ServingConfig config)
+    : topology_(topology),
+      model_(model),
+      config_(config),
+      cost_(model, topology),
+      table_(costmodel::LatencyTable::Profile(cost_, config.max_batch,
+                                              config.profile_samples,
+                                              config.seed))
+{
+  TETRI_CHECK(topology_ && model_);
+}
+
+ServingResult
+ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
+{
+  TETRI_CHECK(scheduler != nullptr);
+
+  sim::Simulator simulator;
+  RequestTracker tracker;
+  LatentManager latents(&cost_);
+  ExecutionEngine engine(&simulator, &cost_, &tracker, &latents,
+                         config_.seed ^ 0xE7E7E7E7ULL);
+  ServingResult result;
+  if (config_.record_timeline) engine.set_timeline(&result.timeline);
+
+  const bool round_based =
+      scheduler->Mode() == SchedulingMode::kRoundBased;
+  const TimeUs tau = round_based ? scheduler->RoundDurationUs() : 0;
+  if (round_based) TETRI_CHECK(tau > 0);
+
+  // Drop policy: abandon queued requests whose latency already exceeds
+  // drop_timeout_factor x budget.
+  auto maybe_drop = [&](TimeUs now) {
+    for (Request* req : tracker.Schedulable(now)) {
+      const TimeUs budget = req->meta.deadline_us - req->meta.arrival_us;
+      const TimeUs drop_at =
+          req->meta.arrival_us +
+          static_cast<TimeUs>(config_.drop_timeout_factor *
+                              static_cast<double>(budget));
+      if (now >= drop_at) {
+        req->state = RequestState::kDropped;
+        latents.Forget(req->meta.id);
+        ++result.num_dropped;
+      }
+    }
+  };
+
+  auto invoke_scheduler = [&]() {
+    const TimeUs now = simulator.Now();
+    maybe_drop(now);
+    std::vector<Request*> schedulable = tracker.Schedulable(now);
+    if (schedulable.empty()) return;
+
+    ScheduleContext ctx;
+    ctx.now = now;
+    ctx.round_end =
+        round_based ? now + tau : std::numeric_limits<TimeUs>::max() / 4;
+    ctx.free_gpus = engine.FreeMask();
+    ctx.schedulable = &schedulable;
+    ctx.topology = topology_;
+    ctx.table = &table_;
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    RoundPlan plan = scheduler->Plan(ctx);
+    const double wall_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - wall_start)
+            .count();
+    ++result.num_scheduler_calls;
+    result.scheduler_wall_us_total += wall_us;
+    result.scheduler_wall_us_max =
+        std::max(result.scheduler_wall_us_max, wall_us);
+
+    GpuMask used = 0;
+    for (const Assignment& a : plan.assignments) {
+      TETRI_CHECK_MSG((a.mask & used) == 0,
+                      "plan double-books GPUs "
+                          << cluster::MaskToString(a.mask & used));
+      TETRI_CHECK_MSG((a.mask & ctx.free_gpus) == a.mask,
+                      "plan uses busy GPUs");
+      used |= a.mask;
+      engine.Dispatch(a);
+    }
+  };
+
+  // Arrival events.
+  for (const workload::TraceRequest& req : trace.requests) {
+    simulator.ScheduleAt(req.arrival_us,
+                         [&tracker, &req]() { tracker.Admit(req); });
+  }
+
+  std::function<void()> round_tick;
+  if (round_based) {
+    // Fixed round grid; re-anchored to the next arrival when idle so
+    // an empty system does not spin.
+    round_tick = [&]() {
+      invoke_scheduler();
+      const TimeUs now = simulator.Now();
+      TimeUs next_arrival = -1;
+      for (const auto& req : trace.requests) {
+        if (req.arrival_us > now && !tracker.Contains(req.id)) {
+          next_arrival = req.arrival_us;
+          break;
+        }
+      }
+      if (tracker.NumActive() > 0) {
+        simulator.ScheduleAt(now + tau, round_tick);
+      } else if (next_arrival >= 0) {
+        simulator.ScheduleAt(next_arrival, round_tick);
+      }
+    };
+    if (!trace.requests.empty()) {
+      simulator.ScheduleAt(trace.requests.front().arrival_us, round_tick);
+    }
+  } else {
+    // Event-driven: plan on every arrival and completion.
+    engine.set_on_assignment_done([&](TimeUs) { invoke_scheduler(); });
+    for (const workload::TraceRequest& req : trace.requests) {
+      simulator.ScheduleAt(req.arrival_us, [&]() { invoke_scheduler(); });
+    }
+  }
+
+  simulator.RunAll();
+
+  result.records = tracker.Records();
+  result.busy_gpu_us = engine.busy_gpu_us();
+  result.makespan_us = simulator.Now();
+  result.latent_transfer_us = latents.total_transfer_us();
+  result.num_latent_transfers = latents.num_transfers();
+  result.num_assignments = engine.num_assignments();
+  result.reconfig_stall_us = engine.reconfig_stall_us();
+  result.num_reconfigs = engine.num_reconfigs();
+  return result;
+}
+
+}  // namespace tetri::serving

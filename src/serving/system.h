@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The end-to-end serving loop: wires the simulator, request tracker,
+ * execution engine, latent manager, and a pluggable scheduling policy,
+ * then replays a workload trace to completion and reports per-request
+ * outcomes plus system-level accounting. This is the harness every
+ * experiment in EXPERIMENTS.md runs through.
+ *
+ * Construction profiles the latency table offline (§4.2.1); schedulers
+ * are built against that table and passed to Run(), so one system can
+ * evaluate many policies on identical profiled costs.
+ */
+#ifndef TETRI_SERVING_SYSTEM_H
+#define TETRI_SERVING_SYSTEM_H
+
+#include <memory>
+
+#include "costmodel/latency_table.h"
+#include "metrics/metrics.h"
+#include "serving/scheduler.h"
+#include "serving/timeline.h"
+#include "workload/trace.h"
+
+namespace tetri::serving {
+
+/** Run-level knobs independent of the scheduling policy. */
+struct ServingConfig {
+  /**
+   * A queued request is abandoned once its latency would exceed this
+   * multiple of its SLO budget (keeps overloaded baselines bounded;
+   * dropped requests are excluded from latency CDFs as in Fig. 9).
+   */
+  double drop_timeout_factor = 10.0;
+  /** Jitter / profiling seed. */
+  std::uint64_t seed = 7;
+  /** Samples per cell when profiling the latency table. */
+  int profile_samples = 20;
+  /** Largest batch profiled and allowed. */
+  int max_batch = 8;
+  /** Record the full execution timeline (Gantt data) in the result. */
+  bool record_timeline = false;
+};
+
+/** Outcome of one serving run. */
+struct ServingResult {
+  std::vector<metrics::RequestRecord> records;
+  double busy_gpu_us = 0.0;
+  TimeUs makespan_us = 0;
+  int num_scheduler_calls = 0;
+  /** Host wall-clock spent inside Scheduler::Plan (Table 6 / §4.2). */
+  double scheduler_wall_us_total = 0.0;
+  double scheduler_wall_us_max = 0.0;
+  TimeUs latent_transfer_us = 0;
+  int num_latent_transfers = 0;
+  int num_assignments = 0;
+  int num_dropped = 0;
+  double reconfig_stall_us = 0.0;
+  int num_reconfigs = 0;
+  /** Populated when ServingConfig::record_timeline is set. */
+  Timeline timeline;
+
+  metrics::SarSummary Sar() const { return metrics::ComputeSar(records); }
+  double GpuUtilization(int num_gpus) const;
+};
+
+/** Drives traces through policies on one simulated node. */
+class ServingSystem {
+ public:
+  /**
+   * Profiles the per-step latency table for (model, topology) at
+   * construction, mirroring the paper's offline profiling pass.
+   */
+  ServingSystem(const cluster::Topology* topology,
+                const costmodel::ModelConfig* model,
+                ServingConfig config = ServingConfig{});
+
+  /** Replay @p trace under @p scheduler. Deterministic per seed. */
+  ServingResult Run(Scheduler* scheduler, const workload::Trace& trace);
+
+  /** The profiled table; build schedulers against this. */
+  const costmodel::LatencyTable& table() const { return table_; }
+  const costmodel::StepCostModel& cost() const { return cost_; }
+  const cluster::Topology& topology() const { return *topology_; }
+
+ private:
+  const cluster::Topology* topology_;
+  const costmodel::ModelConfig* model_;
+  ServingConfig config_;
+  costmodel::StepCostModel cost_;
+  costmodel::LatencyTable table_;
+};
+
+}  // namespace tetri::serving
+
+#endif  // TETRI_SERVING_SYSTEM_H

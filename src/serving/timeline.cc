@@ -1,0 +1,82 @@
+#include "serving/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "cluster/gpu_set.h"
+#include "util/check.h"
+
+namespace tetri::serving {
+
+void
+Timeline::Add(TimelineEntry entry)
+{
+  TETRI_CHECK(entry.end_us >= entry.start_us);
+  TETRI_CHECK(entry.mask != 0);
+  entries_.push_back(std::move(entry));
+}
+
+bool
+Timeline::CapacityConsistent() const
+{
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    for (std::size_t j = i + 1; j < entries_.size(); ++j) {
+      const TimelineEntry& a = entries_[i];
+      const TimelineEntry& b = entries_[j];
+      const bool overlap_time =
+          a.start_us < b.end_us && b.start_us < a.end_us;
+      if (overlap_time && (a.mask & b.mask) != 0) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::pair<TimeUs, int>>
+Timeline::DegreeTrajectory(RequestId request) const
+{
+  std::vector<std::pair<TimeUs, int>> out;
+  for (const TimelineEntry& entry : entries_) {
+    for (RequestId id : entry.requests) {
+      if (id == request) {
+        out.emplace_back(entry.start_us, entry.degree);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double
+Timeline::Utilization(int num_gpus, TimeUs horizon) const
+{
+  TETRI_CHECK(num_gpus > 0 && horizon > 0);
+  double busy_gpu_us = 0.0;
+  for (const TimelineEntry& entry : entries_) {
+    const TimeUs end = std::min(entry.end_us, horizon);
+    if (end <= entry.start_us) continue;
+    busy_gpu_us += static_cast<double>(end - entry.start_us) *
+                   entry.degree;
+  }
+  return busy_gpu_us / (static_cast<double>(horizon) * num_gpus);
+}
+
+std::string
+Timeline::ToCsv() const
+{
+  std::ostringstream oss;
+  oss << "start_us,end_us,gpus,degree,batch,steps,resolution,ids\n";
+  for (const TimelineEntry& entry : entries_) {
+    oss << entry.start_us << ',' << entry.end_us << ','
+        << cluster::MaskToString(entry.mask) << ',' << entry.degree
+        << ',' << entry.batch << ',' << entry.steps << ','
+        << costmodel::ResolutionName(entry.resolution) << ',';
+    for (std::size_t i = 0; i < entry.requests.size(); ++i) {
+      if (i > 0) oss << '|';
+      oss << entry.requests[i];
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace tetri::serving

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Timeline recording: a per-assignment execution log (who ran, on
+ * which GPUs, from when to when, at what batch size) suitable for
+ * Gantt-chart visualization and for auditing scheduler behaviour —
+ * the programmatic equivalent of the paper's Figure 1/6 diagrams.
+ *
+ * The recorder hooks the engine's dispatch path through the
+ * ServingSystem (see ServingConfig::record_timeline) and costs nothing
+ * when disabled.
+ */
+#ifndef TETRI_SERVING_TIMELINE_H
+#define TETRI_SERVING_TIMELINE_H
+
+#include <string>
+#include <vector>
+
+#include "costmodel/resolution.h"
+#include "util/types.h"
+
+namespace tetri::serving {
+
+/** One executed assignment, as it actually ran. */
+struct TimelineEntry {
+  TimeUs start_us = 0;
+  TimeUs end_us = 0;
+  GpuMask mask = 0;
+  int degree = 0;
+  int batch = 0;
+  int steps = 0;
+  costmodel::Resolution resolution = costmodel::Resolution::k256;
+  std::vector<RequestId> requests;
+};
+
+/** Append-only execution log with analysis helpers. */
+class Timeline {
+ public:
+  void Add(TimelineEntry entry);
+
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  /**
+   * Verify no GPU is double-booked: for every pair of overlapping
+   * intervals, the GPU masks must be disjoint. O(n^2); intended for
+   * tests and audits.
+   */
+  bool CapacityConsistent() const;
+
+  /** Per-request degree trajectory: (start_us, degree) in time order. */
+  std::vector<std::pair<TimeUs, int>> DegreeTrajectory(
+      RequestId request) const;
+
+  /** GPU-busy fraction over [0, horizon] for an N-GPU node. */
+  double Utilization(int num_gpus, TimeUs horizon) const;
+
+  /** CSV dump: start_us,end_us,gpus,degree,batch,steps,resolution,ids */
+  std::string ToCsv() const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+};
+
+}  // namespace tetri::serving
+
+#endif  // TETRI_SERVING_TIMELINE_H

@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace tetri::sim {
+
+void
+EventQueue::Push(TimeUs at, EventFn fn)
+{
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+TimeUs
+EventQueue::NextTime() const
+{
+  TETRI_CHECK(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::pair<TimeUs, EventFn>
+EventQueue::Pop()
+{
+  TETRI_CHECK(!heap_.empty());
+  // priority_queue::top() returns const&; move is safe because we pop
+  // immediately afterwards.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  return {top.time, std::move(top.fn)};
+}
+
+}  // namespace tetri::sim

@@ -1,0 +1,53 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace tetri::sim {
+
+void
+Simulator::ScheduleAt(TimeUs at, EventFn fn)
+{
+  TETRI_CHECK_MSG(at >= now_, "event scheduled in the past: " << at
+                              << " < " << now_);
+  queue_.Push(at, std::move(fn));
+}
+
+void
+Simulator::ScheduleAfter(TimeUs delay, EventFn fn)
+{
+  TETRI_CHECK(delay >= 0);
+  queue_.Push(now_ + delay, std::move(fn));
+}
+
+bool
+Simulator::Step()
+{
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.Pop();
+  TETRI_CHECK(time >= now_);
+  now_ = time;
+  ++events_fired_;
+  fn();
+  return true;
+}
+
+void
+Simulator::RunAll()
+{
+  while (Step()) {
+  }
+}
+
+void
+Simulator::RunUntil(TimeUs until)
+{
+  TETRI_CHECK(until >= now_);
+  while (!queue_.empty() && queue_.NextTime() <= until) {
+    Step();
+  }
+  now_ = until;
+}
+
+}  // namespace tetri::sim

@@ -1,0 +1,135 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+namespace tetri::tensor {
+
+Tensor
+MatMul(const Tensor& a, const Tensor& b)
+{
+  TETRI_CHECK(a.rank() == 2 && b.rank() == 2);
+  const int rows = a.dim(0);
+  const int inner = a.dim(1);
+  TETRI_CHECK(b.dim(0) == inner);
+  const int cols = b.dim(1);
+  Tensor out({rows, cols});
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      float acc = 0.0f;
+      for (int k = 0; k < inner; ++k) {
+        acc += a.At(i, k) * b.At(k, j);
+      }
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor
+AddBias(const Tensor& x, const Tensor& bias)
+{
+  TETRI_CHECK(x.rank() == 2 && bias.rank() == 1);
+  TETRI_CHECK(x.dim(1) == bias.dim(0));
+  Tensor out = x;
+  for (int i = 0; i < x.dim(0); ++i) {
+    for (int j = 0; j < x.dim(1); ++j) {
+      out.At(i, j) += bias.At(j);
+    }
+  }
+  return out;
+}
+
+Tensor
+Add(const Tensor& a, const Tensor& b)
+{
+  TETRI_CHECK(a.shape() == b.shape());
+  Tensor out = a;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out.data()[i] += b.data()[i];
+  }
+  return out;
+}
+
+Tensor
+Scale(const Tensor& x, float s)
+{
+  Tensor out = x;
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] *= s;
+  return out;
+}
+
+Tensor
+Gelu(const Tensor& x)
+{
+  Tensor out = x;
+  constexpr float kSqrt2OverPi = 0.7978845608028654f;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float v = out.data()[i];
+    out.data()[i] =
+        0.5f * v *
+        (1.0f + std::tanh(kSqrt2OverPi * (v + 0.044715f * v * v * v)));
+  }
+  return out;
+}
+
+Tensor
+SoftmaxRows(const Tensor& x)
+{
+  TETRI_CHECK(x.rank() == 2);
+  Tensor out = x;
+  for (int i = 0; i < x.dim(0); ++i) {
+    float row_max = x.At(i, 0);
+    for (int j = 1; j < x.dim(1); ++j) {
+      row_max = std::max(row_max, x.At(i, j));
+    }
+    float total = 0.0f;
+    for (int j = 0; j < x.dim(1); ++j) {
+      const float e = std::exp(x.At(i, j) - row_max);
+      out.At(i, j) = e;
+      total += e;
+    }
+    for (int j = 0; j < x.dim(1); ++j) {
+      out.At(i, j) /= total;
+    }
+  }
+  return out;
+}
+
+Tensor
+LayerNormRows(const Tensor& x, float eps)
+{
+  TETRI_CHECK(x.rank() == 2);
+  Tensor out = x;
+  const int cols = x.dim(1);
+  for (int i = 0; i < x.dim(0); ++i) {
+    float mean = 0.0f;
+    for (int j = 0; j < cols; ++j) mean += x.At(i, j);
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float d = x.At(i, j) - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float inv = 1.0f / std::sqrt(var + eps);
+    for (int j = 0; j < cols; ++j) {
+      out.At(i, j) = (x.At(i, j) - mean) * inv;
+    }
+  }
+  return out;
+}
+
+Tensor
+Transpose(const Tensor& x)
+{
+  TETRI_CHECK(x.rank() == 2);
+  Tensor out({x.dim(1), x.dim(0)});
+  for (int i = 0; i < x.dim(0); ++i) {
+    for (int j = 0; j < x.dim(1); ++j) {
+      out.At(j, i) = x.At(i, j);
+    }
+  }
+  return out;
+}
+
+}  // namespace tetri::tensor

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tensor operations for the toy DiT. Every op is written with a fixed,
+ * documented accumulation order so that the sequence-parallel executor
+ * can reproduce serial results bit-for-bit: per-row/per-token ops are
+ * independent, and matmul accumulates over the inner dimension in
+ * ascending order on both paths.
+ */
+#ifndef TETRI_TENSOR_OPS_H
+#define TETRI_TENSOR_OPS_H
+
+#include "tensor/tensor.h"
+
+namespace tetri::tensor {
+
+/** C = A(BxK) * B(KxN), inner dimension accumulated in ascending k. */
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/** Row-wise addition of a rank-1 bias to a rank-2 tensor. */
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+/** Element-wise sum; shapes must match. */
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/** Element-wise product with a scalar. */
+Tensor Scale(const Tensor& x, float s);
+
+/** tanh-approximation GELU applied element-wise. */
+Tensor Gelu(const Tensor& x);
+
+/** Row-wise softmax of a rank-2 tensor (max-subtracted). */
+Tensor SoftmaxRows(const Tensor& x);
+
+/**
+ * Row-wise LayerNorm (no learned affine; modulation handles scale and
+ * shift in the DiT blocks).
+ */
+Tensor LayerNormRows(const Tensor& x, float eps = 1e-5f);
+
+/** Transpose of a rank-2 tensor. */
+Tensor Transpose(const Tensor& x);
+
+}  // namespace tetri::tensor
+
+#endif  // TETRI_TENSOR_OPS_H

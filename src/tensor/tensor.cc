@@ -1,0 +1,144 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace tetri::tensor {
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape))
+{
+  TETRI_CHECK(!shape_.empty() && shape_.size() <= 3);
+  std::size_t total = 1;
+  for (int d : shape_) {
+    TETRI_CHECK(d > 0);
+    total *= static_cast<std::size_t>(d);
+  }
+  data_.assign(total, 0.0f);
+}
+
+Tensor
+Tensor::Zeros(std::vector<int> shape)
+{
+  return Tensor(std::move(shape));
+}
+
+Tensor
+Tensor::Randn(std::vector<int> shape, Rng& rng, float stddev)
+{
+  Tensor t(std::move(shape));
+  for (float& v : t.data_) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+int
+Tensor::dim(int i) const
+{
+  TETRI_CHECK(i >= 0 && i < rank());
+  return shape_[i];
+}
+
+std::size_t
+Tensor::Offset(int i, int j) const
+{
+  TETRI_CHECK(rank() == 2);
+  TETRI_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1]);
+  return static_cast<std::size_t>(i) * shape_[1] + j;
+}
+
+std::size_t
+Tensor::Offset(int i, int j, int k) const
+{
+  TETRI_CHECK(rank() == 3);
+  TETRI_CHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] &&
+              k >= 0 && k < shape_[2]);
+  return (static_cast<std::size_t>(i) * shape_[1] + j) * shape_[2] + k;
+}
+
+float&
+Tensor::At(int i)
+{
+  TETRI_CHECK(rank() == 1 && i >= 0 && i < shape_[0]);
+  return data_[i];
+}
+
+float&
+Tensor::At(int i, int j)
+{
+  return data_[Offset(i, j)];
+}
+
+float&
+Tensor::At(int i, int j, int k)
+{
+  return data_[Offset(i, j, k)];
+}
+
+float
+Tensor::At(int i) const
+{
+  TETRI_CHECK(rank() == 1 && i >= 0 && i < shape_[0]);
+  return data_[i];
+}
+
+float
+Tensor::At(int i, int j) const
+{
+  return data_[Offset(i, j)];
+}
+
+float
+Tensor::At(int i, int j, int k) const
+{
+  return data_[Offset(i, j, k)];
+}
+
+Tensor
+Tensor::SliceRows(int begin, int end) const
+{
+  TETRI_CHECK(rank() == 2);
+  TETRI_CHECK(begin >= 0 && begin < end && end <= shape_[0]);
+  Tensor out({end - begin, shape_[1]});
+  const std::size_t row = shape_[1];
+  std::copy(data_.begin() + begin * row, data_.begin() + end * row,
+            out.data_.begin());
+  return out;
+}
+
+bool
+Tensor::Equals(const Tensor& other) const
+{
+  return shape_ == other.shape_ && data_ == other.data_;
+}
+
+float
+Tensor::MaxAbsDiff(const Tensor& other) const
+{
+  TETRI_CHECK(shape_ == other.shape_);
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+  }
+  return worst;
+}
+
+Tensor
+ConcatRows(const std::vector<Tensor>& parts)
+{
+  TETRI_CHECK(!parts.empty());
+  const int cols = parts.front().dim(1);
+  int rows = 0;
+  for (const Tensor& p : parts) {
+    TETRI_CHECK(p.rank() == 2 && p.dim(1) == cols);
+    rows += p.dim(0);
+  }
+  Tensor out({rows, cols});
+  float* dst = out.data();
+  for (const Tensor& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), dst);
+    dst += p.size();
+  }
+  return out;
+}
+
+}  // namespace tetri::tensor

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Assertion and fatal-error helpers.
+ *
+ * Following the gem5 convention: Panic() is for internal invariant
+ * violations (bugs in TetriServe itself); Fatal() is for user errors such
+ * as invalid configurations. Both print a message and terminate, but
+ * Panic() aborts (core dump friendly) while Fatal() exits with status 1.
+ */
+#ifndef TETRI_UTIL_CHECK_H
+#define TETRI_UTIL_CHECK_H
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tetri {
+
+[[noreturn]] inline void Panic(const std::string& msg, const char* file,
+                               int line) {
+  std::cerr << "panic: " << msg << " (" << file << ":" << line << ")\n";
+  std::abort();
+}
+
+[[noreturn]] inline void Fatal(const std::string& msg, const char* file,
+                               int line) {
+  std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")\n";
+  std::exit(1);
+}
+
+}  // namespace tetri
+
+/** Abort if an internal invariant does not hold. */
+#define TETRI_CHECK(cond)                                          \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::tetri::Panic("check failed: " #cond, __FILE__, __LINE__);  \
+    }                                                              \
+  } while (0)
+
+/** Abort with a formatted message if an internal invariant fails. */
+#define TETRI_CHECK_MSG(cond, msg)                                 \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      std::ostringstream oss_;                                     \
+      oss_ << "check failed: " #cond ": " << msg;                  \
+      ::tetri::Panic(oss_.str(), __FILE__, __LINE__);              \
+    }                                                              \
+  } while (0)
+
+/** Exit with an error for invalid user-supplied configuration. */
+#define TETRI_FATAL(msg)                                           \
+  do {                                                             \
+    std::ostringstream oss_;                                       \
+    oss_ << msg;                                                   \
+    ::tetri::Fatal(oss_.str(), __FILE__, __LINE__);                \
+  } while (0)
+
+#endif  // TETRI_UTIL_CHECK_H

@@ -1,0 +1,35 @@
+#include "util/logging.h"
+
+namespace tetri {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel
+GetLogLevel()
+{
+  return g_level;
+}
+
+void
+SetLogLevel(LogLevel level)
+{
+  g_level = level;
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* tag)
+    : enabled_(level >= g_level)
+{
+  if (enabled_) stream_ << "[" << tag << "] ";
+}
+
+LogMessage::~LogMessage()
+{
+  if (enabled_) std::cerr << stream_.str() << '\n';
+}
+
+}  // namespace detail
+}  // namespace tetri

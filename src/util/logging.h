@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal leveled logger. Off by default at DEBUG so that benches stay
+ * quiet; tests and examples can raise verbosity.
+ */
+#ifndef TETRI_UTIL_LOGGING_H
+#define TETRI_UTIL_LOGGING_H
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tetri {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/** Global minimum level; messages below it are dropped. */
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace detail {
+
+/** RAII stream that emits on destruction when enabled. */
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace tetri
+
+#define TETRI_LOG_DEBUG \
+  ::tetri::detail::LogMessage(::tetri::LogLevel::kDebug, "DEBUG")
+#define TETRI_LOG_INFO \
+  ::tetri::detail::LogMessage(::tetri::LogLevel::kInfo, "INFO")
+#define TETRI_LOG_WARN \
+  ::tetri::detail::LogMessage(::tetri::LogLevel::kWarn, "WARN")
+#define TETRI_LOG_ERROR \
+  ::tetri::detail::LogMessage(::tetri::LogLevel::kError, "ERROR")
+
+#endif  // TETRI_UTIL_LOGGING_H

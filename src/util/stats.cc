@@ -1,0 +1,117 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri {
+
+void
+RunningStat::Add(double x)
+{
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double
+RunningStat::Variance() const
+{
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::Stddev() const
+{
+  return std::sqrt(Variance());
+}
+
+double
+RunningStat::Cv() const
+{
+  if (count_ == 0 || mean_ == 0.0) return 0.0;
+  return Stddev() / std::abs(mean_);
+}
+
+void
+SampleSet::Add(double x)
+{
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1;
+}
+
+void
+SampleSet::EnsureSorted() const
+{
+  if (!sorted_) {
+    auto& mutable_samples = const_cast<std::vector<double>&>(samples_);
+    std::sort(mutable_samples.begin(), mutable_samples.end());
+    sorted_ = true;
+  }
+}
+
+double
+SampleSet::Mean() const
+{
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+double
+SampleSet::Percentile(double p) const
+{
+  TETRI_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>>
+SampleSet::Cdf(std::size_t points) const
+{
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  EnsureSorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        points == 1
+            ? hi
+            : lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(points - 1);
+    out.emplace_back(x, FractionBelow(x));
+  }
+  return out;
+}
+
+double
+SampleSet::FractionBelow(double x) const
+{
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+}  // namespace tetri

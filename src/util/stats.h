@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Statistics accumulators used by the profiler, metrics, and benches:
+ * running mean/variance (for step-time CV), reservoir-free percentile
+ * estimation over stored samples, and empirical CDF construction.
+ */
+#ifndef TETRI_UTIL_STATS_H
+#define TETRI_UTIL_STATS_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace tetri {
+
+/**
+ * Welford-style running mean and variance accumulator.
+ * Used for per-step latency stability (coefficient of variation).
+ */
+class RunningStat {
+ public:
+  /** Add one observation. */
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /** Sample variance (n-1 denominator); 0 for fewer than two samples. */
+  double Variance() const;
+  /** Sample standard deviation. */
+  double Stddev() const;
+  /** Coefficient of variation = stddev / mean; 0 if mean is 0. */
+  double Cv() const;
+
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/**
+ * Stores raw samples and answers percentile / CDF queries.
+ * Intended for request-latency distributions (hundreds to thousands of
+ * samples), not for high-volume streaming.
+ */
+class SampleSet {
+ public:
+  void Add(double x);
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+
+  /**
+   * Percentile by linear interpolation on the sorted samples.
+   * @param p percentile in [0, 100].
+   */
+  double Percentile(double p) const;
+
+  /**
+   * Empirical CDF evaluated at a set of points: returns (x, F(x)) pairs
+   * where x sweeps the sample range in @p points equal increments.
+   */
+  std::vector<std::pair<double, double>> Cdf(std::size_t points) const;
+
+  /** Fraction of samples <= x. */
+  double FractionBelow(double x) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace tetri
+
+#endif  // TETRI_UTIL_STATS_H

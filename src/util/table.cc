@@ -1,0 +1,93 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tetri {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::AddRow(std::vector<std::string> cells)
+{
+  TETRI_CHECK_MSG(cells.size() == header_.size(),
+                  "row arity " << cells.size() << " != header arity "
+                               << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::ToString() const
+{
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "| " : " ");
+      oss << row[c];
+      oss << std::string(widths[c] - row[c].size(), ' ');
+      oss << " |";
+    }
+    oss << '\n';
+  };
+
+  emit_row(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    oss << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string
+Table::ToCsv() const
+{
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) oss << ',';
+      oss << row[c];
+    }
+    oss << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void
+Table::Print() const
+{
+  std::cout << ToString();
+}
+
+std::string
+FormatDouble(double value, int precision)
+{
+  std::ostringstream oss;
+  oss.setf(std::ios::fixed);
+  oss.precision(precision);
+  oss << value;
+  return oss.str();
+}
+
+std::string
+FormatPercent(double fraction, int precision)
+{
+  return FormatDouble(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace tetri

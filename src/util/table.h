@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Console table and CSV output for bench harnesses. Every bench prints a
+ * paper-style table to stdout and can optionally dump the same data as
+ * CSV for external plotting.
+ */
+#ifndef TETRI_UTIL_TABLE_H
+#define TETRI_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace tetri {
+
+/** Accumulates rows of string cells and renders an aligned ASCII table. */
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /** Append a row; must have the same arity as the header. */
+  void AddRow(std::vector<std::string> cells);
+
+  /** Render with column alignment and a header separator. */
+  std::string ToString() const;
+
+  /** Render as CSV (header + rows). */
+  std::string ToCsv() const;
+
+  /** Print ToString() to stdout. */
+  void Print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for table cells). */
+std::string FormatDouble(double value, int precision);
+
+/** Format a fraction (0..1) as a percentage string like "12.3%". */
+std::string FormatPercent(double fraction, int precision);
+
+}  // namespace tetri
+
+#endif  // TETRI_UTIL_TABLE_H

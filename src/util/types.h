@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fundamental scalar types shared across all TetriServe modules.
+ */
+#ifndef TETRI_UTIL_TYPES_H
+#define TETRI_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace tetri {
+
+/** Simulated wall-clock time in microseconds since simulation start. */
+using TimeUs = std::int64_t;
+
+/** Identifier of a serving request; unique within one trace. */
+using RequestId = std::int64_t;
+
+/** Sentinel for "no request". */
+inline constexpr RequestId kInvalidRequest = -1;
+
+/**
+ * Bitmask over the GPUs of a single node. Bit i set means GPU i is a
+ * member of the set. Nodes in this reproduction have at most 32 GPUs.
+ */
+using GpuMask = std::uint32_t;
+
+/** Conversions between common time units and TimeUs. */
+inline constexpr TimeUs UsFromMs(double ms) {
+  return static_cast<TimeUs>(ms * 1e3);
+}
+inline constexpr TimeUs UsFromSec(double sec) {
+  return static_cast<TimeUs>(sec * 1e6);
+}
+inline constexpr double MsFromUs(TimeUs us) {
+  return static_cast<double>(us) / 1e3;
+}
+inline constexpr double SecFromUs(TimeUs us) {
+  return static_cast<double>(us) / 1e6;
+}
+
+}  // namespace tetri
+
+#endif  // TETRI_UTIL_TYPES_H

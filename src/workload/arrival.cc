@@ -1,0 +1,80 @@
+#include "workload/arrival.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri::workload {
+
+PoissonArrivals::PoissonArrivals(double per_minute)
+    : rate_per_us_(per_minute / 60.0 / 1e6)
+{
+  TETRI_CHECK(per_minute > 0.0);
+}
+
+std::vector<TimeUs>
+PoissonArrivals::Generate(int count, Rng& rng)
+{
+  std::vector<TimeUs> out;
+  out.reserve(count);
+  double t = 0.0;
+  for (int i = 0; i < count; ++i) {
+    t += rng.NextExponential(rate_per_us_);
+    out.push_back(static_cast<TimeUs>(t));
+  }
+  return out;
+}
+
+BurstyArrivals::BurstyArrivals(double per_minute, double burst_factor,
+                               double mean_phase_sec)
+    : avg_rate_per_us_(per_minute / 60.0 / 1e6),
+      burst_factor_(burst_factor),
+      mean_phase_us_(mean_phase_sec * 1e6)
+{
+  TETRI_CHECK(per_minute > 0.0);
+  TETRI_CHECK(burst_factor > 1.0);
+  TETRI_CHECK(mean_phase_sec > 0.0);
+}
+
+std::vector<TimeUs>
+BurstyArrivals::Generate(int count, Rng& rng)
+{
+  // Calm phases run at 30% of the average rate; burst phases at
+  // burst_factor times it. Burst dwell time is shortened so the
+  // time-weighted mean rate stays at the configured average:
+  //   f * burst + (1 - f) * calm = avg,
+  // where f is the fraction of time spent bursting.
+  const double calm_rate = avg_rate_per_us_ * 0.3;
+  const double burst_rate = avg_rate_per_us_ * burst_factor_;
+  const double burst_time_frac =
+      (avg_rate_per_us_ - calm_rate) / (burst_rate - calm_rate);
+  const double calm_dwell_us = mean_phase_us_;
+  const double burst_dwell_us =
+      mean_phase_us_ * burst_time_frac / (1.0 - burst_time_frac);
+
+  std::vector<TimeUs> out;
+  out.reserve(count);
+  double t = 0.0;
+  bool in_burst = false;
+  double phase_end = rng.NextExponential(1.0 / calm_dwell_us);
+  while (static_cast<int>(out.size()) < count) {
+    const double rate = in_burst ? burst_rate : calm_rate;
+    const double gap = rng.NextExponential(rate);
+    if (t + gap > phase_end) {
+      // Cross into the next phase; restart the exponential clock from
+      // the boundary (memorylessness keeps this exact enough for a
+      // workload generator).
+      t = phase_end;
+      in_burst = !in_burst;
+      phase_end =
+          t + rng.NextExponential(
+                  1.0 / (in_burst ? burst_dwell_us : calm_dwell_us));
+      continue;
+    }
+    t += gap;
+    out.push_back(static_cast<TimeUs>(t));
+  }
+  return out;
+}
+
+}  // namespace tetri::workload

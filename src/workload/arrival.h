@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Request arrival processes: a homogeneous Poisson process (the paper's
+ * default, 12 req/min) and a two-state Markov-modulated Poisson process
+ * for the bursty-traffic experiments (§6.3).
+ */
+#ifndef TETRI_WORKLOAD_ARRIVAL_H
+#define TETRI_WORKLOAD_ARRIVAL_H
+
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tetri::workload {
+
+/** Generates a monotone sequence of arrival timestamps. */
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+
+  /** Produce the first @p count arrival times starting at time 0. */
+  virtual std::vector<TimeUs> Generate(int count, Rng& rng) = 0;
+};
+
+/** Memoryless arrivals at a constant average rate. */
+class PoissonArrivals : public ArrivalProcess {
+ public:
+  /** @param per_minute average arrival rate, requests per minute. */
+  explicit PoissonArrivals(double per_minute);
+
+  std::vector<TimeUs> Generate(int count, Rng& rng) override;
+
+ private:
+  double rate_per_us_;
+};
+
+/**
+ * Two-state MMPP: alternates between a calm phase and a burst phase
+ * with exponentially distributed dwell times. The long-run average
+ * rate equals the configured rate; burstiness concentrates arrivals.
+ */
+class BurstyArrivals : public ArrivalProcess {
+ public:
+  /**
+   * @param per_minute long-run average rate.
+   * @param burst_factor rate multiplier inside bursts (> 1).
+   * @param mean_phase_sec mean dwell time of each phase.
+   */
+  BurstyArrivals(double per_minute, double burst_factor,
+                 double mean_phase_sec);
+
+  std::vector<TimeUs> Generate(int count, Rng& rng) override;
+
+ private:
+  double avg_rate_per_us_;
+  double burst_factor_;
+  double mean_phase_us_;
+};
+
+}  // namespace tetri::workload
+
+#endif  // TETRI_WORKLOAD_ARRIVAL_H

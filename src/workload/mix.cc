@@ -1,0 +1,80 @@
+#include "workload/mix.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri::workload {
+
+using costmodel::kNumResolutions;
+using costmodel::Resolution;
+
+ResolutionMix::ResolutionMix(std::array<double, kNumResolutions> probs,
+                             std::string name)
+    : probs_(probs), name_(std::move(name))
+{
+}
+
+ResolutionMix
+ResolutionMix::FromWeights(
+    const std::array<double, kNumResolutions>& weights, std::string name)
+{
+  double total = 0.0;
+  for (double w : weights) {
+    TETRI_CHECK(w >= 0.0);
+    total += w;
+  }
+  TETRI_CHECK(total > 0.0);
+  std::array<double, kNumResolutions> probs{};
+  for (int i = 0; i < kNumResolutions; ++i) probs[i] = weights[i] / total;
+  return ResolutionMix(probs, std::move(name));
+}
+
+ResolutionMix
+ResolutionMix::Uniform()
+{
+  return FromWeights({1.0, 1.0, 1.0, 1.0}, "Uniform");
+}
+
+ResolutionMix
+ResolutionMix::Skewed(double alpha)
+{
+  std::array<double, kNumResolutions> weights{};
+  const double l_max =
+      static_cast<double>(costmodel::LatentTokens(Resolution::k2048));
+  for (Resolution res : costmodel::kAllResolutions) {
+    const double l = costmodel::LatentTokens(res);
+    weights[costmodel::ResolutionIndex(res)] =
+        std::exp(alpha * l / l_max);
+  }
+  return FromWeights(weights, "Skewed");
+}
+
+ResolutionMix
+ResolutionMix::Homogeneous(Resolution res)
+{
+  std::array<double, kNumResolutions> weights{};
+  weights[costmodel::ResolutionIndex(res)] = 1.0;
+  return FromWeights(weights,
+                     "Homogeneous-" + costmodel::ResolutionName(res));
+}
+
+Resolution
+ResolutionMix::Sample(Rng& rng) const
+{
+  const double u = rng.NextDouble();
+  double acc = 0.0;
+  for (Resolution res : costmodel::kAllResolutions) {
+    acc += probs_[costmodel::ResolutionIndex(res)];
+    if (u < acc) return res;
+  }
+  return Resolution::k2048;
+}
+
+double
+ResolutionMix::Probability(Resolution res) const
+{
+  return probs_[costmodel::ResolutionIndex(res)];
+}
+
+}  // namespace tetri::workload

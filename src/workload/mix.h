@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Resolution mixes (§6.1): Uniform (equal probability across the four
+ * resolutions), Skewed (probability proportional to exp(alpha * L_i /
+ * L_max) over latent length, biasing toward large images), and
+ * Homogeneous (a single resolution, §6.4).
+ */
+#ifndef TETRI_WORKLOAD_MIX_H
+#define TETRI_WORKLOAD_MIX_H
+
+#include <array>
+#include <string>
+
+#include "costmodel/resolution.h"
+#include "util/rng.h"
+
+namespace tetri::workload {
+
+/** A categorical distribution over resolutions. */
+class ResolutionMix {
+ public:
+  /** Equal weight on every resolution. */
+  static ResolutionMix Uniform();
+
+  /** Exponential weighting over latent length with the given alpha. */
+  static ResolutionMix Skewed(double alpha = 1.0);
+
+  /** All requests at one resolution. */
+  static ResolutionMix Homogeneous(costmodel::Resolution res);
+
+  /** Arbitrary non-negative weights (normalized internally). */
+  static ResolutionMix FromWeights(
+      const std::array<double, costmodel::kNumResolutions>& weights,
+      std::string name);
+
+  /** Sample one resolution. */
+  costmodel::Resolution Sample(Rng& rng) const;
+
+  /** Probability of a resolution. */
+  double Probability(costmodel::Resolution res) const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  ResolutionMix(std::array<double, costmodel::kNumResolutions> probs,
+                std::string name);
+
+  std::array<double, costmodel::kNumResolutions> probs_;
+  std::string name_;
+};
+
+}  // namespace tetri::workload
+
+#endif  // TETRI_WORKLOAD_MIX_H

@@ -1,0 +1,76 @@
+#include "workload/prompts.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace tetri::workload {
+
+namespace {
+
+constexpr std::array<const char*, 16> kSubjects = {
+    "a red fox",      "an astronaut",   "a lighthouse",  "a dragon",
+    "a city skyline", "a mountain lake", "a robot chef",  "a sailing ship",
+    "an old library", "a neon street",  "a snow leopard", "a tea house",
+    "a cathedral",    "a desert dune",  "a koi pond",     "a steam train"};
+
+constexpr std::array<const char*, 12> kStyles = {
+    "in watercolor",        "as an oil painting",   "in pixel art",
+    "in cyberpunk style",   "as a pencil sketch",   "in art nouveau",
+    "as concept art",       "in studio lighting",   "as low poly render",
+    "in ukiyo-e style",     "as a vintage photo",   "in impressionism"};
+
+constexpr std::array<const char*, 10> kSettings = {
+    "at sunset",        "under northern lights", "in heavy rain",
+    "at golden hour",   "in thick fog",          "at midnight",
+    "in spring bloom",  "during a storm",        "under a full moon",
+    "in morning light"};
+
+constexpr std::array<const char*, 8> kModifiers = {
+    "highly detailed", "8k",         "cinematic",     "dramatic shadows",
+    "soft focus",      "wide angle", "minimalistic",  "vibrant colors"};
+
+}  // namespace
+
+PromptSampler::PromptSampler(int num_topics, double repeat_prob)
+    : num_topics_(num_topics), repeat_prob_(repeat_prob)
+{
+  TETRI_CHECK(num_topics > 0);
+  TETRI_CHECK(repeat_prob >= 0.0 && repeat_prob <= 1.0);
+}
+
+std::string
+PromptSampler::FreshPrompt(int topic, Rng& rng) const
+{
+  // The topic pins subject and style so same-topic prompts are close in
+  // embedding space; setting/modifier vary freely.
+  const char* subject = kSubjects[topic % kSubjects.size()];
+  const char* style = kStyles[(topic / 2) % kStyles.size()];
+  const char* setting = kSettings[rng.NextBelow(kSettings.size())];
+  const char* modifier = kModifiers[rng.NextBelow(kModifiers.size())];
+  return std::string(subject) + " " + style + " " + setting + ", " +
+         modifier;
+}
+
+std::string
+PromptSampler::Sample(Rng& rng)
+{
+  if (!history_.empty() && rng.NextDouble() < repeat_prob_) {
+    // Reword a previous prompt: same core, one modifier swapped.
+    const std::string& base =
+        history_[rng.NextBelow(history_.size())];
+    const auto comma = base.rfind(", ");
+    std::string reworded =
+        (comma == std::string::npos ? base : base.substr(0, comma)) +
+        ", " +
+        kModifiers[rng.NextBelow(kModifiers.size())];
+    history_.push_back(reworded);
+    return reworded;
+  }
+  const int topic = static_cast<int>(rng.NextBelow(num_topics_));
+  std::string prompt = FreshPrompt(topic, rng);
+  history_.push_back(prompt);
+  return prompt;
+}
+
+}  // namespace tetri::workload

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic prompt generator standing in for the DiffusionDB sample.
+ *
+ * Prompts are built from a fixed vocabulary organized into topic
+ * clusters (subjects, styles, settings). Prompts drawn from the same
+ * topic share most of their tokens, which gives the Nirvana cache
+ * (§6.2, Table 3) a realistic similarity structure: near-duplicate
+ * prompts exist at a controllable rate, exactly what approximate
+ * latent caching exploits.
+ */
+#ifndef TETRI_WORKLOAD_PROMPTS_H
+#define TETRI_WORKLOAD_PROMPTS_H
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tetri::workload {
+
+/** Topic-clustered random prompt source. */
+class PromptSampler {
+ public:
+  /**
+   * @param num_topics distinct topic clusters.
+   * @param repeat_prob probability a prompt is a light rewording of a
+   *        previously issued prompt (drives cache hit rates).
+   */
+  explicit PromptSampler(int num_topics = 24, double repeat_prob = 0.55);
+
+  /** Draw the next prompt. */
+  std::string Sample(Rng& rng);
+
+  int num_topics() const { return num_topics_; }
+
+ private:
+  std::string FreshPrompt(int topic, Rng& rng) const;
+
+  int num_topics_;
+  double repeat_prob_;
+  std::vector<std::string> history_;
+};
+
+}  // namespace tetri::workload
+
+#endif  // TETRI_WORKLOAD_PROMPTS_H

@@ -1,0 +1,36 @@
+#include "workload/slo.h"
+
+#include "util/check.h"
+
+namespace tetri::workload {
+
+SloPolicy::SloPolicy(double scale) : scale_(scale)
+{
+  TETRI_CHECK(scale > 0.0);
+}
+
+double
+SloPolicy::BaseTargetSec(costmodel::Resolution res)
+{
+  switch (res) {
+    case costmodel::Resolution::k256: return 1.5;
+    case costmodel::Resolution::k512: return 2.0;
+    case costmodel::Resolution::k1024: return 3.0;
+    case costmodel::Resolution::k2048: return 5.0;
+  }
+  return 0.0;
+}
+
+TimeUs
+SloPolicy::BudgetUs(costmodel::Resolution res) const
+{
+  return UsFromSec(BaseTargetSec(res) * scale_);
+}
+
+TimeUs
+SloPolicy::DeadlineUs(costmodel::Resolution res, TimeUs arrival) const
+{
+  return arrival + BudgetUs(res);
+}
+
+}  // namespace tetri::workload

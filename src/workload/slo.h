@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Resolution-specific latency SLOs (§6.1).
+ *
+ * Targets are grounded in user-perceived responsiveness: 1.5 s for the
+ * smallest images up to a 5.0 s cap for 2048px. Experiments sweep an
+ * "SLO scale" multiplier from 1.0x (tight) to 1.5x (loose).
+ */
+#ifndef TETRI_WORKLOAD_SLO_H
+#define TETRI_WORKLOAD_SLO_H
+
+#include "costmodel/resolution.h"
+#include "util/types.h"
+
+namespace tetri::workload {
+
+/** Per-resolution deadline policy with a global scale knob. */
+class SloPolicy {
+ public:
+  /** @param scale multiplier applied to every base target (>= 0). */
+  explicit SloPolicy(double scale = 1.0);
+
+  double scale() const { return scale_; }
+
+  /** Base (scale=1.0) target for a resolution, seconds. */
+  static double BaseTargetSec(costmodel::Resolution res);
+
+  /** Scaled latency budget for a resolution. */
+  TimeUs BudgetUs(costmodel::Resolution res) const;
+
+  /** Absolute deadline for a request arriving at @p arrival. */
+  TimeUs DeadlineUs(costmodel::Resolution res, TimeUs arrival) const;
+
+ private:
+  double scale_;
+};
+
+}  // namespace tetri::workload
+
+#endif  // TETRI_WORKLOAD_SLO_H

@@ -1,0 +1,62 @@
+#include "workload/trace.h"
+
+#include <memory>
+
+#include "util/check.h"
+
+namespace tetri::workload {
+
+int
+Trace::CountResolution(costmodel::Resolution res) const
+{
+  int count = 0;
+  for (const auto& req : requests) {
+    if (req.resolution == res) ++count;
+  }
+  return count;
+}
+
+Trace
+BuildTrace(const TraceSpec& spec)
+{
+  TETRI_CHECK(spec.num_requests > 0);
+  TETRI_CHECK(spec.steps_per_request > 0);
+
+  Rng rng(spec.seed);
+  Rng arrival_rng = rng.Fork();
+  Rng mix_rng = rng.Fork();
+  Rng prompt_rng = rng.Fork();
+
+  std::unique_ptr<ArrivalProcess> arrivals;
+  if (spec.bursty) {
+    arrivals = std::make_unique<BurstyArrivals>(
+        spec.arrival_rate_per_min, spec.burst_factor,
+        spec.burst_phase_sec);
+  } else {
+    arrivals = std::make_unique<PoissonArrivals>(spec.arrival_rate_per_min);
+  }
+  const std::vector<TimeUs> times =
+      arrivals->Generate(spec.num_requests, arrival_rng);
+
+  SloPolicy slo(spec.slo_scale);
+  PromptSampler prompts;
+
+  Trace trace;
+  trace.mix_name = spec.mix.name();
+  trace.arrival_rate_per_min = spec.arrival_rate_per_min;
+  trace.slo_scale = spec.slo_scale;
+  trace.requests.reserve(spec.num_requests);
+  for (int i = 0; i < spec.num_requests; ++i) {
+    TraceRequest req;
+    req.id = i;
+    req.arrival_us = times[i];
+    req.resolution = spec.mix.Sample(mix_rng);
+    req.deadline_us = slo.DeadlineUs(req.resolution, req.arrival_us);
+    req.num_steps = spec.steps_per_request;
+    req.prompt = prompts.Sample(prompt_rng);
+    trace.requests.push_back(std::move(req));
+  }
+  return trace;
+}
+
+}  // namespace tetri::workload

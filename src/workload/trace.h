@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A workload trace: the fully materialized list of requests fed to a
+ * serving run. Building the trace ahead of the simulation (rather than
+ * sampling inside it) guarantees every scheduler sees the identical
+ * request sequence, which is what makes baseline comparisons fair.
+ */
+#ifndef TETRI_WORKLOAD_TRACE_H
+#define TETRI_WORKLOAD_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "costmodel/resolution.h"
+#include "workload/arrival.h"
+#include "workload/mix.h"
+#include "workload/prompts.h"
+#include "workload/slo.h"
+
+namespace tetri::workload {
+
+/** One request as it appears at the serving front door. */
+struct TraceRequest {
+  RequestId id = kInvalidRequest;
+  TimeUs arrival_us = 0;
+  TimeUs deadline_us = 0;
+  costmodel::Resolution resolution = costmodel::Resolution::k256;
+  /** Denoising steps (the model default unless a cache shortens it). */
+  int num_steps = 0;
+  std::string prompt;
+};
+
+/** An ordered-by-arrival batch of requests plus its provenance. */
+struct Trace {
+  std::vector<TraceRequest> requests;
+  std::string mix_name;
+  double arrival_rate_per_min = 0.0;
+  double slo_scale = 1.0;
+
+  /** Requests of a given resolution (for per-resolution SAR). */
+  int CountResolution(costmodel::Resolution res) const;
+};
+
+/** Everything needed to synthesize a trace. */
+struct TraceSpec {
+  int num_requests = 300;
+  double arrival_rate_per_min = 12.0;
+  double slo_scale = 1.0;
+  int steps_per_request = 50;
+  ResolutionMix mix = ResolutionMix::Uniform();
+  bool bursty = false;
+  double burst_factor = 4.0;
+  double burst_phase_sec = 30.0;
+  std::uint64_t seed = 1;
+};
+
+/** Materialize a trace from a spec. Deterministic given the seed. */
+Trace BuildTrace(const TraceSpec& spec);
+
+}  // namespace tetri::workload
+
+#endif  // TETRI_WORKLOAD_TRACE_H

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Deadline-aware allocation tests (§4.2.1): feasibility semantics,
+ * GPU-hour minimality versus the exhaustive DP (property sweep over
+ * resolutions, step counts, slack levels), and round-aware costing.
+ */
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "costmodel/model_config.h"
+
+namespace tetri::core {
+namespace {
+
+using costmodel::kAllResolutions;
+using costmodel::LatencyTable;
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+
+class AllocationTest : public ::testing::Test {
+ protected:
+  AllocationTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        cost_(&model_, &topo_),
+        table_(LatencyTable::Profile(cost_, 4, 20, 5))
+  {
+  }
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  LatencyTable table_;
+};
+
+TEST_F(AllocationTest, GenerousSlackPicksCheapestDegree)
+{
+  // With unlimited time, every step runs at the min-GPU-hour degree.
+  for (Resolution res : kAllResolutions) {
+    auto plan = FindPlan(table_, res, 50, 1e12);
+    ASSERT_TRUE(plan.feasible);
+    ASSERT_EQ(plan.segments.size(), 1u);
+    EXPECT_EQ(plan.segments[0].degree,
+              table_.MostEfficientDegree(res));
+    EXPECT_EQ(plan.segments[0].steps, 50);
+  }
+}
+
+TEST_F(AllocationTest, ImpossibleSlackFallsBackToFastest)
+{
+  auto plan = FindPlan(table_, Resolution::k2048, 50, 1000.0);
+  EXPECT_FALSE(plan.feasible);
+  ASSERT_EQ(plan.segments.size(), 1u);
+  EXPECT_EQ(plan.segments[0].degree,
+            table_.FastestDegree(Resolution::k2048));
+}
+
+TEST_F(AllocationTest, TightSlackMixesTwoDegrees)
+{
+  // Slack between all-SP4 and all-SP8 totals forces a mix.
+  const double t4 = table_.StepTimeUs(Resolution::k2048, 4);
+  const double t8 = table_.StepTimeUs(Resolution::k2048, 8);
+  const double slack = 50 * (0.4 * t4 + 0.6 * t8);
+  auto plan = FindPlan(table_, Resolution::k2048, 50, slack);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.TotalSteps(), 50);
+  EXPECT_LE(plan.exec_time_us, slack);
+  EXPECT_GE(plan.segments.size(), 1u);
+  EXPECT_LE(plan.segments.size(), 2u);
+}
+
+TEST_F(AllocationTest, PlanAccountingConsistent)
+{
+  auto plan = FindPlan(table_, Resolution::k1024, 30, 2.0e6);
+  double exec = 0.0, gpu = 0.0;
+  for (const auto& seg : plan.segments) {
+    exec += seg.steps * table_.StepTimeUs(Resolution::k1024, seg.degree);
+    gpu += seg.steps * table_.GpuTimeUs(Resolution::k1024, seg.degree);
+  }
+  EXPECT_NEAR(plan.exec_time_us, exec, 1e-6);
+  EXPECT_NEAR(plan.gpu_time_us, gpu, 1e-6);
+}
+
+/**
+ * Property: the fast two-degree planner matches the exhaustive DP's
+ * GPU time within the DP's discretization error, across resolutions,
+ * step counts, and slack tightness levels.
+ */
+class PlanOptimalitySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {
+ protected:
+  PlanOptimalitySweep()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        cost_(&model_, &topo_),
+        table_(LatencyTable::Profile(cost_, 4, 20, 5))
+  {
+  }
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  LatencyTable table_;
+};
+
+TEST_P(PlanOptimalitySweep, MatchesExhaustiveDp)
+{
+  auto [res_idx, steps, tightness] = GetParam();
+  const Resolution res = costmodel::ResolutionFromIndex(res_idx);
+  // Slack interpolates between the fastest and cheapest full plans.
+  const double t_fast = steps * table_.MinStepTimeUs(res);
+  const double t_cheap =
+      steps * table_.StepTimeUs(res, table_.MostEfficientDegree(res));
+  const double slack = t_fast + tightness * (t_cheap - t_fast);
+
+  auto fast_plan = FindPlan(table_, res, steps, slack);
+  auto exact_plan = ExhaustivePlan(table_, res, steps, slack, 4000);
+  ASSERT_TRUE(fast_plan.feasible);
+  ASSERT_TRUE(exact_plan.feasible);
+  EXPECT_LE(fast_plan.exec_time_us, slack + 1e-6);
+  // The two-degree planner must not be worse than the DP by more
+  // than the DP's bucket rounding slop.
+  EXPECT_LE(fast_plan.gpu_time_us, exact_plan.gpu_time_us * 1.02 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanOptimalitySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(5, 20, 50),
+                       ::testing::Values(0.0, 0.3, 0.7, 1.0)));
+
+class RoundAwareTest : public AllocationTest {
+ protected:
+  static constexpr double kTau = 300000.0;  // 300 ms rounds
+};
+
+TEST_F(RoundAwareTest, LowerBoundDominatesContinuousBound)
+{
+  // Round quantization can only slow things down.
+  for (Resolution res : kAllResolutions) {
+    for (int rem : {1, 3, 17, 50}) {
+      const double lb = RoundAwareLowerBoundUs(table_, res, rem, kTau);
+      EXPECT_GE(lb, rem * table_.MinStepTimeUs(res) - 1e-6);
+    }
+  }
+  EXPECT_EQ(RoundAwareLowerBoundUs(table_, Resolution::k256, 0, kTau),
+            0.0);
+}
+
+TEST_F(RoundAwareTest, SingleLeftoverStepCostsPartialRoundOnly)
+{
+  // One remaining step finishes mid-round: LB equals one step time.
+  const double lb =
+      RoundAwareLowerBoundUs(table_, Resolution::k2048, 1, kTau);
+  EXPECT_NEAR(lb, table_.MinStepTimeUs(Resolution::k2048), 1.0);
+}
+
+TEST_F(RoundAwareTest, PlanFitsSlack)
+{
+  for (Resolution res : kAllResolutions) {
+    for (double frac : {0.05, 0.3, 1.0}) {
+      const double slack = 50 * table_.MinStepTimeUs(res) / frac;
+      auto plan = RoundAwarePlan(table_, res, 50, slack, kTau);
+      if (plan.feasible) {
+        EXPECT_LE(plan.exec_time_us, slack + 1e-6);
+        EXPECT_EQ(plan.TotalSteps(), 50);
+      }
+    }
+  }
+}
+
+TEST_F(RoundAwareTest, InfeasibleWhenSlackBelowLowerBound)
+{
+  const double lb =
+      RoundAwareLowerBoundUs(table_, Resolution::k2048, 50, kTau);
+  auto plan = RoundAwarePlan(table_, Resolution::k2048, 50, lb * 0.9,
+                             kTau);
+  EXPECT_FALSE(plan.feasible);
+  auto plan_ok = RoundAwarePlan(table_, Resolution::k2048, 50, lb * 1.01,
+                                kTau);
+  EXPECT_TRUE(plan_ok.feasible);
+}
+
+TEST_F(RoundAwareTest, AvoidsOrphanStepSegments)
+{
+  // Regression for the near-miss bug: when the remaining steps fit a
+  // single round at the fast degree, the plan must not spread them
+  // over two degrees (costing an extra round).
+  const double t8 = table_.StepTimeUs(Resolution::k2048, 8);
+  const int fits = static_cast<int>(kTau / t8);  // steps in one round
+  ASSERT_GE(fits, 2);
+  auto plan = RoundAwarePlan(table_, Resolution::k2048, fits,
+                             (fits + 0.5) * t8, kTau);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.segments.size(), 1u);
+  EXPECT_LE(plan.exec_time_us, fits * t8 + 1e-6);
+}
+
+TEST_F(RoundAwareTest, GenerousSlackStillCheapest)
+{
+  for (Resolution res : kAllResolutions) {
+    auto plan = RoundAwarePlan(table_, res, 50, 1e12, kTau);
+    ASSERT_TRUE(plan.feasible);
+    // GPU time equal to the unconstrained minimum.
+    const int cheapest = table_.MostEfficientDegree(res);
+    EXPECT_NEAR(plan.gpu_time_us,
+                50 * table_.GpuTimeUs(res, cheapest), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tetri::core

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the cluster model: mask helpers, topologies (H100
+ * all-to-all vs A40 pairwise NVLink), the placement-aware allocator,
+ * and the process-group cache.
+ */
+#include <gtest/gtest.h>
+
+#include "cluster/allocator.h"
+#include "cluster/gpu_set.h"
+#include "cluster/process_group.h"
+#include "cluster/topology.h"
+
+namespace tetri::cluster {
+namespace {
+
+TEST(GpuSetTest, MaskBasics)
+{
+  EXPECT_EQ(Popcount(0b1011), 3);
+  EXPECT_EQ(FullMask(4), 0b1111u);
+  EXPECT_EQ(LowestGpu(0b1000), 3);
+  EXPECT_TRUE(IsPow2(8));
+  EXPECT_FALSE(IsPow2(6));
+  EXPECT_FALSE(IsPow2(0));
+}
+
+TEST(GpuSetTest, GpuIndicesAscending)
+{
+  EXPECT_EQ(GpuIndices(0b10101), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(GpuSetTest, MaskToString)
+{
+  EXPECT_EQ(MaskToString(0b101), "{0,2}");
+  EXPECT_EQ(MaskToString(0), "{}");
+}
+
+TEST(GpuSetTest, AlignedBlocksCoverNodeDisjointly)
+{
+  for (int k : {1, 2, 4, 8}) {
+    auto blocks = AlignedBlocks(8, k);
+    EXPECT_EQ(static_cast<int>(blocks.size()), 8 / k);
+    GpuMask all = 0;
+    for (GpuMask b : blocks) {
+      EXPECT_EQ(Popcount(b), k);
+      EXPECT_EQ(all & b, 0u);  // disjoint
+      all |= b;
+    }
+    EXPECT_EQ(all, FullMask(8));
+  }
+}
+
+TEST(GpuSetTest, AllSubsetsOfSizeCounts)
+{
+  // C(4,2) = 6 subsets of a full 4-GPU mask.
+  EXPECT_EQ(AllSubsetsOfSize(FullMask(4), 2).size(), 6u);
+  // Subsets of a sparse mask only use set bits.
+  for (GpuMask m : AllSubsetsOfSize(0b1010, 2)) {
+    EXPECT_EQ(m & ~GpuMask{0b1010}, 0u);
+  }
+  EXPECT_TRUE(AllSubsetsOfSize(0b1, 2).empty());
+}
+
+TEST(TopologyTest, H100IsUniformNvLink)
+{
+  auto topo = Topology::H100Node();
+  EXPECT_EQ(topo.num_gpus(), 8);
+  EXPECT_TRUE(topo.IsNvLinkOnly(FullMask(8)));
+  EXPECT_DOUBLE_EQ(topo.LinkBandwidth(0, 7), 900.0);
+  EXPECT_EQ(topo.FeasibleDegrees(), (std::vector<int>{1, 2, 4, 8}));
+}
+
+TEST(TopologyTest, A40PairsAreFastCrossPairsSlow)
+{
+  auto topo = Topology::A40Node();
+  EXPECT_EQ(topo.num_gpus(), 4);
+  EXPECT_GT(topo.LinkBandwidth(0, 1), topo.LinkBandwidth(1, 2));
+  EXPECT_TRUE(topo.IsNvLinkOnly(0b0011));   // pair {0,1}
+  EXPECT_TRUE(topo.IsNvLinkOnly(0b1100));   // pair {2,3}
+  EXPECT_FALSE(topo.IsNvLinkOnly(0b0110));  // cross-pair {1,2}
+  EXPECT_FALSE(topo.IsNvLinkOnly(0b1111));  // whole node crosses PCIe
+}
+
+TEST(TopologyTest, CollectiveBandwidthIsBottleneck)
+{
+  auto topo = Topology::A40Node();
+  EXPECT_DOUBLE_EQ(topo.CollectiveBandwidth(0b0011), 112.0);
+  EXPECT_DOUBLE_EQ(topo.CollectiveBandwidth(0b1111), 25.0);
+}
+
+TEST(TopologyTest, CollectiveLatencyGrowsWithSizeAndPcie)
+{
+  auto h100 = Topology::H100Node();
+  EXPECT_LT(h100.CollectiveLatencyUs(0b11),
+            h100.CollectiveLatencyUs(FullMask(8)));
+  EXPECT_EQ(h100.CollectiveLatencyUs(0b1), 0.0);
+
+  auto a40 = Topology::A40Node();
+  EXPECT_LT(a40.CollectiveLatencyUs(0b0011),
+            a40.CollectiveLatencyUs(0b0110));  // PCIe penalty
+}
+
+TEST(AllocatorTest, AllocatesAlignedBlocksFirst)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  auto m = alloc.Allocate(4);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 0b00001111u);
+  auto m2 = alloc.Allocate(4);
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(*m2, 0b11110000u);
+  EXPECT_FALSE(alloc.Allocate(1).has_value());
+}
+
+TEST(AllocatorTest, PrefersExactPreviousMask)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  const GpuMask prev = 0b11110000;
+  auto m = alloc.Allocate(4, prev);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, prev);
+}
+
+TEST(AllocatorTest, FallsBackToFragmentedMask)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  // Occupy GPUs 1 and 5 so no aligned 4-block is free.
+  ASSERT_TRUE(alloc.TryAllocateExact(0b00100010));
+  auto m = alloc.Allocate(4);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(Popcount(*m), 4);
+  EXPECT_EQ(*m & 0b00100010u, 0u);
+}
+
+TEST(AllocatorTest, ReleaseRestoresCapacity)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  auto m = alloc.Allocate(8);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(alloc.NumFree(), 0);
+  alloc.Release(*m);
+  EXPECT_EQ(alloc.NumFree(), 8);
+}
+
+TEST(AllocatorDeathTest, DoubleFreePanics)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  auto m = alloc.Allocate(2);
+  alloc.Release(*m);
+  EXPECT_DEATH(alloc.Release(*m), "double free");
+}
+
+TEST(AllocatorTest, SetFreeRestrictsPool)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  alloc.SetFree(0b00001111);
+  EXPECT_EQ(alloc.NumFree(), 4);
+  EXPECT_FALSE(alloc.Allocate(8).has_value());
+  auto m = alloc.Allocate(4);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, 0b00001111u);
+}
+
+TEST(ProcessGroupTest, WarmupChargedOnce)
+{
+  auto topo = Topology::H100Node();
+  ProcessGroupCache cache(&topo, 1000.0, 96.0);
+  const GpuMask g = 0b0011;
+  EXPECT_FALSE(cache.IsWarm(g));
+  const TimeUs first = cache.EnsureWarm(g);
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(cache.EnsureWarm(g), 0);
+  EXPECT_TRUE(cache.IsWarm(g));
+}
+
+TEST(ProcessGroupTest, SingleGpuIsAlwaysWarm)
+{
+  auto topo = Topology::H100Node();
+  ProcessGroupCache cache(&topo, 1000.0, 96.0);
+  EXPECT_TRUE(cache.IsWarm(0b1));
+  EXPECT_EQ(cache.EnsureWarm(0b1), 0);
+}
+
+TEST(ProcessGroupTest, BufferMemoryAccumulatesPerGpu)
+{
+  auto topo = Topology::H100Node();
+  ProcessGroupCache cache(&topo, 1000.0, 96.0);
+  cache.EnsureWarm(0b0011);
+  cache.EnsureWarm(0b0101);
+  EXPECT_DOUBLE_EQ(cache.BufferMibOnGpu(0), 192.0);
+  EXPECT_DOUBLE_EQ(cache.BufferMibOnGpu(1), 96.0);
+  EXPECT_DOUBLE_EQ(cache.BufferMibOnGpu(3), 0.0);
+}
+
+TEST(ProcessGroupTest, PcieGroupsCostMoreToWarm)
+{
+  auto topo = Topology::A40Node();
+  ProcessGroupCache cache(&topo, 1000.0, 96.0);
+  const TimeUs nvlink = cache.EnsureWarm(0b0011);
+  const TimeUs pcie = cache.EnsureWarm(0b0110);
+  EXPECT_GT(pcie, nvlink);
+}
+
+TEST(ProcessGroupTest, DefaultWarmSetCoversAlignedBlocks)
+{
+  auto topo = Topology::H100Node();
+  auto warm_set = ProcessGroupCache::DefaultWarmSet(topo);
+  // 4 blocks of 2 + 2 blocks of 4 + 1 block of 8.
+  EXPECT_EQ(warm_set.size(), 7u);
+}
+
+}  // namespace
+}  // namespace tetri::cluster

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Property sweeps over the cost model: monotonicity and sanity
+ * relations that must hold for every (model, topology, resolution,
+ * degree, batch) combination — the invariants the scheduler's
+ * correctness implicitly relies on.
+ */
+#include <gtest/gtest.h>
+
+#include "costmodel/latency_table.h"
+#include "costmodel/model_config.h"
+#include "costmodel/step_cost.h"
+
+namespace tetri::costmodel {
+namespace {
+
+using cluster::Topology;
+
+struct Platform {
+  ModelConfig model;
+  Topology topology;
+};
+
+Platform
+MakePlatform(int which)
+{
+  if (which == 0) {
+    return {ModelConfig::FluxDev(), Topology::H100Node()};
+  }
+  return {ModelConfig::Sd3Medium(), Topology::A40Node()};
+}
+
+class CostPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  CostPropertySweep()
+      : platform_(MakePlatform(std::get<0>(GetParam()))),
+        cost_(&platform_.model, &platform_.topology),
+        res_(ResolutionFromIndex(std::get<1>(GetParam())))
+  {
+  }
+  Platform platform_;
+  StepCostModel cost_;
+  Resolution res_;
+};
+
+TEST_P(CostPropertySweep, BatchCannotCollapseStepTime)
+{
+  // Doubling the batch normally lengthens the step. The exception is
+  // tiny per-GPU workloads where the occupancy gain outweighs the
+  // extra FLOPs (e.g. 256px at SP=8) — but even then the step must
+  // not shrink dramatically, and at the largest resolution it must
+  // be strictly monotone (occupancy is already saturated).
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    double prev = 0.0;
+    for (int bs : {1, 2, 4, 8}) {
+      const double t = cost_.StepTimeUs(res_, k, bs);
+      EXPECT_GT(t, prev * 0.8) << "k=" << k << " bs=" << bs;
+      if (res_ == Resolution::k2048) {
+        EXPECT_GT(t, prev) << "k=" << k << " bs=" << bs;
+      }
+      prev = t;
+    }
+  }
+}
+
+TEST_P(CostPropertySweep, BatchedPerImageTimeNeverWorse)
+{
+  // Batching amortizes launch overhead and raises occupancy: the
+  // per-image cost at batch 4 must not exceed the solo cost.
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    const double solo = cost_.StepTimeUs(res_, k, 1);
+    const double batched = cost_.StepTimeUs(res_, k, 4) / 4.0;
+    EXPECT_LE(batched, solo * 1.001) << "k=" << k;
+  }
+}
+
+TEST_P(CostPropertySweep, GpuTimePerStepRisesWithDegreeEventually)
+{
+  // k * T(k) at the max degree always exceeds the most efficient
+  // point (over-parallelization wastes GPU-hours, Insight 2).
+  const auto degrees = platform_.topology.FeasibleDegrees();
+  double best = 1e18;
+  for (int k : degrees) {
+    best = std::min(best, k * cost_.StepTimeUs(res_, k));
+  }
+  const int max_degree = degrees.back();
+  if (max_degree > 1) {
+    EXPECT_GT(max_degree * cost_.StepTimeUs(res_, max_degree),
+              best * 0.999);
+  }
+}
+
+TEST_P(CostPropertySweep, CommIsZeroOnlyAtDegreeOne)
+{
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    const double frac = cost_.CommFraction(res_, k);
+    if (k == 1) {
+      EXPECT_DOUBLE_EQ(frac, 0.0);
+    } else {
+      EXPECT_GT(frac, 0.0);
+      EXPECT_LT(frac, 1.0);
+    }
+  }
+}
+
+TEST_P(CostPropertySweep, RingAndUlyssesCommBothPositive)
+{
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    if (k == 1) continue;
+    const GpuMask mask = cluster::FullMask(k);
+    EXPECT_GT(cost_.CommTimeUs(res_, k, 1, mask), 0.0);
+    EXPECT_GT(cost_.RingCommTimeUs(res_, k, 1, mask), 0.0);
+  }
+}
+
+TEST_P(CostPropertySweep, SampledTimesStayNearMean)
+{
+  Rng rng(99);
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    const double mean = cost_.StepTimeUs(res_, k);
+    for (int i = 0; i < 50; ++i) {
+      const double sample = cost_.SampleStepTimeUs(res_, k, 1, rng);
+      EXPECT_NEAR(sample / mean, 1.0, 0.05);
+    }
+  }
+}
+
+TEST_P(CostPropertySweep, WorstPlacementNeverFasterThanReference)
+{
+  // The reference mask is the aligned (best-link) placement; any
+  // other mask of the same size can only be slower or equal.
+  for (int k : platform_.topology.FeasibleDegrees()) {
+    if (k == 1) continue;
+    const double reference = cost_.StepTimeUs(res_, k);
+    for (GpuMask mask : cluster::AllSubsetsOfSize(
+             platform_.topology.all_gpus(), k)) {
+      EXPECT_GE(cost_.StepTimeOnMaskUs(res_, 1, mask),
+                reference * 0.999)
+          << cluster::MaskToString(mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CostPropertySweep,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Values(0, 1, 2, 3)));
+
+}  // namespace
+}  // namespace tetri::costmodel

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tiny-DiT tests, including THE correctness property of the paper:
+ * sequence-parallel execution — at any degree, reconfigured at any
+ * step boundary — produces latents bit-identical to serial execution
+ * ("without degrading image quality", §1/§6).
+ */
+#include <gtest/gtest.h>
+
+#include "dit/ring_attention.h"
+#include "dit/sequence_parallel.h"
+#include "dit/tiny_dit.h"
+#include "dit/vae.h"
+
+namespace tetri::dit {
+namespace {
+
+TinyDitConfig
+SmallConfig()
+{
+  TinyDitConfig cfg;
+  cfg.hidden = 32;
+  cfg.heads = 8;
+  cfg.layers = 2;
+  cfg.text_tokens = 4;
+  return cfg;
+}
+
+TEST(TinyDitTest, ForwardShapeMatchesLatent)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("test");
+  auto noise = MakeNoise(model, 16, 1);
+  auto out = model.Forward(noise, text, 0.5);
+  EXPECT_EQ(out.shape(), noise.shape());
+}
+
+TEST(TinyDitTest, DeterministicForward)
+{
+  TinyDit a(SmallConfig()), b(SmallConfig());
+  auto text = a.EmbedText("a lighthouse in fog");
+  auto noise = MakeNoise(a, 16, 2);
+  EXPECT_TRUE(a.Forward(noise, text, 0.7)
+                  .Equals(b.Forward(noise, text, 0.7)));
+}
+
+TEST(TinyDitTest, TimestepChangesOutput)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("x");
+  auto noise = MakeNoise(model, 16, 3);
+  EXPECT_GT(model.Forward(noise, text, 1.0)
+                .MaxAbsDiff(model.Forward(noise, text, 0.1)),
+            0.0f);
+}
+
+TEST(TinyDitTest, PromptChangesOutput)
+{
+  TinyDit model(SmallConfig());
+  auto noise = MakeNoise(model, 16, 4);
+  auto a = model.Forward(noise, model.EmbedText("a red fox"), 0.5);
+  auto b = model.Forward(noise, model.EmbedText("a steam train"), 0.5);
+  EXPECT_GT(a.MaxAbsDiff(b), 0.0f);
+}
+
+TEST(TinyDitTest, SamplerConverges)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("a koi pond");
+  auto noise = MakeNoise(model, 16, 5);
+  auto latent = SampleEuler(model, noise, text, 8);
+  // The sampler must move the latent away from the starting noise
+  // and produce finite values.
+  EXPECT_GT(latent.MaxAbsDiff(noise), 0.0f);
+  for (std::size_t i = 0; i < latent.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(latent.data()[i]));
+  }
+}
+
+TEST(TinyDitTest, AttendHeadsRowSubsetMatchesFull)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("t");
+  auto noise = MakeNoise(model, 12, 6);
+  auto x = model.EmbedTokens(noise, text);
+  auto cond = model.TimestepCond(0.5);
+  tensor::Tensor q, k, v;
+  model.ProjectQkv(0, x, cond, &q, &k, &v);
+  auto full = model.AttendHeads(q, k, v, 0, 8, 0, x.dim(0));
+  auto rows = model.AttendHeads(q, k, v, 0, 8, 3, 7);
+  for (int i = 3; i < 7; ++i) {
+    for (int j = 0; j < full.dim(1); ++j) {
+      EXPECT_EQ(rows.At(i - 3, j), full.At(i, j));
+    }
+  }
+}
+
+/** The headline property: SP degree never changes the result. */
+class SpEquivalenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(SpEquivalenceSweep, BitIdenticalToSerial)
+{
+  auto [degree, tokens] = GetParam();
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("a dragon as concept art at midnight");
+  auto noise = MakeNoise(model, tokens, 42);
+  auto serial = SampleEuler(model, noise, text, 6);
+
+  UlyssesExecutor executor(&model);
+  auto parallel = executor.Sample(noise, text, 6, {degree});
+  EXPECT_TRUE(parallel.Equals(serial))
+      << "degree=" << degree << " tokens=" << tokens
+      << " maxdiff=" << parallel.MaxAbsDiff(serial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpEquivalenceSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(8, 16, 30)));
+
+TEST(SpEquivalenceTest, StepLevelReconfigurationIsExact)
+{
+  // TetriServe's core action: change the degree between steps.
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("an astronaut in ukiyo-e style");
+  auto noise = MakeNoise(model, 24, 7);
+  auto serial = SampleEuler(model, noise, text, 12);
+
+  UlyssesExecutor executor(&model);
+  auto zigzag = executor.Sample(noise, text, 12, {1, 8, 2, 4, 8, 1, 4});
+  EXPECT_TRUE(zigzag.Equals(serial));
+}
+
+TEST(SpEquivalenceTest, ThreadedAndSequentialWorkersAgree)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("x");
+  auto noise = MakeNoise(model, 16, 8);
+  UlyssesExecutor threaded(&model, /*use_threads=*/true);
+  UlyssesExecutor sequential(&model, /*use_threads=*/false);
+  EXPECT_TRUE(threaded.Forward(noise, text, 0.5, 4)
+                  .Equals(sequential.Forward(noise, text, 0.5, 4)));
+}
+
+TEST(SpEquivalenceTest, UnevenShardsStillExact)
+{
+  // 10 tokens + 4 text = 14 rows over 4 workers: uneven shards.
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("y");
+  auto noise = MakeNoise(model, 10, 9);
+  UlyssesExecutor executor(&model);
+  EXPECT_TRUE(executor.Forward(noise, text, 0.3, 4)
+                  .Equals(model.Forward(noise, text, 0.3)));
+}
+
+/** Ring attention computes the same function over a different wire
+ * pattern: bit-identical to serial and to Ulysses. */
+class RingEquivalenceSweep : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(RingEquivalenceSweep, BitIdenticalToSerial)
+{
+  const int degree = GetParam();
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("a sailing ship during a storm");
+  auto noise = MakeNoise(model, 20, 21);
+  auto serial = SampleEuler(model, noise, text, 6);
+  RingExecutor ring(&model);
+  auto out = ring.Sample(noise, text, 6, {degree});
+  EXPECT_TRUE(out.Equals(serial)) << "ring degree " << degree;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RingEquivalenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(RingEquivalenceTest, MatchesUlyssesExactly)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("a desert dune at golden hour");
+  auto noise = MakeNoise(model, 24, 22);
+  UlyssesExecutor ulysses(&model);
+  RingExecutor ring(&model);
+  EXPECT_TRUE(ring.Forward(noise, text, 0.4, 4)
+                  .Equals(ulysses.Forward(noise, text, 0.4, 4)));
+}
+
+TEST(RingEquivalenceTest, StatsCountHopsAndBytes)
+{
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("x");
+  auto noise = MakeNoise(model, 16, 23);
+  RingExecutor ring(&model);
+  RingStats stats;
+  ring.Forward(noise, text, 0.5, 4, &stats);
+  // layers * degree * (degree - 1) receives counted across workers.
+  EXPECT_EQ(stats.hops, SmallConfig().layers * 4 * 3);
+  EXPECT_GT(stats.floats_moved, 0u);
+}
+
+TEST(RingEquivalenceTest, DegreeMayExceedHeadCount)
+{
+  // Unlike Ulysses (degree must divide heads), rings shard tokens
+  // only; odd degrees work.
+  TinyDit model(SmallConfig());
+  auto text = model.EmbedText("y");
+  auto noise = MakeNoise(model, 15, 24);
+  RingExecutor ring(&model);
+  EXPECT_TRUE(ring.Forward(noise, text, 0.7, 5)
+                  .Equals(model.Forward(noise, text, 0.7)));
+}
+
+TEST(VaeTest, DecodeShape)
+{
+  ToyVae vae(4, 2, 4);
+  TinyDit model(SmallConfig());
+  auto latent = MakeNoise(model, 16, 10);
+  auto image = vae.Decode(latent, 4);
+  // 4x4 patches, patch edge 2, upscale 4 -> 32x32 pixels.
+  EXPECT_EQ(image.dim(0), 32);
+  EXPECT_EQ(image.dim(1), 32);
+}
+
+TEST(VaeTest, DecodeDeterministic)
+{
+  ToyVae a(4, 2, 4), b(4, 2, 4);
+  TinyDit model(SmallConfig());
+  auto latent = MakeNoise(model, 16, 11);
+  EXPECT_TRUE(a.Decode(latent, 4).Equals(b.Decode(latent, 4)));
+}
+
+TEST(VaeTest, PeakActivationIsPerImage)
+{
+  ToyVae vae(4, 2, 4);
+  // Sequential decoding: peak scales with one image's tokens, and
+  // doubling tokens doubles peak (no batch dimension).
+  EXPECT_EQ(vae.PeakActivationElems(32), 2 * vae.PeakActivationElems(16));
+}
+
+TEST(VaeDeathTest, MisalignedWidthPanics)
+{
+  ToyVae vae(4, 2, 4);
+  TinyDit model(SmallConfig());
+  auto latent = MakeNoise(model, 10, 12);
+  EXPECT_DEATH(vae.Decode(latent, 4), "check failed");
+}
+
+}  // namespace
+}  // namespace tetri::dit

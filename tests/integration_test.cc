@@ -1,0 +1,265 @@
+/**
+ * @file
+ * End-to-end integration tests across modules: full serving runs with
+ * every policy on shared traces, headline orderings from the paper's
+ * evaluation, ablation directionality, Nirvana integration, and
+ * cross-platform (H100/A40) execution.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/fixed_sp.h"
+#include "baselines/rssp.h"
+#include "core/tetri_scheduler.h"
+#include "metrics/metrics.h"
+#include "nirvana/cache.h"
+#include "serving/system.h"
+
+namespace tetri {
+namespace {
+
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+using serving::ServingResult;
+using serving::ServingSystem;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  IntegrationTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        system_(&topo_, &model_)
+  {
+  }
+
+  workload::Trace MakeTrace(double scale, bool skewed = false,
+                            std::uint64_t seed = 1, int n = 200)
+  {
+    workload::TraceSpec spec;
+    spec.num_requests = n;
+    spec.slo_scale = scale;
+    spec.seed = seed;
+    if (skewed) spec.mix = workload::ResolutionMix::Skewed();
+    return workload::BuildTrace(spec);
+  }
+
+  double AvgSar(serving::Scheduler* sched, double scale, bool skewed)
+  {
+    double total = 0.0;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      total +=
+          system_.Run(sched, MakeTrace(scale, skewed, seed)).Sar().overall;
+    }
+    return total / 3.0;
+  }
+
+  ModelConfig model_;
+  Topology topo_;
+  ServingSystem system_;
+};
+
+TEST_F(IntegrationTest, TetriServeBeatsEveryBaselineUniform)
+{
+  core::TetriScheduler tetri(&system_.table());
+  const double tetri_sar = AvgSar(&tetri, 1.0, false);
+
+  for (int k : {1, 2, 4, 8}) {
+    baselines::FixedSpScheduler fixed(k);
+    EXPECT_GT(tetri_sar, AvgSar(&fixed, 1.0, false))
+        << "vs SP=" << k;
+  }
+  baselines::RsspScheduler rssp(&system_.table());
+  EXPECT_GT(tetri_sar, AvgSar(&rssp, 1.0, false));
+}
+
+TEST_F(IntegrationTest, TetriServeBeatsEveryBaselineSkewed)
+{
+  core::TetriScheduler tetri(&system_.table());
+  const double tetri_sar = AvgSar(&tetri, 1.2, true);
+  for (int k : {1, 2, 4, 8}) {
+    baselines::FixedSpScheduler fixed(k);
+    EXPECT_GT(tetri_sar, AvgSar(&fixed, 1.2, true));
+  }
+  baselines::RsspScheduler rssp(&system_.table());
+  EXPECT_GT(tetri_sar, AvgSar(&rssp, 1.2, true));
+}
+
+TEST_F(IntegrationTest, FixedStrategiesTradeOffAcrossResolutions)
+{
+  // Fig. 4b: SP=1 near-perfect on 256px but zero on 2048px; SP=8
+  // serves 2048px but sacrifices the small resolutions.
+  auto trace = MakeTrace(1.0);
+  baselines::FixedSpScheduler sp1(1), sp8(8);
+  auto sar1 = system_.Run(&sp1, trace).Sar();
+  auto sar8 = system_.Run(&sp8, trace).Sar();
+  const int i256 = costmodel::ResolutionIndex(Resolution::k256);
+  const int i2048 = costmodel::ResolutionIndex(Resolution::k2048);
+  EXPECT_GT(sar1.per_resolution[i256], 0.9);
+  EXPECT_LT(sar1.per_resolution[i2048], 0.05);
+  EXPECT_GT(sar8.per_resolution[i2048], 0.3);
+  EXPECT_LT(sar8.per_resolution[i256], sar1.per_resolution[i256]);
+}
+
+TEST_F(IntegrationTest, SarImprovesWithLooserSlo)
+{
+  core::TetriScheduler tetri(&system_.table());
+  const double tight = AvgSar(&tetri, 1.0, false);
+  const double loose = AvgSar(&tetri, 1.5, false);
+  EXPECT_GT(loose, tight);
+  EXPECT_GT(loose, 0.9);
+}
+
+TEST_F(IntegrationTest, AblationsDegradeTetriServe)
+{
+  // Table 5 directionality: disabling elastic scale-up and placement
+  // preservation must not improve SAR.
+  core::TetriOptions full;
+  core::TetriOptions no_elastic = full;
+  no_elastic.elastic_scale_up = false;
+  core::TetriOptions bare = no_elastic;
+  bare.placement_preservation = false;
+
+  core::TetriScheduler s_full(&system_.table(), full);
+  core::TetriScheduler s_no_elastic(&system_.table(), no_elastic);
+  core::TetriScheduler s_bare(&system_.table(), bare);
+
+  const double sar_full = AvgSar(&s_full, 1.0, false);
+  const double sar_no_elastic = AvgSar(&s_no_elastic, 1.0, false);
+  const double sar_bare = AvgSar(&s_bare, 1.0, false);
+  EXPECT_GE(sar_full, sar_no_elastic - 0.02);
+  EXPECT_GT(sar_full, sar_bare);
+}
+
+TEST_F(IntegrationTest, NirvanaLiftsBothRsspAndTetriServe)
+{
+  // Table 3: caching raises SAR for both systems, and the combined
+  // TetriServe + Nirvana is best.
+  auto trace = MakeTrace(1.0, /*skewed=*/false, 5);
+  nirvana::NirvanaCache cache;
+  cache.WarmUp(10000);
+  auto cached_trace = cache.ApplyToTrace(trace);
+
+  baselines::RsspScheduler rssp(&system_.table());
+  core::TetriScheduler tetri(&system_.table());
+
+  const double rssp_plain = system_.Run(&rssp, trace).Sar().overall;
+  const double rssp_cached =
+      system_.Run(&rssp, cached_trace).Sar().overall;
+  const double tetri_plain = system_.Run(&tetri, trace).Sar().overall;
+  const double tetri_cached =
+      system_.Run(&tetri, cached_trace).Sar().overall;
+
+  EXPECT_GT(rssp_cached, rssp_plain);
+  EXPECT_GT(tetri_cached, tetri_plain);
+  EXPECT_GT(tetri_cached, rssp_cached);
+}
+
+TEST_F(IntegrationTest, LatentTransferOverheadNegligible)
+{
+  // §5 / Table 4: transfers below 0.05% of execution time.
+  core::TetriScheduler tetri(&system_.table());
+  auto result = system_.Run(&tetri, MakeTrace(1.0));
+  EXPECT_GT(result.num_latent_transfers, 0);
+  EXPECT_LT(static_cast<double>(result.latent_transfer_us) /
+                result.busy_gpu_us,
+            5e-4);
+}
+
+TEST_F(IntegrationTest, SchedulerDecisionsAreMilliseconds)
+{
+  // §5 / Table 6: the DP plans in well under 10 ms per invocation.
+  core::TetriScheduler tetri(&system_.table());
+  auto result = system_.Run(&tetri, MakeTrace(1.0));
+  ASSERT_GT(result.num_scheduler_calls, 0);
+  EXPECT_LT(result.scheduler_wall_us_max, 10000.0);
+}
+
+TEST_F(IntegrationTest, DeterministicEndToEnd)
+{
+  core::TetriScheduler tetri(&system_.table());
+  auto trace = MakeTrace(1.1);
+  auto a = system_.Run(&tetri, trace);
+  auto b = system_.Run(&tetri, trace);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion_us, b.records[i].completion_us);
+    EXPECT_DOUBLE_EQ(a.records[i].gpu_time_us, b.records[i].gpu_time_us);
+  }
+}
+
+TEST_F(IntegrationTest, WindowedMetricsCoverTheRun)
+{
+  core::TetriScheduler tetri(&system_.table());
+  auto result = system_.Run(&tetri, MakeTrace(1.5));
+  auto sar_series = metrics::WindowedSar(result.records, 60.0);
+  auto degree_series = metrics::WindowedAvgDegree(result.records, 60.0);
+  EXPECT_GT(sar_series.size(), 5u);
+  EXPECT_GT(degree_series.size(), 5u);
+  for (const auto& point : degree_series) {
+    EXPECT_GE(point.value, 1.0);
+    EXPECT_LE(point.value, 8.0);
+  }
+}
+
+TEST(IntegrationA40Test, Sd3OnA40RunsAndTetriServeWins)
+{
+  auto model = ModelConfig::Sd3Medium();
+  auto topo = Topology::A40Node();
+  ServingSystem system(&topo, &model);
+  auto avg_sar = [&](serving::Scheduler* sched) {
+    double total = 0.0;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      workload::TraceSpec spec;
+      spec.num_requests = 150;
+      spec.slo_scale = 1.0;
+      spec.seed = seed;
+      total +=
+          system.Run(sched, workload::BuildTrace(spec)).Sar().overall;
+    }
+    return total / 3.0;
+  };
+
+  core::TetriScheduler tetri(&system.table());
+  double best_fixed = 0.0;
+  for (int k : {1, 2, 4}) {
+    baselines::FixedSpScheduler fixed(k);
+    best_fixed = std::max(best_fixed, avg_sar(&fixed));
+  }
+  EXPECT_GT(avg_sar(&tetri), best_fixed);
+}
+
+TEST(IntegrationBurstyTest, TetriServeStableUnderBursts)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 200;
+  spec.slo_scale = 1.5;
+  spec.bursty = true;
+  spec.burst_factor = 4.0;
+  auto trace = workload::BuildTrace(spec);
+
+  core::TetriScheduler tetri(&system.table());
+  auto tetri_result = system.Run(&tetri, trace);
+
+  // Fig. 10: windowed SAR stays high with low variance relative to
+  // fixed strategies under the same bursty trace.
+  auto series = metrics::WindowedSar(tetri_result.records, 120.0);
+  RunningStat tetri_stat;
+  for (const auto& point : series) tetri_stat.Add(point.value);
+
+  baselines::FixedSpScheduler sp8(8);
+  auto sp8_result = system.Run(&sp8, trace);
+  RunningStat sp8_stat;
+  for (const auto& point :
+       metrics::WindowedSar(sp8_result.records, 120.0)) {
+    sp8_stat.Add(point.value);
+  }
+  EXPECT_GT(tetri_stat.mean(), sp8_stat.mean());
+}
+
+}  // namespace
+}  // namespace tetri

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Metrics tests: SAR computation, latency distributions over completed
+ * requests only (Fig. 9 semantics), windowed time series, GPU hours.
+ */
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+
+namespace tetri::metrics {
+namespace {
+
+using costmodel::Resolution;
+
+RequestRecord
+MakeRecord(RequestId id, Resolution res, TimeUs arrival, TimeUs deadline,
+           TimeUs completion)
+{
+  RequestRecord rec;
+  rec.id = id;
+  rec.resolution = res;
+  rec.arrival_us = arrival;
+  rec.deadline_us = deadline;
+  rec.completion_us = completion;
+  return rec;
+}
+
+TEST(RecordTest, SloSemantics)
+{
+  auto met = MakeRecord(0, Resolution::k256, 0, 100, 90);
+  auto missed = MakeRecord(1, Resolution::k256, 0, 100, 101);
+  auto dropped = MakeRecord(2, Resolution::k256, 0, 100,
+                            RequestRecord::kNeverCompleted);
+  EXPECT_TRUE(met.MetSlo());
+  EXPECT_FALSE(missed.MetSlo());
+  EXPECT_TRUE(missed.Completed());
+  EXPECT_FALSE(dropped.Completed());
+  EXPECT_EQ(met.LatencyUs(), 90);
+}
+
+TEST(SarTest, OverallAndPerResolution)
+{
+  std::vector<RequestRecord> records = {
+      MakeRecord(0, Resolution::k256, 0, 100, 50),
+      MakeRecord(1, Resolution::k256, 0, 100, 150),
+      MakeRecord(2, Resolution::k2048, 0, 100, 99),
+      MakeRecord(3, Resolution::k2048, 0, 100,
+                 RequestRecord::kNeverCompleted),
+  };
+  auto sar = ComputeSar(records);
+  EXPECT_EQ(sar.total, 4);
+  EXPECT_EQ(sar.met, 2);
+  EXPECT_DOUBLE_EQ(sar.overall, 0.5);
+  EXPECT_DOUBLE_EQ(
+      sar.per_resolution[costmodel::ResolutionIndex(Resolution::k256)],
+      0.5);
+  EXPECT_EQ(
+      sar.counts[costmodel::ResolutionIndex(Resolution::k2048)], 2);
+  // Unused resolutions report zero without dividing by zero.
+  EXPECT_DOUBLE_EQ(
+      sar.per_resolution[costmodel::ResolutionIndex(Resolution::k512)],
+      0.0);
+}
+
+TEST(SarTest, EmptyRecords)
+{
+  auto sar = ComputeSar({});
+  EXPECT_EQ(sar.total, 0);
+  EXPECT_DOUBLE_EQ(sar.overall, 0.0);
+}
+
+TEST(LatencyTest, ExcludesDroppedRequests)
+{
+  std::vector<RequestRecord> records = {
+      MakeRecord(0, Resolution::k256, 0, UsFromSec(2), UsFromSec(1)),
+      MakeRecord(1, Resolution::k256, 0, UsFromSec(2),
+                 RequestRecord::kNeverCompleted),
+      MakeRecord(2, Resolution::k256, UsFromSec(1), UsFromSec(3),
+                 UsFromSec(4)),
+  };
+  auto dist = LatencyDistributionSec(records);
+  EXPECT_EQ(dist.size(), 2u);  // dropped one excluded
+  EXPECT_DOUBLE_EQ(MeanLatencySec(records), 2.0);  // (1 + 3) / 2
+}
+
+TEST(WindowedSarTest, SplitsByDeadlineWindow)
+{
+  std::vector<RequestRecord> records = {
+      MakeRecord(0, Resolution::k256, 0, UsFromSec(5), UsFromSec(1)),
+      MakeRecord(1, Resolution::k256, 0, UsFromSec(8), UsFromSec(9)),
+      MakeRecord(2, Resolution::k256, 0, UsFromSec(15), UsFromSec(12)),
+  };
+  auto series = WindowedSar(records, 10.0);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].value, 0.5);  // 1 of 2 in [0,10)
+  EXPECT_DOUBLE_EQ(series[1].value, 1.0);  // 1 of 1 in [10,20)
+  EXPECT_EQ(series[0].count, 2);
+}
+
+TEST(WindowedAvgDegreeTest, WeightsByExecutedSteps)
+{
+  RequestRecord a = MakeRecord(0, Resolution::k256, 0, UsFromSec(4),
+                               UsFromSec(2));
+  a.steps_executed = 10;
+  a.degree_step_sum = 20.0;  // avg degree 2
+  RequestRecord b = MakeRecord(1, Resolution::k2048, 0, UsFromSec(5),
+                               UsFromSec(3));
+  b.steps_executed = 30;
+  b.degree_step_sum = 240.0;  // avg degree 8
+  auto series = WindowedAvgDegree({a, b}, 10.0);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0].value, 260.0 / 40.0);
+}
+
+TEST(GpuHoursTest, SumsAcrossRecords)
+{
+  RequestRecord a;
+  a.gpu_time_us = 3600.0 * 1e6;  // one GPU-hour
+  RequestRecord b;
+  b.gpu_time_us = 1800.0 * 1e6;
+  EXPECT_DOUBLE_EQ(TotalGpuHours({a, b}), 1.5);
+}
+
+}  // namespace
+}  // namespace tetri::metrics

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Nirvana cache tests: embedding similarity structure, skip bands,
+ * LRU eviction, warmup, and trace rewriting.
+ */
+#include <gtest/gtest.h>
+
+#include "nirvana/cache.h"
+#include "nirvana/embedding.h"
+#include "workload/trace.h"
+
+namespace tetri::nirvana {
+namespace {
+
+TEST(EmbeddingTest, UnitNorm)
+{
+  auto e = EmbedPrompt("a red fox in watercolor at sunset");
+  float norm = 0.0f;
+  for (float v : e) norm += v * v;
+  EXPECT_NEAR(norm, 1.0f, 1e-5f);
+}
+
+TEST(EmbeddingTest, IdenticalPromptsHaveSimilarityOne)
+{
+  auto a = EmbedPrompt("a dragon in pixel art");
+  auto b = EmbedPrompt("a dragon in pixel art");
+  EXPECT_NEAR(Cosine(a, b), 1.0f, 1e-6f);
+}
+
+TEST(EmbeddingTest, RewordingIsCloserThanDifferentTopic)
+{
+  auto base = EmbedPrompt("a red fox in watercolor at sunset, 8k");
+  auto reworded =
+      EmbedPrompt("a red fox in watercolor at sunset, cinematic");
+  auto different = EmbedPrompt("a city skyline in cyberpunk style");
+  EXPECT_GT(Cosine(base, reworded), Cosine(base, different));
+  EXPECT_GT(Cosine(base, reworded), 0.7f);
+}
+
+TEST(EmbeddingTest, CaseAndPunctuationInsensitive)
+{
+  auto a = EmbedPrompt("A Red Fox, at sunset.");
+  auto b = EmbedPrompt("a red fox at sunset");
+  EXPECT_NEAR(Cosine(a, b), 1.0f, 1e-5f);
+}
+
+TEST(CacheTest, SkipBandsMatchPaperSet)
+{
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.999f), 25);
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.985f), 20);
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.97f), 15);
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.94f), 10);
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.90f), 5);
+  EXPECT_EQ(NirvanaCache::SkipForSimilarity(0.50f), 0);
+}
+
+TEST(CacheTest, ColdCacheSkipsNothing)
+{
+  NirvanaCache cache;
+  EXPECT_EQ(cache.SkippableSteps("anything at all"), 0);
+}
+
+TEST(CacheTest, ExactRepeatSkipsMaximum)
+{
+  NirvanaCache cache;
+  cache.Insert("a koi pond in morning light");
+  EXPECT_EQ(cache.SkippableSteps("a koi pond in morning light"), 25);
+}
+
+TEST(CacheTest, LruEvictsOldest)
+{
+  NirvanaCache cache(/*capacity=*/2);
+  cache.Insert("prompt one");
+  cache.Insert("prompt two");
+  cache.Insert("prompt three");  // evicts "prompt one"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.SkippableSteps("prompt one"), 0);
+  EXPECT_EQ(cache.SkippableSteps("prompt three"), 25);
+}
+
+TEST(CacheTest, ServeCountsHits)
+{
+  NirvanaCache cache;
+  EXPECT_EQ(cache.Serve("a tea house under a full moon"), 0);
+  EXPECT_GT(cache.Serve("a tea house under a full moon"), 0);
+  EXPECT_EQ(cache.lookups(), 2);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(CacheTest, WarmUpPopulates)
+{
+  NirvanaCache cache(500);
+  cache.WarmUp(200);
+  EXPECT_EQ(cache.size(), 200u);
+}
+
+TEST(CacheTest, ApplyToTraceReducesSteps)
+{
+  workload::TraceSpec spec;
+  spec.num_requests = 200;
+  auto trace = workload::BuildTrace(spec);
+
+  NirvanaCache cache;
+  cache.WarmUp(2000);
+  auto reduced = cache.ApplyToTrace(trace);
+  ASSERT_EQ(reduced.requests.size(), trace.requests.size());
+
+  int total_before = 0, total_after = 0;
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    total_before += trace.requests[i].num_steps;
+    total_after += reduced.requests[i].num_steps;
+    EXPECT_GE(reduced.requests[i].num_steps, 1);
+    EXPECT_LE(reduced.requests[i].num_steps,
+              trace.requests[i].num_steps);
+    // Skip amounts come from the paper's k set.
+    const int skipped = trace.requests[i].num_steps -
+                        reduced.requests[i].num_steps;
+    EXPECT_TRUE(skipped == 0 || skipped == 5 || skipped == 10 ||
+                skipped == 15 || skipped == 20 || skipped == 25);
+  }
+  // The topic-clustered prompt stream must produce substantial reuse.
+  EXPECT_LT(total_after, total_before);
+  EXPECT_GT(cache.hits(), 50);
+}
+
+}  // namespace
+}  // namespace tetri::nirvana

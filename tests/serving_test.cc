@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Serving-framework tests: request tracker, latent manager, execution
+ * engine semantics (capacity, batching, reconfiguration stalls), and
+ * the end-to-end ServingSystem loop with simple policies.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/fixed_sp.h"
+#include "serving/engine.h"
+#include "serving/latent_manager.h"
+#include "serving/request_tracker.h"
+#include "serving/system.h"
+#include "sim/simulator.h"
+
+namespace tetri::serving {
+namespace {
+
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+
+workload::TraceRequest
+MakeRequest(RequestId id, Resolution res, TimeUs arrival, TimeUs deadline,
+            int steps = 50)
+{
+  workload::TraceRequest req;
+  req.id = id;
+  req.arrival_us = arrival;
+  req.deadline_us = deadline;
+  req.resolution = res;
+  req.num_steps = steps;
+  req.prompt = "test prompt";
+  return req;
+}
+
+TEST(RequestTrackerTest, AdmitAndLookup)
+{
+  RequestTracker tracker;
+  tracker.Admit(MakeRequest(7, Resolution::k512, 100, 2000));
+  EXPECT_TRUE(tracker.Contains(7));
+  EXPECT_FALSE(tracker.Contains(8));
+  EXPECT_EQ(tracker.Get(7).meta.resolution, Resolution::k512);
+  EXPECT_EQ(tracker.Get(7).RemainingSteps(), 50);
+  EXPECT_EQ(tracker.NumActive(), 1);
+}
+
+TEST(RequestTrackerTest, SchedulableSortsByDeadline)
+{
+  RequestTracker tracker;
+  tracker.Admit(MakeRequest(0, Resolution::k256, 0, 3000));
+  tracker.Admit(MakeRequest(1, Resolution::k256, 0, 1000));
+  tracker.Admit(MakeRequest(2, Resolution::k256, 500, 2000));
+  auto list = tracker.Schedulable(100);
+  ASSERT_EQ(list.size(), 2u);  // id 2 has not arrived yet
+  EXPECT_EQ(list[0]->meta.id, 1);
+  EXPECT_EQ(list[1]->meta.id, 0);
+}
+
+TEST(RequestTrackerTest, RunningRequestsNotSchedulable)
+{
+  RequestTracker tracker;
+  tracker.Admit(MakeRequest(0, Resolution::k256, 0, 1000));
+  tracker.Get(0).state = RequestState::kRunning;
+  EXPECT_TRUE(tracker.Schedulable(10).empty());
+}
+
+TEST(RequestTrackerDeathTest, DuplicateIdPanics)
+{
+  RequestTracker tracker;
+  tracker.Admit(MakeRequest(1, Resolution::k256, 0, 1000));
+  EXPECT_DEATH(tracker.Admit(MakeRequest(1, Resolution::k256, 0, 1000)),
+               "duplicate");
+}
+
+class LatentManagerTest : public ::testing::Test {
+ protected:
+  LatentManagerTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        cost_(&model_, &topo_),
+        latents_(&cost_)
+  {
+  }
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  LatentManager latents_;
+};
+
+TEST_F(LatentManagerTest, FirstPlacementIsFree)
+{
+  EXPECT_EQ(latents_.OnAssignment(1, Resolution::k1024, 0b0011), 0);
+  EXPECT_EQ(latents_.num_transfers(), 0);
+}
+
+TEST_F(LatentManagerTest, OverlappingMoveIsFree)
+{
+  latents_.OnAssignment(1, Resolution::k1024, 0b0011);
+  EXPECT_EQ(latents_.OnAssignment(1, Resolution::k1024, 0b0110), 0);
+}
+
+TEST_F(LatentManagerTest, DisjointMoveChargesTransfer)
+{
+  latents_.OnAssignment(1, Resolution::k1024, 0b0011);
+  const TimeUs cost = latents_.OnAssignment(1, Resolution::k1024, 0b1100);
+  EXPECT_GT(cost, 0);
+  EXPECT_EQ(latents_.num_transfers(), 1);
+  EXPECT_EQ(latents_.total_transfer_us(), cost);
+}
+
+TEST_F(LatentManagerTest, ForgetResetsPlacement)
+{
+  latents_.OnAssignment(1, Resolution::k256, 0b0001);
+  latents_.Forget(1);
+  EXPECT_EQ(latents_.OnAssignment(1, Resolution::k256, 0b0010), 0);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        cost_(&model_, &topo_),
+        latents_(&cost_),
+        engine_(&sim_, &cost_, &tracker_, &latents_, 1)
+  {
+  }
+
+  Request& Admit(RequestId id, Resolution res, int steps = 50)
+  {
+    return tracker_.Admit(
+        MakeRequest(id, res, 0, UsFromSec(100), steps));
+  }
+
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  sim::Simulator sim_;
+  RequestTracker tracker_;
+  LatentManager latents_;
+  ExecutionEngine engine_;
+};
+
+TEST_F(EngineTest, ExecutesStepsAndReleasesGpus)
+{
+  Admit(0, Resolution::k1024);
+  Assignment a;
+  a.requests = {0};
+  a.mask = 0b0011;
+  a.max_steps = 5;
+  engine_.Dispatch(a);
+  EXPECT_EQ(engine_.busy_mask(), 0b0011u);
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kRunning);
+  sim_.RunAll();
+  EXPECT_EQ(engine_.busy_mask(), 0u);
+  EXPECT_EQ(tracker_.Get(0).steps_done, 5);
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kQueued);
+  // Execution took roughly 5 mean steps.
+  const double expected = 5 * cost_.StepTimeUs(Resolution::k1024, 2);
+  EXPECT_NEAR(static_cast<double>(sim_.Now()), expected,
+              0.05 * expected);
+}
+
+TEST_F(EngineTest, CompletionIncludesVaeDecode)
+{
+  Admit(0, Resolution::k256, 2);
+  Assignment a;
+  a.requests = {0};
+  a.mask = 0b0001;
+  a.max_steps = 2;
+  TimeUs done_at = -1;
+  engine_.set_on_request_done(
+      [&](Request& req) { done_at = req.completion_us; });
+  engine_.Dispatch(a);
+  sim_.RunAll();
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kFinished);
+  EXPECT_GT(done_at, sim_.Now());  // VAE decode appended
+  EXPECT_NEAR(static_cast<double>(done_at - sim_.Now()),
+              cost_.VaeDecodeUs(Resolution::k256), 1.0);
+}
+
+TEST_F(EngineTest, BatchedAssignmentAdvancesAllMembers)
+{
+  Admit(0, Resolution::k256);
+  Admit(1, Resolution::k256);
+  Assignment a;
+  a.requests = {0, 1};
+  a.mask = 0b0001;
+  a.max_steps = 10;
+  engine_.Dispatch(a);
+  sim_.RunAll();
+  EXPECT_EQ(tracker_.Get(0).steps_done, 10);
+  EXPECT_EQ(tracker_.Get(1).steps_done, 10);
+  // GPU time split across the batch.
+  EXPECT_NEAR(tracker_.Get(0).gpu_time_us, tracker_.Get(1).gpu_time_us,
+              1e-6);
+}
+
+TEST_F(EngineTest, MaxStepsClampedByRemaining)
+{
+  Admit(0, Resolution::k256, 3);
+  Assignment a;
+  a.requests = {0};
+  a.mask = 0b0001;
+  a.max_steps = 100;
+  engine_.Dispatch(a);
+  sim_.RunAll();
+  EXPECT_EQ(tracker_.Get(0).steps_done, 3);
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kFinished);
+}
+
+TEST_F(EngineTest, ReconfigurationStallChargedOnMaskChange)
+{
+  Admit(0, Resolution::k1024);
+  Assignment first;
+  first.requests = {0};
+  first.mask = 0b0011;
+  first.max_steps = 1;
+  engine_.Dispatch(first);
+  sim_.RunAll();
+  EXPECT_EQ(engine_.num_reconfigs(), 0);
+
+  Assignment moved;
+  moved.requests = {0};
+  moved.mask = 0b1100;
+  moved.max_steps = 1;
+  engine_.Dispatch(moved);
+  sim_.RunAll();
+  EXPECT_EQ(engine_.num_reconfigs(), 1);
+  EXPECT_GT(engine_.reconfig_stall_us(), 0.0);
+}
+
+TEST_F(EngineTest, PlacementPreservationAvoidsStall)
+{
+  Admit(0, Resolution::k1024);
+  for (int round = 0; round < 3; ++round) {
+    Assignment a;
+    a.requests = {0};
+    a.mask = 0b0011;
+    a.max_steps = 1;
+    engine_.Dispatch(a);
+    sim_.RunAll();
+  }
+  EXPECT_EQ(engine_.num_reconfigs(), 0);
+}
+
+TEST_F(EngineTest, BusyGpuAccounting)
+{
+  Admit(0, Resolution::k512);
+  Assignment a;
+  a.requests = {0};
+  a.mask = 0b1111;
+  a.max_steps = 4;
+  engine_.Dispatch(a);
+  sim_.RunAll();
+  // 4 GPUs busy for the full execution.
+  EXPECT_NEAR(engine_.busy_gpu_us(), 4.0 * sim_.Now(),
+              0.01 * engine_.busy_gpu_us());
+}
+
+TEST_F(EngineTest, DispatchOnBusyGpuPanics)
+{
+  Admit(0, Resolution::k256);
+  Admit(1, Resolution::k256);
+  Assignment a;
+  a.requests = {0};
+  a.mask = 0b0001;
+  a.max_steps = 1;
+  engine_.Dispatch(a);
+  Assignment b;
+  b.requests = {1};
+  b.mask = 0b0001;
+  b.max_steps = 1;
+  EXPECT_DEATH(engine_.Dispatch(b), "busy");
+}
+
+TEST(ServingSystemTest, FixedSpServesEverythingEventually)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 40;
+  spec.slo_scale = 1.5;
+  auto trace = workload::BuildTrace(spec);
+
+  baselines::FixedSpScheduler sched(2);
+  auto result = system.Run(&sched, trace);
+  EXPECT_EQ(result.records.size(), 40u);
+  int completed = 0;
+  for (const auto& rec : result.records) {
+    if (rec.Completed()) ++completed;
+  }
+  EXPECT_EQ(completed + result.num_dropped, 40);
+  EXPECT_GT(result.busy_gpu_us, 0.0);
+  EXPECT_GT(result.num_scheduler_calls, 0);
+}
+
+TEST(ServingSystemTest, DeterministicAcrossRuns)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 30;
+  auto trace = workload::BuildTrace(spec);
+  baselines::FixedSpScheduler sched(4);
+  auto a = system.Run(&sched, trace);
+  auto b = system.Run(&sched, trace);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].completion_us, b.records[i].completion_us);
+  }
+}
+
+TEST(ServingSystemTest, TimedOutRequestsAreDropped)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingConfig config;
+  config.drop_timeout_factor = 1.5;  // aggressive for the test
+  ServingSystem system(&topo, &model, config);
+  workload::TraceSpec spec;
+  spec.num_requests = 80;
+  spec.arrival_rate_per_min = 60.0;  // overload
+  spec.mix = workload::ResolutionMix::Homogeneous(Resolution::k2048);
+  auto trace = workload::BuildTrace(spec);
+  baselines::FixedSpScheduler sched(1);  // hopeless for 2048
+  auto result = system.Run(&sched, trace);
+  EXPECT_GT(result.num_dropped, 0);
+}
+
+}  // namespace
+}  // namespace tetri::serving

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator: ordering, same-time
+ * stability, clock semantics, nested scheduling.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace tetri::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime)
+{
+  EventQueue q;
+  std::vector<int> fired;
+  q.Push(30, [&]() { fired.push_back(3); });
+  q.Push(10, [&]() { fired.push_back(1); });
+  q.Push(20, [&]() { fired.push_back(2); });
+  while (!q.empty()) q.Pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFiresInInsertionOrder)
+{
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&fired, i]() { fired.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest)
+{
+  EventQueue q;
+  q.Push(42, []() {});
+  q.Push(7, []() {});
+  EXPECT_EQ(q.NextTime(), 7);
+}
+
+TEST(SimulatorTest, ClockAdvancesMonotonically)
+{
+  Simulator sim;
+  std::vector<TimeUs> seen;
+  sim.ScheduleAt(100, [&]() { seen.push_back(sim.Now()); });
+  sim.ScheduleAt(50, [&]() { seen.push_back(sim.Now()); });
+  sim.RunAll();
+  EXPECT_EQ(seen, (std::vector<TimeUs>{50, 100}));
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative)
+{
+  Simulator sim;
+  TimeUs fired_at = -1;
+  sim.ScheduleAt(10, [&]() {
+    sim.ScheduleAfter(5, [&]() { fired_at = sim.Now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(fired_at, 15);
+}
+
+TEST(SimulatorTest, NestedEventsAtSameTime)
+{
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(10, [&]() {
+    order.push_back(1);
+    sim.ScheduleAfter(0, [&]() { order.push_back(2); });
+  });
+  sim.ScheduleAt(10, [&]() { order.push_back(3); });
+  sim.RunAll();
+  // The zero-delay event was enqueued after the second t=10 event.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary)
+{
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(10, [&]() { ++fired; });
+  sim.ScheduleAt(20, [&]() { ++fired; });
+  sim.ScheduleAt(30, [&]() { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20);
+  EXPECT_TRUE(sim.HasPending());
+  sim.RunAll();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, StepFiresExactlyOne)
+{
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&]() { ++fired; });
+  sim.ScheduleAt(2, [&]() { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInPastPanics)
+{
+  Simulator sim;
+  sim.ScheduleAt(100, []() {});
+  sim.RunAll();
+  EXPECT_DEATH(sim.ScheduleAt(50, []() {}), "past");
+}
+
+}  // namespace
+}  // namespace tetri::sim

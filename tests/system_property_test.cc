@@ -1,0 +1,127 @@
+/**
+ * @file
+ * System-level property sweep: for every (policy, mix, SLO scale,
+ * arrival pattern) combination, a full serving run must satisfy the
+ * global invariants — every request reaches a terminal state, GPU
+ * accounting is internally consistent, latency is bounded below by
+ * physics (the fastest possible execution), and reported SAR matches
+ * the per-record ground truth.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/edf.h"
+#include "baselines/fixed_sp.h"
+#include "baselines/rssp.h"
+#include "core/tetri_scheduler.h"
+#include "serving/system.h"
+
+namespace tetri {
+namespace {
+
+using costmodel::ModelConfig;
+using cluster::Topology;
+
+struct SweepParam {
+  int policy;      // 0..3 fixed SP, 4 RSSP, 5 EDF, 6 TetriServe
+  int mix;         // 0 uniform, 1 skewed
+  double scale;
+  bool bursty;
+};
+
+class SystemPropertySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double, bool>> {
+};
+
+TEST_P(SystemPropertySweep, GlobalInvariantsHold)
+{
+  auto [policy_idx, mix_idx, scale, bursty] = GetParam();
+
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  serving::ServingSystem system(&topo, &model);
+
+  std::unique_ptr<serving::Scheduler> policy;
+  switch (policy_idx) {
+    case 0: policy = std::make_unique<baselines::FixedSpScheduler>(1); break;
+    case 1: policy = std::make_unique<baselines::FixedSpScheduler>(4); break;
+    case 2:
+      policy = std::make_unique<baselines::RsspScheduler>(&system.table());
+      break;
+    case 3:
+      policy = std::make_unique<baselines::EdfScheduler>(&system.table());
+      break;
+    default:
+      policy = std::make_unique<core::TetriScheduler>(&system.table());
+  }
+
+  workload::TraceSpec spec;
+  spec.num_requests = 120;
+  spec.slo_scale = scale;
+  spec.bursty = bursty;
+  if (mix_idx == 1) spec.mix = workload::ResolutionMix::Skewed();
+  auto trace = workload::BuildTrace(spec);
+
+  auto result = system.Run(policy.get(), trace);
+
+  // Every request accounted for, exactly once, in trace order.
+  ASSERT_EQ(result.records.size(), trace.requests.size());
+
+  double attributed_gpu_us = 0.0;
+  int completed = 0;
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& rec = result.records[i];
+    const auto& req = trace.requests[i];
+    EXPECT_EQ(rec.id, req.id);
+    EXPECT_EQ(rec.resolution, req.resolution);
+    EXPECT_EQ(rec.arrival_us, req.arrival_us);
+    attributed_gpu_us += rec.gpu_time_us;
+    if (!rec.Completed()) continue;
+    ++completed;
+    // Terminal requests executed exactly their step budget.
+    EXPECT_EQ(rec.steps_executed, req.num_steps);
+    // Latency is bounded below by the fastest conceivable execution.
+    const double physics_floor =
+        req.num_steps * system.table().MinStepTimeUs(req.resolution) +
+        system.table().VaeDecodeUs(req.resolution);
+    EXPECT_GE(static_cast<double>(rec.LatencyUs()),
+              physics_floor * 0.99);
+    // Average degree within the feasible range.
+    const double avg_degree =
+        rec.degree_step_sum / rec.steps_executed;
+    EXPECT_GE(avg_degree, 1.0);
+    EXPECT_LE(avg_degree, 8.0);
+  }
+  // Completed + dropped covers the whole trace.
+  EXPECT_EQ(completed + result.num_dropped,
+            static_cast<int>(trace.requests.size()));
+
+  // Engine busy time covers all per-request attribution (busy also
+  // includes transfer/reconfig time not attributed to requests).
+  EXPECT_GE(result.busy_gpu_us, attributed_gpu_us * 0.999);
+  // Utilization within physical limits.
+  EXPECT_GT(result.busy_gpu_us, 0.0);
+  EXPECT_LE(result.GpuUtilization(topo.num_gpus()), 1.0 + 1e-9);
+
+  // SAR summary consistent with raw records.
+  auto sar = result.Sar();
+  int met = 0;
+  for (const auto& rec : result.records) met += rec.MetSlo() ? 1 : 0;
+  EXPECT_EQ(sar.met, met);
+  EXPECT_EQ(sar.total, static_cast<int>(result.records.size()));
+
+  // The control plane was exercised and stayed fast.
+  EXPECT_GT(result.num_scheduler_calls, 0);
+  EXPECT_LT(result.scheduler_wall_us_max, 50000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SystemPropertySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0, 1),
+                       ::testing::Values(1.0, 1.5),
+                       ::testing::Values(false, true)));
+
+}  // namespace
+}  // namespace tetri

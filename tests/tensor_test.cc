@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tensor library tests: shapes, accessors, op correctness against
+ * hand-computed values, numerical properties of softmax/layernorm.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace tetri::tensor {
+namespace {
+
+TEST(TensorTest, ShapeAndZeroInit)
+{
+  Tensor t({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, AccessorsRowMajor)
+{
+  Tensor t({2, 3});
+  t.At(1, 2) = 5.0f;
+  EXPECT_EQ(t.data()[5], 5.0f);
+  Tensor r3({2, 2, 2});
+  r3.At(1, 1, 1) = 7.0f;
+  EXPECT_EQ(r3.data()[7], 7.0f);
+}
+
+TEST(TensorTest, RandnDeterministic)
+{
+  Rng a(5), b(5);
+  auto x = Tensor::Randn({4, 4}, a);
+  auto y = Tensor::Randn({4, 4}, b);
+  EXPECT_TRUE(x.Equals(y));
+}
+
+TEST(TensorTest, SliceRows)
+{
+  Tensor t({4, 2});
+  for (int i = 0; i < 4; ++i) {
+    t.At(i, 0) = static_cast<float>(i);
+  }
+  Tensor slice = t.SliceRows(1, 3);
+  EXPECT_EQ(slice.dim(0), 2);
+  EXPECT_EQ(slice.At(0, 0), 1.0f);
+  EXPECT_EQ(slice.At(1, 0), 2.0f);
+}
+
+TEST(TensorTest, ConcatRowsInverseOfSlicing)
+{
+  Rng rng(9);
+  Tensor t = Tensor::Randn({7, 3}, rng);
+  Tensor joined =
+      ConcatRows({t.SliceRows(0, 2), t.SliceRows(2, 5), t.SliceRows(5, 7)});
+  EXPECT_TRUE(joined.Equals(t));
+}
+
+TEST(TensorTest, MaxAbsDiff)
+{
+  Tensor a({1, 2}), b({1, 2});
+  a.At(0, 0) = 1.0f;
+  b.At(0, 0) = 1.5f;
+  EXPECT_FLOAT_EQ(a.MaxAbsDiff(b), 0.5f);
+}
+
+TEST(OpsTest, MatMulKnownValues)
+{
+  Tensor a({2, 2}), b({2, 2});
+  a.At(0, 0) = 1;
+  a.At(0, 1) = 2;
+  a.At(1, 0) = 3;
+  a.At(1, 1) = 4;
+  b.At(0, 0) = 5;
+  b.At(0, 1) = 6;
+  b.At(1, 0) = 7;
+  b.At(1, 1) = 8;
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50);
+}
+
+TEST(OpsTest, MatMulIdentity)
+{
+  Rng rng(4);
+  Tensor x = Tensor::Randn({3, 3}, rng);
+  Tensor eye({3, 3});
+  for (int i = 0; i < 3; ++i) eye.At(i, i) = 1.0f;
+  EXPECT_TRUE(MatMul(x, eye).Equals(x));
+}
+
+TEST(OpsTest, AddAndBias)
+{
+  Tensor x({2, 2});
+  x.At(0, 0) = 1;
+  Tensor bias({2});
+  bias.At(0) = 10;
+  bias.At(1) = 20;
+  Tensor out = AddBias(x, bias);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 11);
+  EXPECT_FLOAT_EQ(out.At(1, 1), 20);
+  EXPECT_FLOAT_EQ(Add(x, x).At(0, 0), 2);
+  EXPECT_FLOAT_EQ(Scale(x, 3.0f).At(0, 0), 3);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne)
+{
+  Rng rng(6);
+  Tensor x = Tensor::Randn({5, 8}, rng, 3.0f);
+  Tensor s = SoftmaxRows(x);
+  for (int i = 0; i < 5; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_GT(s.At(i, j), 0.0f);
+      total += s.At(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxNumericallyStableForLargeLogits)
+{
+  Tensor x({1, 2});
+  x.At(0, 0) = 1000.0f;
+  x.At(0, 1) = 999.0f;
+  Tensor s = SoftmaxRows(x);
+  EXPECT_FALSE(std::isnan(s.At(0, 0)));
+  EXPECT_GT(s.At(0, 0), s.At(0, 1));
+}
+
+TEST(OpsTest, LayerNormRowsZeroMeanUnitVar)
+{
+  Rng rng(8);
+  Tensor x = Tensor::Randn({3, 64}, rng, 5.0f);
+  Tensor n = LayerNormRows(x);
+  for (int i = 0; i < 3; ++i) {
+    float mean = 0.0f, var = 0.0f;
+    for (int j = 0; j < 64; ++j) mean += n.At(i, j);
+    mean /= 64.0f;
+    for (int j = 0; j < 64; ++j) {
+      var += (n.At(i, j) - mean) * (n.At(i, j) - mean);
+    }
+    var /= 64.0f;
+    EXPECT_NEAR(mean, 0.0f, 1e-4f);
+    EXPECT_NEAR(var, 1.0f, 1e-2f);
+  }
+}
+
+TEST(OpsTest, GeluFixedPoints)
+{
+  Tensor x({1, 3});
+  x.At(0, 0) = 0.0f;
+  x.At(0, 1) = 10.0f;
+  x.At(0, 2) = -10.0f;
+  Tensor g = Gelu(x);
+  EXPECT_FLOAT_EQ(g.At(0, 0), 0.0f);
+  EXPECT_NEAR(g.At(0, 1), 10.0f, 1e-3f);
+  EXPECT_NEAR(g.At(0, 2), 0.0f, 1e-3f);
+}
+
+TEST(OpsTest, TransposeInvolution)
+{
+  Rng rng(10);
+  Tensor x = Tensor::Randn({3, 5}, rng);
+  EXPECT_TRUE(Transpose(Transpose(x)).Equals(x));
+  EXPECT_EQ(Transpose(x).dim(0), 5);
+}
+
+TEST(TensorDeathTest, OutOfBoundsPanics)
+{
+  Tensor t({2, 2});
+  EXPECT_DEATH(t.At(2, 0), "check failed");
+}
+
+}  // namespace
+}  // namespace tetri::tensor

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * TetriScheduler behaviour tests: plan validity invariants over many
+ * contexts (property sweep), placement preservation, elastic
+ * scale-up, selective batching, best-effort lane, round duration.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/tetri_scheduler.h"
+#include "costmodel/model_config.h"
+#include "serving/request_tracker.h"
+
+namespace tetri::core {
+namespace {
+
+using costmodel::LatencyTable;
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+using serving::Request;
+using serving::RequestTracker;
+using serving::ScheduleContext;
+
+class TetriSchedulerTest : public ::testing::Test {
+ protected:
+  TetriSchedulerTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node()),
+        cost_(&model_, &topo_),
+        table_(LatencyTable::Profile(cost_, 4, 20, 5))
+  {
+  }
+
+  Request& Admit(RequestId id, Resolution res, TimeUs now,
+                 double slo_scale = 1.0, int steps = 50)
+  {
+    workload::TraceRequest meta;
+    meta.id = id;
+    meta.arrival_us = now;
+    meta.deadline_us =
+        now + static_cast<TimeUs>(
+                  slo_scale *
+                  workload::SloPolicy::BaseTargetSec(res) * 1e6);
+    meta.resolution = res;
+    meta.num_steps = steps;
+    return tracker_.Admit(meta);
+  }
+
+  ScheduleContext MakeContext(TimeUs now, TimeUs tau,
+                              GpuMask free = 0xFF)
+  {
+    schedulable_ = tracker_.Schedulable(now);
+    ScheduleContext ctx;
+    ctx.now = now;
+    ctx.round_end = now + tau;
+    ctx.free_gpus = free;
+    ctx.schedulable = &schedulable_;
+    ctx.topology = &topo_;
+    ctx.table = &table_;
+    return ctx;
+  }
+
+  /** Structural invariants every plan must satisfy. */
+  void ValidatePlan(const serving::RoundPlan& plan,
+                    const ScheduleContext& ctx)
+  {
+    GpuMask used = 0;
+    for (const auto& a : plan.assignments) {
+      EXPECT_NE(a.mask, 0u);
+      EXPECT_TRUE(cluster::IsPow2(cluster::Popcount(a.mask)));
+      EXPECT_EQ(a.mask & used, 0u) << "overlapping assignment";
+      EXPECT_EQ(a.mask & ~ctx.free_gpus, 0u) << "uses busy GPUs";
+      used |= a.mask;
+      EXPECT_GE(a.max_steps, 1);
+      ASSERT_FALSE(a.requests.empty());
+      const Resolution res =
+          tracker_.Get(a.requests.front()).meta.resolution;
+      for (RequestId id : a.requests) {
+        EXPECT_EQ(tracker_.Get(id).meta.resolution, res);
+        EXPECT_LE(a.max_steps, tracker_.Get(id).RemainingSteps());
+      }
+    }
+  }
+
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  LatencyTable table_;
+  RequestTracker tracker_;
+  std::vector<Request*> schedulable_;
+};
+
+TEST_F(TetriSchedulerTest, RoundDurationScalesWithGranularity)
+{
+  TetriOptions opt1, opt5;
+  opt1.step_granularity = 1;
+  opt5.step_granularity = 5;
+  TetriScheduler s1(&table_, opt1), s5(&table_, opt5);
+  EXPECT_NEAR(static_cast<double>(s5.RoundDurationUs()),
+              5.0 * s1.RoundDurationUs(), 5.0);
+  EXPECT_GT(s1.RoundDurationUs(), 0);
+}
+
+TEST_F(TetriSchedulerTest, SingleUrgentLargeRequestGetsMaxDegree)
+{
+  TetriScheduler sched(&table_);
+  Admit(0, Resolution::k2048, 0);
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ValidatePlan(plan, ctx);
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  // Tight 2048 deadline needs SP=8 (possibly after elastic scale-up).
+  EXPECT_EQ(cluster::Popcount(plan.assignments[0].mask), 8);
+}
+
+TEST_F(TetriSchedulerTest, RelaxedSmallRequestStaysNarrow)
+{
+  TetriScheduler sched(&table_);
+  Admit(0, Resolution::k256, 0, /*slo_scale=*/1.5);
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ValidatePlan(plan, ctx);
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  // 256px plans never include degrees beyond SP=1 (min GPU-hours),
+  // and scaling up would not make steps faster.
+  EXPECT_EQ(cluster::Popcount(plan.assignments[0].mask), 1);
+}
+
+TEST_F(TetriSchedulerTest, ElasticScaleUpUsesIdleGpus)
+{
+  TetriOptions with, without;
+  without.elastic_scale_up = false;
+  Admit(0, Resolution::k1024, 0, /*slo_scale=*/1.5);
+
+  TetriScheduler elastic(&table_, with);
+  auto ctx = MakeContext(0, elastic.RoundDurationUs());
+  auto plan = elastic.Plan(ctx);
+  ValidatePlan(plan, ctx);
+  int degree_with = cluster::Popcount(plan.assignments.at(0).mask);
+
+  TetriScheduler rigid(&table_, without);
+  auto ctx2 = MakeContext(0, rigid.RoundDurationUs());
+  auto plan2 = rigid.Plan(ctx2);
+  ValidatePlan(plan2, ctx2);
+  int degree_without = cluster::Popcount(plan2.assignments.at(0).mask);
+
+  // Elastic scale-up grants the lone request more GPUs (1024 keeps
+  // benefiting up to SP=8); without it, the plan degree sticks.
+  EXPECT_GT(degree_with, degree_without);
+}
+
+TEST_F(TetriSchedulerTest, PlacementPreservationKeepsMask)
+{
+  TetriScheduler sched(&table_);
+  Request& req = Admit(0, Resolution::k2048, 0);
+  req.last_degree = 8;
+  req.last_mask = 0xFF;
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  EXPECT_EQ(plan.assignments[0].mask, 0xFFu);
+}
+
+TEST_F(TetriSchedulerTest, SelectiveBatchingMergesSmallRequests)
+{
+  TetriOptions opts;
+  opts.max_batch = 4;
+  TetriScheduler sched(&table_, opts);
+  // More relaxed 256px requests than GPUs: the overflow beyond the
+  // eight solo slots joins existing assignments as batch guests
+  // (batching only fires when a request would otherwise idle).
+  for (RequestId id = 0; id < 12; ++id) {
+    Admit(id, Resolution::k256, 0, /*slo_scale=*/1.5);
+  }
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ValidatePlan(plan, ctx);
+  std::size_t max_members = 0;
+  std::size_t scheduled = 0;
+  for (const auto& a : plan.assignments) {
+    max_members = std::max(max_members, a.requests.size());
+    scheduled += a.requests.size();
+  }
+  EXPECT_GE(max_members, 2u);
+  EXPECT_GT(scheduled, 8u);  // more requests served than GPUs
+}
+
+TEST_F(TetriSchedulerTest, BatchingIdleWhenGpusAreFree)
+{
+  // With idle GPUs available every request keeps a dedicated group;
+  // batching only trades latency for capacity under pressure.
+  TetriScheduler sched(&table_);
+  for (RequestId id = 0; id < 3; ++id) {
+    Admit(id, Resolution::k256, 0, /*slo_scale=*/1.5);
+  }
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.requests.size(), 1u);
+  }
+}
+
+TEST_F(TetriSchedulerTest, BatchingDisabledKeepsSingletons)
+{
+  TetriOptions opts;
+  opts.selective_batching = false;
+  TetriScheduler sched(&table_, opts);
+  for (RequestId id = 0; id < 12; ++id) {
+    Admit(id, Resolution::k256, 0, 1.5);
+  }
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.requests.size(), 1u);
+  }
+}
+
+TEST_F(TetriSchedulerTest, LargeResolutionsAreNeverBatched)
+{
+  TetriScheduler sched(&table_);
+  for (RequestId id = 0; id < 6; ++id) {
+    Admit(id, Resolution::k2048, 0, 1.5);
+  }
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  for (const auto& a : plan.assignments) {
+    EXPECT_EQ(a.requests.size(), 1u);
+  }
+}
+
+TEST_F(TetriSchedulerTest, DefinitelyLateGetsBestEffortSingleGpu)
+{
+  TetriScheduler sched(&table_);
+  // A 2048 with essentially no slack left: definitely late.
+  Request& req = Admit(0, Resolution::k2048, 0);
+  req.meta.deadline_us = 100;
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ASSERT_EQ(plan.assignments.size(), 1u);
+  // Best-effort lane grants one GPU; elastic may scale it up since
+  // the node is otherwise idle, but it must still be scheduled.
+  EXPECT_GE(cluster::Popcount(plan.assignments[0].mask), 1);
+}
+
+TEST_F(TetriSchedulerTest, NoGpusMeansEmptyPlan)
+{
+  TetriScheduler sched(&table_);
+  Admit(0, Resolution::k512, 0);
+  auto ctx = MakeContext(0, sched.RoundDurationUs(), /*free=*/0);
+  EXPECT_TRUE(sched.Plan(ctx).assignments.empty());
+}
+
+TEST_F(TetriSchedulerTest, NameReflectsAblations)
+{
+  TetriOptions opts;
+  opts.placement_preservation = false;
+  opts.elastic_scale_up = false;
+  TetriScheduler sched(&table_, opts);
+  EXPECT_EQ(sched.Name(), "TetriServe-NoPlace-NoElastic");
+}
+
+/** Property sweep: plans stay structurally valid across random
+ * contention levels, mixes, partial capacity, and granularities. */
+class PlanValiditySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+};
+
+TEST_P(PlanValiditySweep, StructurallyValid)
+{
+  auto [seed, granularity, free_gpus] = GetParam();
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  costmodel::StepCostModel cost(&model, &topo);
+  auto table = LatencyTable::Profile(cost, 4, 20, 5);
+
+  TetriOptions opts;
+  opts.step_granularity = granularity;
+  TetriScheduler sched(&table, opts);
+
+  Rng rng(seed);
+  RequestTracker tracker;
+  const int num_requests = 1 + static_cast<int>(rng.NextBelow(10));
+  const TimeUs now = 1000000;
+  for (RequestId id = 0; id < num_requests; ++id) {
+    workload::TraceRequest meta;
+    meta.id = id;
+    meta.resolution = costmodel::ResolutionFromIndex(
+        static_cast<int>(rng.NextBelow(4)));
+    meta.arrival_us = now - static_cast<TimeUs>(rng.NextBelow(2000000));
+    meta.deadline_us =
+        meta.arrival_us +
+        static_cast<TimeUs>(
+            workload::SloPolicy::BaseTargetSec(meta.resolution) * 1e6 *
+            rng.NextRange(0.8, 1.6));
+    meta.num_steps = 50;
+    Request& req = tracker.Admit(meta);
+    req.steps_done = static_cast<int>(rng.NextBelow(49));
+  }
+
+  auto schedulable = tracker.Schedulable(now);
+  ScheduleContext ctx;
+  ctx.now = now;
+  ctx.round_end = now + sched.RoundDurationUs();
+  ctx.free_gpus = cluster::FullMask(free_gpus);
+  ctx.schedulable = &schedulable;
+  ctx.topology = &topo;
+  ctx.table = &table;
+
+  auto plan = sched.Plan(ctx);
+  GpuMask used = 0;
+  std::map<RequestId, int> times_scheduled;
+  for (const auto& a : plan.assignments) {
+    ASSERT_NE(a.mask, 0u);
+    EXPECT_TRUE(cluster::IsPow2(cluster::Popcount(a.mask)));
+    EXPECT_EQ(a.mask & used, 0u);
+    EXPECT_EQ(a.mask & ~ctx.free_gpus, 0u);
+    used |= a.mask;
+    EXPECT_GE(a.max_steps, 1);
+    for (RequestId id : a.requests) {
+      EXPECT_LE(a.max_steps, tracker.Get(id).RemainingSteps());
+      ++times_scheduled[id];
+      EXPECT_EQ(times_scheduled[id], 1) << "request scheduled twice";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanValiditySweep,
+    ::testing::Combine(::testing::Range(1, 25),
+                       ::testing::Values(1, 5, 10),
+                       ::testing::Values(2, 4, 8)));
+
+}  // namespace
+}  // namespace tetri::core

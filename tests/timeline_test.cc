@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Timeline recorder tests: capacity-consistency detection, degree
+ * trajectories, utilization math, CSV output — plus the end-to-end
+ * property that every policy's recorded execution log is free of GPU
+ * double-booking over the whole run.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/fixed_sp.h"
+#include "baselines/throughput.h"
+#include "core/tetri_scheduler.h"
+#include "serving/system.h"
+#include "serving/timeline.h"
+
+namespace tetri::serving {
+namespace {
+
+TimelineEntry
+MakeEntry(TimeUs start, TimeUs end, GpuMask mask, RequestId id,
+          int degree = 0)
+{
+  TimelineEntry entry;
+  entry.start_us = start;
+  entry.end_us = end;
+  entry.mask = mask;
+  entry.degree = degree > 0 ? degree : cluster::Popcount(mask);
+  entry.batch = 1;
+  entry.steps = 1;
+  entry.requests = {id};
+  return entry;
+}
+
+TEST(TimelineTest, DisjointIntervalsAreConsistent)
+{
+  Timeline timeline;
+  timeline.Add(MakeEntry(0, 100, 0b0011, 0));
+  timeline.Add(MakeEntry(100, 200, 0b0011, 1));  // back-to-back OK
+  timeline.Add(MakeEntry(50, 150, 0b1100, 2));   // overlap, other GPUs
+  EXPECT_TRUE(timeline.CapacityConsistent());
+}
+
+TEST(TimelineTest, DoubleBookingDetected)
+{
+  Timeline timeline;
+  timeline.Add(MakeEntry(0, 100, 0b0011, 0));
+  timeline.Add(MakeEntry(50, 150, 0b0010, 1));  // GPU 1 double-booked
+  EXPECT_FALSE(timeline.CapacityConsistent());
+}
+
+TEST(TimelineTest, DegreeTrajectoryIsTimeOrdered)
+{
+  Timeline timeline;
+  timeline.Add(MakeEntry(200, 300, 0b1111, 7));
+  timeline.Add(MakeEntry(0, 100, 0b0001, 7));
+  timeline.Add(MakeEntry(100, 200, 0b0011, 7));
+  timeline.Add(MakeEntry(0, 50, 0b1000, 9));  // other request
+  auto trajectory = timeline.DegreeTrajectory(7);
+  ASSERT_EQ(trajectory.size(), 3u);
+  EXPECT_EQ(trajectory[0].second, 1);
+  EXPECT_EQ(trajectory[1].second, 2);
+  EXPECT_EQ(trajectory[2].second, 4);
+}
+
+TEST(TimelineTest, UtilizationMath)
+{
+  Timeline timeline;
+  // 2 GPUs busy for half the horizon on a 4-GPU node = 25%.
+  timeline.Add(MakeEntry(0, 500, 0b0011, 0));
+  EXPECT_DOUBLE_EQ(timeline.Utilization(4, 1000), 0.25);
+  // Entries beyond the horizon are clipped.
+  timeline.Add(MakeEntry(900, 2000, 0b0100, 1));
+  EXPECT_DOUBLE_EQ(timeline.Utilization(4, 1000),
+                   (2.0 * 500 + 1.0 * 100) / 4000.0);
+}
+
+TEST(TimelineTest, CsvContainsEntries)
+{
+  Timeline timeline;
+  auto entry = MakeEntry(10, 20, 0b0011, 3);
+  entry.requests = {3, 4};
+  timeline.Add(entry);
+  const std::string csv = timeline.ToCsv();
+  EXPECT_NE(csv.find("10,20,{0,1},2"), std::string::npos);
+  EXPECT_NE(csv.find("3|4"), std::string::npos);
+}
+
+TEST(TimelineTest, EndToEndRunsAreCapacityConsistent)
+{
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingConfig config;
+  config.record_timeline = true;
+  ServingSystem system(&topo, &model, config);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 80;
+  auto trace = workload::BuildTrace(spec);
+
+  core::TetriScheduler tetri(&system.table());
+  auto tetri_result = system.Run(&tetri, trace);
+  ASSERT_FALSE(tetri_result.timeline.empty());
+  EXPECT_TRUE(tetri_result.timeline.CapacityConsistent());
+
+  baselines::FixedSpScheduler sp2(2);
+  auto sp2_result = system.Run(&sp2, trace);
+  EXPECT_TRUE(sp2_result.timeline.CapacityConsistent());
+
+  // Timeline utilization agrees with the engine's own accounting.
+  EXPECT_NEAR(tetri_result.timeline.Utilization(
+                  8, tetri_result.makespan_us),
+              tetri_result.GpuUtilization(8), 0.02);
+}
+
+TEST(TimelineTest, DisabledByDefault)
+{
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 10;
+  core::TetriScheduler tetri(&system.table());
+  auto result = system.Run(&tetri, workload::BuildTrace(spec));
+  EXPECT_TRUE(result.timeline.empty());
+}
+
+TEST(ThroughputBaselineTest, ServesEverythingDeadlineOblivious)
+{
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 60;
+  auto trace = workload::BuildTrace(spec);
+
+  baselines::ThroughputScheduler sjf(&system.table());
+  auto result = system.Run(&sjf, trace);
+  int completed = 0;
+  for (const auto& rec : result.records) {
+    if (rec.Completed()) ++completed;
+  }
+  EXPECT_EQ(completed + result.num_dropped, 60);
+}
+
+TEST(ThroughputBaselineTest, UsesFewerGpuHoursThanFixedSp8)
+{
+  // The whole point of SJF at min-GPU-hour degrees: maximal work per
+  // GPU-hour. It must consume less GPU time than running everything
+  // at SP=8.
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  workload::TraceSpec spec;
+  spec.num_requests = 60;
+  spec.slo_scale = 1.5;
+  auto trace = workload::BuildTrace(spec);
+
+  baselines::ThroughputScheduler sjf(&system.table());
+  baselines::FixedSpScheduler sp8(8);
+  const double sjf_hours =
+      metrics::TotalGpuHours(system.Run(&sjf, trace).records);
+  const double sp8_hours =
+      metrics::TotalGpuHours(system.Run(&sp8, trace).records);
+  EXPECT_LT(sjf_hours, sp8_hours);
+}
+
+TEST(ThroughputBaselineTest, TetriServeBeatsItOnSar)
+{
+  // Deadline awareness must buy SAR over pure efficiency.
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingSystem system(&topo, &model);
+  double sjf_sar = 0.0, tetri_sar = 0.0;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    workload::TraceSpec spec;
+    spec.num_requests = 150;
+    spec.slo_scale = 1.0;
+    spec.seed = seed;
+    auto trace = workload::BuildTrace(spec);
+    baselines::ThroughputScheduler sjf(&system.table());
+    core::TetriScheduler tetri(&system.table());
+    sjf_sar += system.Run(&sjf, trace).Sar().overall / 3.0;
+    tetri_sar += system.Run(&tetri, trace).Sar().overall / 3.0;
+  }
+  EXPECT_GT(tetri_sar, sjf_sar);
+}
+
+}  // namespace
+}  // namespace tetri::serving

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Workload-generation tests: SLO policy, arrival processes, resolution
+ * mixes, prompt sampler, trace construction and determinism.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.h"
+#include "workload/arrival.h"
+#include "workload/mix.h"
+#include "workload/prompts.h"
+#include "workload/slo.h"
+#include "workload/trace.h"
+
+namespace tetri::workload {
+namespace {
+
+using costmodel::Resolution;
+
+TEST(SloTest, BaseTargetsMatchPaper)
+{
+  EXPECT_DOUBLE_EQ(SloPolicy::BaseTargetSec(Resolution::k256), 1.5);
+  EXPECT_DOUBLE_EQ(SloPolicy::BaseTargetSec(Resolution::k512), 2.0);
+  EXPECT_DOUBLE_EQ(SloPolicy::BaseTargetSec(Resolution::k1024), 3.0);
+  EXPECT_DOUBLE_EQ(SloPolicy::BaseTargetSec(Resolution::k2048), 5.0);
+}
+
+TEST(SloTest, ScaleMultipliesBudget)
+{
+  SloPolicy tight(1.0), loose(1.5);
+  EXPECT_EQ(tight.BudgetUs(Resolution::k1024), UsFromSec(3.0));
+  EXPECT_EQ(loose.BudgetUs(Resolution::k1024), UsFromSec(4.5));
+  EXPECT_EQ(loose.DeadlineUs(Resolution::k256, 1000),
+            1000 + UsFromSec(2.25));
+}
+
+TEST(PoissonArrivalsTest, MeanRateMatches)
+{
+  Rng rng(1);
+  PoissonArrivals arrivals(12.0);  // 12/min = 0.2/s
+  auto times = arrivals.Generate(5000, rng);
+  ASSERT_EQ(times.size(), 5000u);
+  const double duration_sec = SecFromUs(times.back());
+  EXPECT_NEAR(5000.0 / duration_sec, 0.2, 0.01);
+}
+
+TEST(PoissonArrivalsTest, MonotoneNonNegative)
+{
+  Rng rng(2);
+  PoissonArrivals arrivals(30.0);
+  auto times = arrivals.Generate(500, rng);
+  TimeUs prev = 0;
+  for (TimeUs t : times) {
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(BurstyArrivalsTest, PreservesLongRunRate)
+{
+  Rng rng(3);
+  BurstyArrivals arrivals(12.0, 4.0, 30.0);
+  auto times = arrivals.Generate(8000, rng);
+  const double rate = 8000.0 / SecFromUs(times.back());
+  EXPECT_NEAR(rate, 0.2, 0.04);
+}
+
+TEST(BurstyArrivalsTest, MoreBurstyThanPoisson)
+{
+  // Burstiness shows up as a higher coefficient of variation of
+  // counts in fixed windows.
+  auto window_cv = [](const std::vector<TimeUs>& times) {
+    const TimeUs window = UsFromSec(30.0);
+    RunningStat counts;
+    std::size_t i = 0;
+    for (TimeUs start = 0; start < times.back(); start += window) {
+      int count = 0;
+      while (i < times.size() && times[i] < start + window) {
+        ++count;
+        ++i;
+      }
+      counts.Add(count);
+    }
+    return counts.Cv();
+  };
+  Rng rng1(4), rng2(4);
+  PoissonArrivals poisson(12.0);
+  BurstyArrivals bursty(12.0, 5.0, 30.0);
+  EXPECT_GT(window_cv(bursty.Generate(4000, rng2)),
+            window_cv(poisson.Generate(4000, rng1)) * 1.3);
+}
+
+TEST(MixTest, UniformIsEqualWeight)
+{
+  auto mix = ResolutionMix::Uniform();
+  for (Resolution res : costmodel::kAllResolutions) {
+    EXPECT_DOUBLE_EQ(mix.Probability(res), 0.25);
+  }
+  EXPECT_EQ(mix.name(), "Uniform");
+}
+
+TEST(MixTest, SkewedBiasesTowardLargeResolutions)
+{
+  auto mix = ResolutionMix::Skewed(1.0);
+  EXPECT_GT(mix.Probability(Resolution::k2048),
+            mix.Probability(Resolution::k1024));
+  EXPECT_GT(mix.Probability(Resolution::k1024),
+            mix.Probability(Resolution::k256));
+  // With alpha=1 the 2048 share is exp(1)-weighted: ~0.45.
+  EXPECT_NEAR(mix.Probability(Resolution::k2048), 0.447, 0.02);
+}
+
+TEST(MixTest, HomogeneousIsDegenerate)
+{
+  auto mix = ResolutionMix::Homogeneous(Resolution::k512);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(mix.Sample(rng), Resolution::k512);
+  }
+}
+
+TEST(MixTest, SampleFrequenciesMatchProbabilities)
+{
+  auto mix = ResolutionMix::Skewed(1.0);
+  Rng rng(6);
+  std::array<int, costmodel::kNumResolutions> counts{};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[costmodel::ResolutionIndex(mix.Sample(rng))];
+  }
+  for (Resolution res : costmodel::kAllResolutions) {
+    EXPECT_NEAR(
+        static_cast<double>(counts[costmodel::ResolutionIndex(res)]) / n,
+        mix.Probability(res), 0.01);
+  }
+}
+
+TEST(PromptSamplerTest, ProducesRepeatsForCaching)
+{
+  Rng rng(7);
+  PromptSampler sampler(8, 0.6);
+  std::set<std::string> unique;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) unique.insert(sampler.Sample(rng));
+  // Repeat probability must generate near-duplicates: far fewer
+  // unique prompts than samples, but more than a handful.
+  EXPECT_LT(unique.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(unique.size(), 20u);
+}
+
+TEST(PromptSamplerTest, Deterministic)
+{
+  Rng rng1(8), rng2(8);
+  PromptSampler a, b;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Sample(rng1), b.Sample(rng2));
+  }
+}
+
+TEST(TraceTest, BuildsRequestedCount)
+{
+  TraceSpec spec;
+  spec.num_requests = 300;
+  auto trace = BuildTrace(spec);
+  EXPECT_EQ(trace.requests.size(), 300u);
+  int total = 0;
+  for (Resolution res : costmodel::kAllResolutions) {
+    total += trace.CountResolution(res);
+  }
+  EXPECT_EQ(total, 300);
+}
+
+TEST(TraceTest, DeadlinesFollowSloPolicy)
+{
+  TraceSpec spec;
+  spec.slo_scale = 1.2;
+  auto trace = BuildTrace(spec);
+  SloPolicy slo(1.2);
+  for (const auto& req : trace.requests) {
+    EXPECT_EQ(req.deadline_us,
+              slo.DeadlineUs(req.resolution, req.arrival_us));
+    EXPECT_EQ(req.num_steps, 50);
+    EXPECT_FALSE(req.prompt.empty());
+  }
+}
+
+TEST(TraceTest, DeterministicPerSeed)
+{
+  TraceSpec spec;
+  spec.seed = 99;
+  auto a = BuildTrace(spec);
+  auto b = BuildTrace(spec);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].arrival_us, b.requests[i].arrival_us);
+    EXPECT_EQ(a.requests[i].resolution, b.requests[i].resolution);
+    EXPECT_EQ(a.requests[i].prompt, b.requests[i].prompt);
+  }
+  spec.seed = 100;
+  auto c = BuildTrace(spec);
+  EXPECT_NE(a.requests[5].arrival_us, c.requests[5].arrival_us);
+}
+
+TEST(TraceTest, ArrivalsSorted)
+{
+  TraceSpec spec;
+  spec.bursty = true;
+  auto trace = BuildTrace(spec);
+  for (std::size_t i = 1; i < trace.requests.size(); ++i) {
+    EXPECT_GE(trace.requests[i].arrival_us,
+              trace.requests[i - 1].arrival_us);
+  }
+}
+
+/** Property sweep: every (mix, scale, rate) spec builds a coherent
+ * trace with ids 0..n-1 and positive budgets. */
+class TraceSpecSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {
+};
+
+TEST_P(TraceSpecSweep, CoherentTrace)
+{
+  auto [mix_idx, scale, rate] = GetParam();
+  TraceSpec spec;
+  spec.num_requests = 60;
+  spec.slo_scale = scale;
+  spec.arrival_rate_per_min = rate;
+  switch (mix_idx) {
+    case 0: spec.mix = ResolutionMix::Uniform(); break;
+    case 1: spec.mix = ResolutionMix::Skewed(); break;
+    default:
+      spec.mix = ResolutionMix::Homogeneous(Resolution::k1024);
+  }
+  auto trace = BuildTrace(spec);
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    EXPECT_EQ(trace.requests[i].id, static_cast<RequestId>(i));
+    EXPECT_GT(trace.requests[i].deadline_us,
+              trace.requests[i].arrival_us);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TraceSpecSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1.0, 1.25, 1.5),
+                       ::testing::Values(6.0, 12.0, 18.0)));
+
+}  // namespace
+}  // namespace tetri::workload
