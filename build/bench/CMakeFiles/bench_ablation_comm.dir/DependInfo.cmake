@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_comm.cc" "bench/CMakeFiles/bench_ablation_comm.dir/bench_ablation_comm.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_comm.dir/bench_ablation_comm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tetri_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tetri_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/tetri_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tetri_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tetri_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tetri_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tetri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dit.dir/bench_micro_dit.cc.o"
+  "CMakeFiles/bench_micro_dit.dir/bench_micro_dit.cc.o.d"
+  "bench_micro_dit"
+  "bench_micro_dit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_equivalence.dir/quality_equivalence.cpp.o"
+  "CMakeFiles/quality_equivalence.dir/quality_equivalence.cpp.o.d"
+  "quality_equivalence"
+  "quality_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

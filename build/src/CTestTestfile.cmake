@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("cluster")
+subdirs("costmodel")
+subdirs("workload")
+subdirs("metrics")
+subdirs("serving")
+subdirs("core")
+subdirs("baselines")
+subdirs("exact")
+subdirs("nirvana")
+subdirs("tensor")
+subdirs("dit")
+subdirs("tools")

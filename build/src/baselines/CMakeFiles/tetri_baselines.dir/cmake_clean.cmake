@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_baselines.dir/edf.cc.o"
+  "CMakeFiles/tetri_baselines.dir/edf.cc.o.d"
+  "CMakeFiles/tetri_baselines.dir/fixed_sp.cc.o"
+  "CMakeFiles/tetri_baselines.dir/fixed_sp.cc.o.d"
+  "CMakeFiles/tetri_baselines.dir/rssp.cc.o"
+  "CMakeFiles/tetri_baselines.dir/rssp.cc.o.d"
+  "CMakeFiles/tetri_baselines.dir/throughput.cc.o"
+  "CMakeFiles/tetri_baselines.dir/throughput.cc.o.d"
+  "libtetri_baselines.a"
+  "libtetri_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/allocator.cc" "src/cluster/CMakeFiles/tetri_cluster.dir/allocator.cc.o" "gcc" "src/cluster/CMakeFiles/tetri_cluster.dir/allocator.cc.o.d"
+  "/root/repo/src/cluster/gpu_set.cc" "src/cluster/CMakeFiles/tetri_cluster.dir/gpu_set.cc.o" "gcc" "src/cluster/CMakeFiles/tetri_cluster.dir/gpu_set.cc.o.d"
+  "/root/repo/src/cluster/process_group.cc" "src/cluster/CMakeFiles/tetri_cluster.dir/process_group.cc.o" "gcc" "src/cluster/CMakeFiles/tetri_cluster.dir/process_group.cc.o.d"
+  "/root/repo/src/cluster/topology.cc" "src/cluster/CMakeFiles/tetri_cluster.dir/topology.cc.o" "gcc" "src/cluster/CMakeFiles/tetri_cluster.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tetri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_cluster.dir/allocator.cc.o"
+  "CMakeFiles/tetri_cluster.dir/allocator.cc.o.d"
+  "CMakeFiles/tetri_cluster.dir/gpu_set.cc.o"
+  "CMakeFiles/tetri_cluster.dir/gpu_set.cc.o.d"
+  "CMakeFiles/tetri_cluster.dir/process_group.cc.o"
+  "CMakeFiles/tetri_cluster.dir/process_group.cc.o.d"
+  "CMakeFiles/tetri_cluster.dir/topology.cc.o"
+  "CMakeFiles/tetri_cluster.dir/topology.cc.o.d"
+  "libtetri_cluster.a"
+  "libtetri_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtetri_cluster.a"
+)

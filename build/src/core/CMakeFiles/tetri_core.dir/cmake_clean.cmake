@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_core.dir/allocation.cc.o"
+  "CMakeFiles/tetri_core.dir/allocation.cc.o.d"
+  "CMakeFiles/tetri_core.dir/dp_packer.cc.o"
+  "CMakeFiles/tetri_core.dir/dp_packer.cc.o.d"
+  "CMakeFiles/tetri_core.dir/tetri_scheduler.cc.o"
+  "CMakeFiles/tetri_core.dir/tetri_scheduler.cc.o.d"
+  "libtetri_core.a"
+  "libtetri_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_costmodel.dir/latency_table.cc.o"
+  "CMakeFiles/tetri_costmodel.dir/latency_table.cc.o.d"
+  "CMakeFiles/tetri_costmodel.dir/model_config.cc.o"
+  "CMakeFiles/tetri_costmodel.dir/model_config.cc.o.d"
+  "CMakeFiles/tetri_costmodel.dir/step_cost.cc.o"
+  "CMakeFiles/tetri_costmodel.dir/step_cost.cc.o.d"
+  "libtetri_costmodel.a"
+  "libtetri_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

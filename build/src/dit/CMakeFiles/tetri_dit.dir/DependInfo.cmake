@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dit/ring_attention.cc" "src/dit/CMakeFiles/tetri_dit.dir/ring_attention.cc.o" "gcc" "src/dit/CMakeFiles/tetri_dit.dir/ring_attention.cc.o.d"
+  "/root/repo/src/dit/sequence_parallel.cc" "src/dit/CMakeFiles/tetri_dit.dir/sequence_parallel.cc.o" "gcc" "src/dit/CMakeFiles/tetri_dit.dir/sequence_parallel.cc.o.d"
+  "/root/repo/src/dit/tiny_dit.cc" "src/dit/CMakeFiles/tetri_dit.dir/tiny_dit.cc.o" "gcc" "src/dit/CMakeFiles/tetri_dit.dir/tiny_dit.cc.o.d"
+  "/root/repo/src/dit/vae.cc" "src/dit/CMakeFiles/tetri_dit.dir/vae.cc.o" "gcc" "src/dit/CMakeFiles/tetri_dit.dir/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/tetri_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tetri_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

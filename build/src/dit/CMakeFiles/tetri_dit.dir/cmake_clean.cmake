@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_dit.dir/ring_attention.cc.o"
+  "CMakeFiles/tetri_dit.dir/ring_attention.cc.o.d"
+  "CMakeFiles/tetri_dit.dir/sequence_parallel.cc.o"
+  "CMakeFiles/tetri_dit.dir/sequence_parallel.cc.o.d"
+  "CMakeFiles/tetri_dit.dir/tiny_dit.cc.o"
+  "CMakeFiles/tetri_dit.dir/tiny_dit.cc.o.d"
+  "CMakeFiles/tetri_dit.dir/vae.cc.o"
+  "CMakeFiles/tetri_dit.dir/vae.cc.o.d"
+  "libtetri_dit.a"
+  "libtetri_dit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_dit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

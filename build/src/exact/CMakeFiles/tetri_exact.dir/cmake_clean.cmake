@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_exact.dir/exhaustive.cc.o"
+  "CMakeFiles/tetri_exact.dir/exhaustive.cc.o.d"
+  "CMakeFiles/tetri_exact.dir/rt_feasibility.cc.o"
+  "CMakeFiles/tetri_exact.dir/rt_feasibility.cc.o.d"
+  "libtetri_exact.a"
+  "libtetri_exact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_metrics.dir/metrics.cc.o"
+  "CMakeFiles/tetri_metrics.dir/metrics.cc.o.d"
+  "libtetri_metrics.a"
+  "libtetri_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

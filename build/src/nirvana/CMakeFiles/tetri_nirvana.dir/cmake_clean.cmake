@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_nirvana.dir/cache.cc.o"
+  "CMakeFiles/tetri_nirvana.dir/cache.cc.o.d"
+  "CMakeFiles/tetri_nirvana.dir/embedding.cc.o"
+  "CMakeFiles/tetri_nirvana.dir/embedding.cc.o.d"
+  "libtetri_nirvana.a"
+  "libtetri_nirvana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_nirvana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/engine.cc" "src/serving/CMakeFiles/tetri_serving.dir/engine.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/engine.cc.o.d"
+  "/root/repo/src/serving/latent_manager.cc" "src/serving/CMakeFiles/tetri_serving.dir/latent_manager.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/latent_manager.cc.o.d"
+  "/root/repo/src/serving/request.cc" "src/serving/CMakeFiles/tetri_serving.dir/request.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/request.cc.o.d"
+  "/root/repo/src/serving/request_tracker.cc" "src/serving/CMakeFiles/tetri_serving.dir/request_tracker.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/request_tracker.cc.o.d"
+  "/root/repo/src/serving/system.cc" "src/serving/CMakeFiles/tetri_serving.dir/system.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/system.cc.o.d"
+  "/root/repo/src/serving/timeline.cc" "src/serving/CMakeFiles/tetri_serving.dir/timeline.cc.o" "gcc" "src/serving/CMakeFiles/tetri_serving.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tetri_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tetri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tetri_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tetri_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tetri_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_serving.dir/engine.cc.o"
+  "CMakeFiles/tetri_serving.dir/engine.cc.o.d"
+  "CMakeFiles/tetri_serving.dir/latent_manager.cc.o"
+  "CMakeFiles/tetri_serving.dir/latent_manager.cc.o.d"
+  "CMakeFiles/tetri_serving.dir/request.cc.o"
+  "CMakeFiles/tetri_serving.dir/request.cc.o.d"
+  "CMakeFiles/tetri_serving.dir/request_tracker.cc.o"
+  "CMakeFiles/tetri_serving.dir/request_tracker.cc.o.d"
+  "CMakeFiles/tetri_serving.dir/system.cc.o"
+  "CMakeFiles/tetri_serving.dir/system.cc.o.d"
+  "CMakeFiles/tetri_serving.dir/timeline.cc.o"
+  "CMakeFiles/tetri_serving.dir/timeline.cc.o.d"
+  "libtetri_serving.a"
+  "libtetri_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_tensor.dir/ops.cc.o"
+  "CMakeFiles/tetri_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/tetri_tensor.dir/tensor.cc.o"
+  "CMakeFiles/tetri_tensor.dir/tensor.cc.o.d"
+  "libtetri_tensor.a"
+  "libtetri_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

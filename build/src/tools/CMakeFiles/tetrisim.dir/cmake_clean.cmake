@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetrisim.dir/tetrisim.cc.o"
+  "CMakeFiles/tetrisim.dir/tetrisim.cc.o.d"
+  "tetrisim"
+  "tetrisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetrisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

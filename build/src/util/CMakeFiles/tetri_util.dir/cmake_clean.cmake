@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_util.dir/logging.cc.o"
+  "CMakeFiles/tetri_util.dir/logging.cc.o.d"
+  "CMakeFiles/tetri_util.dir/stats.cc.o"
+  "CMakeFiles/tetri_util.dir/stats.cc.o.d"
+  "CMakeFiles/tetri_util.dir/table.cc.o"
+  "CMakeFiles/tetri_util.dir/table.cc.o.d"
+  "libtetri_util.a"
+  "libtetri_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

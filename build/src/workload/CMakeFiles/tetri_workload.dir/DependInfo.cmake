@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival.cc" "src/workload/CMakeFiles/tetri_workload.dir/arrival.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/arrival.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/workload/CMakeFiles/tetri_workload.dir/mix.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/mix.cc.o.d"
+  "/root/repo/src/workload/prompts.cc" "src/workload/CMakeFiles/tetri_workload.dir/prompts.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/prompts.cc.o.d"
+  "/root/repo/src/workload/slo.cc" "src/workload/CMakeFiles/tetri_workload.dir/slo.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/slo.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/tetri_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/workload/CMakeFiles/tetri_workload.dir/trace_io.cc.o" "gcc" "src/workload/CMakeFiles/tetri_workload.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tetri_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/tetri_costmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tetri_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_workload.dir/arrival.cc.o"
+  "CMakeFiles/tetri_workload.dir/arrival.cc.o.d"
+  "CMakeFiles/tetri_workload.dir/mix.cc.o"
+  "CMakeFiles/tetri_workload.dir/mix.cc.o.d"
+  "CMakeFiles/tetri_workload.dir/prompts.cc.o"
+  "CMakeFiles/tetri_workload.dir/prompts.cc.o.d"
+  "CMakeFiles/tetri_workload.dir/slo.cc.o"
+  "CMakeFiles/tetri_workload.dir/slo.cc.o.d"
+  "CMakeFiles/tetri_workload.dir/trace.cc.o"
+  "CMakeFiles/tetri_workload.dir/trace.cc.o.d"
+  "CMakeFiles/tetri_workload.dir/trace_io.cc.o"
+  "CMakeFiles/tetri_workload.dir/trace_io.cc.o.d"
+  "libtetri_workload.a"
+  "libtetri_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costmodel_property_test.dir/costmodel_property_test.cc.o"
+  "CMakeFiles/costmodel_property_test.dir/costmodel_property_test.cc.o.d"
+  "costmodel_property_test"
+  "costmodel_property_test.pdb"
+  "costmodel_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costmodel_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dit_test.dir/dit_test.cc.o"
+  "CMakeFiles/dit_test.dir/dit_test.cc.o.d"
+  "dit_test"
+  "dit_test.pdb"
+  "dit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

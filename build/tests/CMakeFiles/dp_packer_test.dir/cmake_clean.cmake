@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_packer_test.dir/dp_packer_test.cc.o"
+  "CMakeFiles/dp_packer_test.dir/dp_packer_test.cc.o.d"
+  "dp_packer_test"
+  "dp_packer_test.pdb"
+  "dp_packer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_packer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nirvana_test.dir/nirvana_test.cc.o"
+  "CMakeFiles/nirvana_test.dir/nirvana_test.cc.o.d"
+  "nirvana_test"
+  "nirvana_test.pdb"
+  "nirvana_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nirvana_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

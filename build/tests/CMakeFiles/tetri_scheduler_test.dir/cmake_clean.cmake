@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tetri_scheduler_test.dir/tetri_scheduler_test.cc.o"
+  "CMakeFiles/tetri_scheduler_test.dir/tetri_scheduler_test.cc.o.d"
+  "tetri_scheduler_test"
+  "tetri_scheduler_test.pdb"
+  "tetri_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tetri_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
