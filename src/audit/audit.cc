@@ -1,0 +1,116 @@
+#include "audit/audit.h"
+
+#include <sstream>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tetri::audit {
+
+void
+Checker::Report(TimeUs time_us, std::string message)
+{
+  TETRI_CHECK_MSG(owner_ != nullptr,
+                  "checker reported before being added to an Auditor");
+  Violation v;
+  v.checker = std::string(name());
+  v.time_us = time_us;
+  v.message = std::move(message);
+  owner_->Record(std::move(v));
+}
+
+Checker&
+Auditor::AddChecker(std::unique_ptr<Checker> checker)
+{
+  TETRI_CHECK(checker != nullptr);
+  checker->owner_ = this;
+  checkers_.push_back(std::move(checker));
+  return *checkers_.back();
+}
+
+void
+Auditor::Record(Violation violation)
+{
+  ++total_;
+  if (violations_.size() < kMaxStored) {
+    violations_.push_back(std::move(violation));
+  }
+}
+
+std::string
+Auditor::Summary() const
+{
+  std::ostringstream oss;
+  oss << total_ << " audit violation(s)";
+  for (const Violation& v : violations_) {
+    oss << "\n  [" << v.checker << "] t=" << v.time_us << "us: "
+        << v.message;
+  }
+  if (total_ > violations_.size()) {
+    oss << "\n  ... " << (total_ - violations_.size())
+        << " further violation(s) not stored";
+  }
+  return oss.str();
+}
+
+void
+Auditor::OnEventScheduled(TimeUs now, TimeUs at)
+{
+  for (auto& c : checkers_) c->OnEventScheduled(now, at);
+}
+
+void
+Auditor::OnEventFired(TimeUs prev, TimeUs now)
+{
+  for (auto& c : checkers_) c->OnEventFired(prev, now);
+}
+
+void
+Auditor::OnRoundPlan(const RoundAudit& round)
+{
+  for (auto& c : checkers_) c->OnRoundPlan(round);
+}
+
+void
+Auditor::OnDispatch(const DispatchAudit& dispatch)
+{
+  for (auto& c : checkers_) c->OnDispatch(dispatch);
+}
+
+void
+Auditor::OnAssignmentComplete(const CompleteAudit& complete)
+{
+  for (auto& c : checkers_) c->OnAssignmentComplete(complete);
+}
+
+void
+Auditor::OnRequestAdmitted(RequestId id, TimeUs arrival_us,
+                           TimeUs deadline_us, int num_steps)
+{
+  for (auto& c : checkers_) {
+    c->OnRequestAdmitted(id, arrival_us, deadline_us, num_steps);
+  }
+}
+
+void
+Auditor::OnRequestTransition(RequestId id, int from_state, int to_state,
+                             TimeUs now)
+{
+  for (auto& c : checkers_) {
+    c->OnRequestTransition(id, from_state, to_state, now);
+  }
+}
+
+void
+Auditor::OnLatentAssign(RequestId id, GpuMask mask, TimeUs now)
+{
+  for (auto& c : checkers_) c->OnLatentAssign(id, mask, now);
+}
+
+void
+Auditor::OnLatentRelease(RequestId id, TimeUs now)
+{
+  for (auto& c : checkers_) c->OnLatentRelease(id, now);
+}
+
+}  // namespace tetri::audit

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The audit core: structured violation reports, the Checker base
+ * class, and the Auditor that fans runtime notifications out to every
+ * registered checker.
+ *
+ * Checkers are pluggable AuditSink implementations that validate one
+ * scheduler/runtime invariant each and *report* violations instead of
+ * aborting — unlike TETRI_CHECK, which is the always-on last line of
+ * defence, the audit layer accumulates evidence so a run can surface
+ * every broken invariant at once. Each hook is O(1) amortized in the
+ * number of runtime events. Concrete checkers live in checkers.h.
+ */
+#ifndef TETRI_AUDIT_AUDIT_H
+#define TETRI_AUDIT_AUDIT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "audit/sink.h"
+
+namespace tetri::audit {
+
+class Auditor;
+
+/** One detected invariant violation. */
+struct Violation {
+  /** Name of the checker that fired. */
+  std::string checker;
+  /** Virtual time at which the violation was observed. */
+  TimeUs time_us = 0;
+  std::string message;
+};
+
+/** Base class for invariant checkers. */
+class Checker : public AuditSink {
+ public:
+  /** Stable identifier used in reports, e.g. "gpu-conservation". */
+  virtual std::string_view name() const = 0;
+
+ protected:
+  /** Record a violation with the owning auditor. */
+  void Report(TimeUs time_us, std::string message);
+
+ private:
+  friend class Auditor;
+  Auditor* owner_ = nullptr;
+};
+
+/**
+ * Owns a set of checkers and fans every notification out to them.
+ * Violations are accumulated centrally: the first kMaxStored are kept
+ * verbatim, the rest only counted, so a hot loop that trips an
+ * invariant cannot blow up memory.
+ */
+class Auditor final : public AuditSink {
+ public:
+  static constexpr std::size_t kMaxStored = 256;
+
+  Auditor() = default;
+  Auditor(const Auditor&) = delete;
+  Auditor& operator=(const Auditor&) = delete;
+
+  /** Register @p checker; the auditor takes ownership. */
+  Checker& AddChecker(std::unique_ptr<Checker> checker);
+
+  /** Stored violations (capped at kMaxStored). */
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  /** Total violations observed, including ones past the storage cap. */
+  std::uint64_t total_violations() const { return total_; }
+
+  bool clean() const { return total_ == 0; }
+
+  /** Human-readable digest of every stored violation. */
+  std::string Summary() const;
+
+  /** Record a violation directly (checkers call this via Report). */
+  void Record(Violation violation);
+
+  // AuditSink: fan out to every registered checker.
+  void OnEventScheduled(TimeUs now, TimeUs at) override;
+  void OnEventFired(TimeUs prev, TimeUs now) override;
+  void OnRoundPlan(const RoundAudit& round) override;
+  void OnDispatch(const DispatchAudit& dispatch) override;
+  void OnAssignmentComplete(const CompleteAudit& complete) override;
+  void OnRequestAdmitted(RequestId id, TimeUs arrival_us,
+                         TimeUs deadline_us, int num_steps) override;
+  void OnRequestTransition(RequestId id, int from_state, int to_state,
+                           TimeUs now) override;
+  void OnLatentAssign(RequestId id, GpuMask mask, TimeUs now) override;
+  void OnLatentRelease(RequestId id, TimeUs now) override;
+
+ private:
+  std::vector<std::unique_ptr<Checker>> checkers_;
+  std::vector<Violation> violations_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace tetri::audit
+
+#endif  // TETRI_AUDIT_AUDIT_H

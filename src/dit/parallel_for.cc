@@ -1,0 +1,46 @@
+#include "dit/parallel_for.h"
+
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace tetri::dit {
+
+void
+RunWorkers(int count, bool threads, const std::function<void(int)>& fn)
+{
+  TETRI_CHECK(count >= 1);
+  if (!threads || count == 1) {
+    for (int w = 0; w < count; ++w) fn(w);
+    return;
+  }
+
+  std::mutex mu;
+  std::exception_ptr first_error;
+  auto body = [&](int w) {
+    try {
+      fn(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(count);
+  try {
+    for (int w = 0; w < count; ++w) pool.emplace_back(body, w);
+  } catch (...) {
+    // Thread creation failed mid-way: join what was started, then
+    // propagate the creation failure.
+    for (std::thread& t : pool) t.join();
+    throw;
+  }
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tetri::dit

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Worker fan-out used by the sequence-parallel executors.
+ *
+ * RunWorkers runs `count` workers either on real std::threads (the
+ * production path) or as a deterministic sequential loop (for
+ * debugging); results are identical because workers must write
+ * disjoint state.
+ *
+ * Exception safety: a worker body that throws must not bring the
+ * process down via std::terminate or leave detached threads behind.
+ * RunWorkers joins every thread before returning — including on the
+ * unwind path when thread creation itself fails — and rethrows the
+ * first worker exception after all workers have stopped.
+ */
+#ifndef TETRI_DIT_PARALLEL_FOR_H
+#define TETRI_DIT_PARALLEL_FOR_H
+
+#include <functional>
+
+namespace tetri::dit {
+
+/**
+ * Run @p fn(worker) for worker in [0, count), in parallel when
+ * @p threads is set. Workers must write disjoint state. If one or
+ * more workers throw, every worker is still joined and the first
+ * exception (in worker order of capture) is rethrown.
+ */
+void RunWorkers(int count, bool threads,
+                const std::function<void(int)>& fn);
+
+}  // namespace tetri::dit
+
+#endif  // TETRI_DIT_PARALLEL_FOR_H

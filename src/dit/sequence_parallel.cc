@@ -1,7 +1,8 @@
 #include "dit/sequence_parallel.h"
 
-#include <functional>
-#include <thread>
+#include <algorithm>
+
+#include "dit/parallel_for.h"
 
 namespace tetri::dit {
 
@@ -14,21 +15,6 @@ UlyssesExecutor::UlyssesExecutor(const TinyDit* model, bool use_threads)
 }
 
 namespace {
-
-/** Run `count` workers, each executing fn(worker), in parallel or
- * sequentially. Workers must write disjoint state. */
-void
-RunWorkers(int count, bool threads, const std::function<void(int)>& fn)
-{
-  if (!threads || count == 1) {
-    for (int w = 0; w < count; ++w) fn(w);
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(count);
-  for (int w = 0; w < count; ++w) pool.emplace_back(fn, w);
-  for (std::thread& t : pool) t.join();
-}
 
 /** Contiguous row range of worker w among `count` over n rows. */
 std::pair<int, int>

@@ -55,6 +55,23 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   }
   TETRI_CHECK(steps >= 1);
 
+  if (audit_ != nullptr) {
+    audit::DispatchAudit da;
+    da.now = now;
+    da.mask = assignment.mask;
+    da.steps = steps;
+    da.members.reserve(assignment.requests.size());
+    for (RequestId id : assignment.requests) {
+      const Request& req = tracker_->Get(id);
+      audit::MemberAudit member;
+      member.id = id;
+      member.remaining_steps = req.RemainingSteps();
+      member.resolution = static_cast<int>(req.meta.resolution);
+      da.members.push_back(member);
+    }
+    audit_->OnDispatch(da);
+  }
+
   // Re-sharding stall: switching a request onto a different GPU set
   // costs a communicator switch, plus NCCL warmup if the group is
   // cold. Placement preservation exists to avoid exactly this.
@@ -82,8 +99,9 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   for (RequestId id : assignment.requests) {
     Request& req = tracker_->Get(id);
     transfer_us = std::max(
-        transfer_us, latents_->OnAssignment(id, res, assignment.mask));
-    req.state = RequestState::kRunning;
+        transfer_us,
+        latents_->OnAssignment(id, res, assignment.mask, 1, now));
+    tracker_->Transition(req, RequestState::kRunning, now);
     req.last_mask = assignment.mask;
     req.last_degree = degree;
     if (req.first_start_us < 0) req.first_start_us = now;
@@ -133,6 +151,15 @@ ExecutionEngine::Complete(Assignment assignment, int steps,
   const int batch = static_cast<int>(assignment.requests.size());
   busy_ &= ~assignment.mask;
 
+  if (audit_ != nullptr) {
+    audit::CompleteAudit ca;
+    ca.now = simulator_->Now();
+    ca.mask = assignment.mask;
+    ca.steps = steps;
+    ca.requests = assignment.requests;
+    audit_->OnAssignmentComplete(ca);
+  }
+
   for (RequestId id : assignment.requests) {
     Request& req = tracker_->Get(id);
     TETRI_CHECK(req.state == RequestState::kRunning);
@@ -142,7 +169,7 @@ ExecutionEngine::Complete(Assignment assignment, int steps,
     if (req.RemainingSteps() == 0) {
       FinishRequest(req);
     } else {
-      req.state = RequestState::kQueued;
+      tracker_->Transition(req, RequestState::kQueued, simulator_->Now());
     }
   }
 
@@ -156,9 +183,10 @@ ExecutionEngine::FinishRequest(Request& request)
   // GPU path, but part of the user-visible latency.
   const TimeUs vae_us = static_cast<TimeUs>(
       cost_->VaeDecodeUs(request.meta.resolution));
-  request.state = RequestState::kFinished;
+  tracker_->Transition(request, RequestState::kFinished,
+                       simulator_->Now());
   request.completion_us = simulator_->Now() + vae_us;
-  latents_->Forget(request.meta.id);
+  latents_->Forget(request.meta.id, simulator_->Now());
   if (on_request_done_) on_request_done_(request);
 }
 

@@ -30,6 +30,12 @@ class ExecutionEngine {
                   RequestTracker* tracker, LatentManager* latents,
                   std::uint64_t seed);
 
+  /**
+   * Attach an audit sink notified of dispatches and completions
+   * (nullptr disables). Does not take ownership.
+   */
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
   /** Called when an assignment's GPUs are released. */
   void set_on_assignment_done(std::function<void(TimeUs)> cb) {
     on_assignment_done_ = std::move(cb);
@@ -87,6 +93,7 @@ class ExecutionEngine {
   double reconfig_stall_us_ = 0.0;
   int num_reconfigs_ = 0;
   Timeline* timeline_ = nullptr;
+  audit::AuditSink* audit_ = nullptr;
   std::function<void(TimeUs)> on_assignment_done_;
   std::function<void(Request&)> on_request_done_;
 };

@@ -13,8 +13,9 @@ LatentManager::LatentManager(const costmodel::StepCostModel* cost)
 
 TimeUs
 LatentManager::OnAssignment(RequestId request, costmodel::Resolution res,
-                            GpuMask mask, int batch)
+                            GpuMask mask, int batch, TimeUs now)
 {
+  if (audit_ != nullptr) audit_->OnLatentAssign(request, mask, now);
   TETRI_CHECK(mask != 0);
   auto it = location_.find(request);
   if (it == location_.end()) {
@@ -39,8 +40,9 @@ LatentManager::OnAssignment(RequestId request, costmodel::Resolution res,
 }
 
 void
-LatentManager::Forget(RequestId request)
+LatentManager::Forget(RequestId request, TimeUs now)
 {
+  if (audit_ != nullptr) audit_->OnLatentRelease(request, now);
   location_.erase(request);
 }
 

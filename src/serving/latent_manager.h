@@ -12,6 +12,7 @@
 
 #include <unordered_map>
 
+#include "audit/sink.h"
 #include "costmodel/step_cost.h"
 #include "util/stats.h"
 #include "util/types.h"
@@ -23,17 +24,21 @@ class LatentManager {
  public:
   explicit LatentManager(const costmodel::StepCostModel* cost);
 
+  /** Attach an audit sink notified of latent placements/releases. */
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
   /**
-   * Called when @p request is about to execute on @p mask.
+   * Called when @p request is about to execute on @p mask at virtual
+   * time @p now.
    * @return the transfer latency charged now: zero for the first
    * assignment or when the group is unchanged/overlapping on the
    * source GPU, else the modeled latent-copy time.
    */
   TimeUs OnAssignment(RequestId request, costmodel::Resolution res,
-                      GpuMask mask, int batch = 1);
+                      GpuMask mask, int batch = 1, TimeUs now = 0);
 
-  /** Forget a finished request. */
-  void Forget(RequestId request);
+  /** Forget a finished or dropped request. */
+  void Forget(RequestId request, TimeUs now = 0);
 
   /** Total transfer time charged across all requests. */
   TimeUs total_transfer_us() const { return total_transfer_us_; }
@@ -46,6 +51,7 @@ class LatentManager {
 
  private:
   const costmodel::StepCostModel* cost_;
+  audit::AuditSink* audit_ = nullptr;
   std::unordered_map<RequestId, GpuMask> location_;
   TimeUs total_transfer_us_ = 0;
   int num_transfers_ = 0;

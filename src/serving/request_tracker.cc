@@ -10,11 +10,26 @@ Request&
 RequestTracker::Admit(const workload::TraceRequest& meta)
 {
   TETRI_CHECK_MSG(!Contains(meta.id), "duplicate request id " << meta.id);
+  if (audit_ != nullptr) {
+    audit_->OnRequestAdmitted(meta.id, meta.arrival_us, meta.deadline_us,
+                              meta.num_steps);
+  }
   index_.emplace(meta.id, requests_.size());
   Request req;
   req.meta = meta;
   requests_.push_back(std::move(req));
   return requests_.back();
+}
+
+void
+RequestTracker::Transition(Request& request, RequestState to, TimeUs now)
+{
+  if (audit_ != nullptr) {
+    audit_->OnRequestTransition(request.meta.id,
+                                static_cast<int>(request.state),
+                                static_cast<int>(to), now);
+  }
+  request.state = to;
 }
 
 Request&

@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/sink.h"
 #include "serving/request.h"
 
 namespace tetri::serving {
@@ -17,8 +18,18 @@ namespace tetri::serving {
 /** Registry of all requests of one serving run. */
 class RequestTracker {
  public:
+  /** Attach an audit sink notified of admissions and transitions. */
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
   /** Register an arrived request. Ids must be unique. */
   Request& Admit(const workload::TraceRequest& meta);
+
+  /**
+   * Move @p request to @p to at time @p now. The single mutation point
+   * for request states: every lifecycle change flows through here so
+   * the audit layer sees the full transition stream.
+   */
+  void Transition(Request& request, RequestState to, TimeUs now);
 
   /** Lookup by id; the request must exist. */
   Request& Get(RequestId id);
@@ -40,6 +51,7 @@ class RequestTracker {
  private:
   std::unordered_map<RequestId, std::size_t> index_;
   std::vector<Request> requests_;
+  audit::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace tetri::serving

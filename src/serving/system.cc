@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 
+#include "audit/checkers.h"
 #include "serving/engine.h"
 #include "serving/latent_manager.h"
 #include "serving/request_tracker.h"
@@ -42,8 +43,29 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
   sim::Simulator simulator;
   RequestTracker tracker;
   LatentManager latents(&cost_);
+
+  // Audit wiring: an externally supplied auditor always wins; with
+  // -DTETRI_AUDIT every run self-installs the full checker suite (the
+  // always-on TETRI_CHECK assertions remain active either way).
+  std::unique_ptr<audit::Auditor> owned_auditor;
+  audit::Auditor* auditor = config_.auditor;
+#ifdef TETRI_AUDIT
+  if (auditor == nullptr) {
+    owned_auditor = std::make_unique<audit::Auditor>();
+    audit::InstallStandardCheckers(*owned_auditor);
+    audit::InstallCostModelChecker(*owned_auditor, &table_);
+    auditor = owned_auditor.get();
+  }
+#endif
+  if (auditor != nullptr) {
+    simulator.set_audit(auditor);
+    tracker.set_audit(auditor);
+    latents.set_audit(auditor);
+  }
+
   ExecutionEngine engine(&simulator, &cost_, &tracker, &latents,
                          config_.seed ^ 0xE7E7E7E7ULL);
+  if (auditor != nullptr) engine.set_audit(auditor);
   ServingResult result;
   if (config_.record_timeline) engine.set_timeline(&result.timeline);
 
@@ -62,8 +84,8 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
           static_cast<TimeUs>(config_.drop_timeout_factor *
                               static_cast<double>(budget));
       if (now >= drop_at) {
-        req->state = RequestState::kDropped;
-        latents.Forget(req->meta.id);
+        tracker.Transition(*req, RequestState::kDropped, now);
+        latents.Forget(req->meta.id, now);
         ++result.num_dropped;
       }
     }
@@ -94,6 +116,23 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
     result.scheduler_wall_us_total += wall_us;
     result.scheduler_wall_us_max =
         std::max(result.scheduler_wall_us_max, wall_us);
+
+    if (auditor != nullptr) {
+      audit::RoundAudit ra;
+      ra.now = now;
+      ra.round_end = ctx.round_end;
+      ra.free_gpus = ctx.free_gpus;
+      ra.all_gpus = topology_->all_gpus();
+      ra.assignments.reserve(plan.assignments.size());
+      for (const Assignment& a : plan.assignments) {
+        audit::AssignmentAudit aa;
+        aa.mask = a.mask;
+        aa.num_requests = static_cast<int>(a.requests.size());
+        aa.max_steps = a.max_steps;
+        ra.assignments.push_back(aa);
+      }
+      auditor->OnRoundPlan(ra);
+    }
 
     GpuMask used = 0;
     for (const Assignment& a : plan.assignments) {
@@ -154,6 +193,15 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
   result.num_assignments = engine.num_assignments();
   result.reconfig_stall_us = engine.reconfig_stall_us();
   result.num_reconfigs = engine.num_reconfigs();
+  if (auditor != nullptr) {
+    result.audit_violations = auditor->total_violations();
+    if (!auditor->clean()) result.audit_summary = auditor->Summary();
+    // A self-installed auditor has nobody left to read the report:
+    // promote any violation to a hard failure.
+    if (owned_auditor != nullptr) {
+      TETRI_CHECK_MSG(auditor->clean(), auditor->Summary());
+    }
+  }
   return result;
 }
 

@@ -14,7 +14,9 @@
 #define TETRI_SERVING_SYSTEM_H
 
 #include <memory>
+#include <string>
 
+#include "audit/audit.h"
 #include "costmodel/latency_table.h"
 #include "metrics/metrics.h"
 #include "serving/scheduler.h"
@@ -39,6 +41,15 @@ struct ServingConfig {
   int max_batch = 8;
   /** Record the full execution timeline (Gantt data) in the result. */
   bool record_timeline = false;
+  /**
+   * External auditor wired into every component of the run (nullable,
+   * not owned). Install the checkers you want before Run() and use a
+   * fresh auditor per run — checker state (busy sets, lifecycle maps)
+   * is per-run. When null and the build sets -DTETRI_AUDIT, Run()
+   * installs the full checker suite internally and panics on any
+   * violation, making every serving run self-verifying.
+   */
+  audit::Auditor* auditor = nullptr;
 };
 
 /** Outcome of one serving run. */
@@ -58,6 +69,10 @@ struct ServingResult {
   int num_reconfigs = 0;
   /** Populated when ServingConfig::record_timeline is set. */
   Timeline timeline;
+  /** Invariant violations observed by the run's auditor (0 if none). */
+  std::uint64_t audit_violations = 0;
+  /** Digest of the violations (empty when clean or unaudited). */
+  std::string audit_summary;
 
   metrics::SarSummary Sar() const { return metrics::ComputeSar(records); }
   double GpuUtilization(int num_gpus) const;

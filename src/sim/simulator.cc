@@ -9,6 +9,7 @@ namespace tetri::sim {
 void
 Simulator::ScheduleAt(TimeUs at, EventFn fn)
 {
+  if (audit_ != nullptr) audit_->OnEventScheduled(now_, at);
   TETRI_CHECK_MSG(at >= now_, "event scheduled in the past: " << at
                               << " < " << now_);
   queue_.Push(at, std::move(fn));
@@ -26,6 +27,7 @@ Simulator::Step()
 {
   if (queue_.empty()) return false;
   auto [time, fn] = queue_.Pop();
+  if (audit_ != nullptr) audit_->OnEventFired(now_, time);
   TETRI_CHECK(time >= now_);
   now_ = time;
   ++events_fired_;

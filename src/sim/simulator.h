@@ -12,6 +12,7 @@
 #ifndef TETRI_SIM_SIMULATOR_H
 #define TETRI_SIM_SIMULATOR_H
 
+#include "audit/sink.h"
 #include "sim/event_queue.h"
 #include "util/types.h"
 
@@ -23,6 +24,15 @@ class Simulator {
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /**
+   * Attach an audit sink notified of every schedule/fire (§audit).
+   * Nullable; the simulator does not take ownership. This is the
+   * registration point for invariant checkers: install them on an
+   * audit::Auditor and hand it to the simulator.
+   */
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+  audit::AuditSink* audit() const { return audit_; }
 
   /** Current virtual time. */
   TimeUs Now() const { return now_; }
@@ -54,6 +64,7 @@ class Simulator {
   EventQueue queue_;
   TimeUs now_ = 0;
   std::uint64_t events_fired_ = 0;
+  audit::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace tetri::sim

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include "audit/checkers.h"
+#include "cluster/gpu_set.h"
 #include "core/allocation.h"
 #include "costmodel/model_config.h"
 
@@ -205,6 +207,46 @@ TEST_F(RoundAwareTest, GenerousSlackStillCheapest)
     EXPECT_NEAR(plan.gpu_time_us,
                 50 * table_.GpuTimeUs(res, cheapest), 1.0);
   }
+}
+
+TEST_F(AllocationTest, AuditModeSweepIsViolationFree)
+{
+  // Audit-mode run of the allocation sweep: the profiled table passes
+  // the cost-model sanity checker, and every planner output maps to a
+  // conserving, power-of-two execution when fed through the GPU
+  // conservation checker segment by segment.
+  audit::Auditor auditor;
+  audit::InstallStandardCheckers(auditor);
+  audit::InstallCostModelChecker(auditor, &table_);
+  ASSERT_TRUE(auditor.clean()) << auditor.Summary();
+
+  const double tau =
+      5.0 * table_.StepTimeUs(
+                Resolution::k1024,
+                table_.MostEfficientDegree(Resolution::k1024));
+  for (Resolution res : kAllResolutions) {
+    for (int steps : {1, 7, 50}) {
+      const double exec =
+          steps * table_.StepTimeUs(res, table_.FastestDegree(res));
+      for (double scale : {0.5, 1.0, 4.0}) {
+        for (const auto& plan :
+             {FindPlan(table_, res, steps, scale * exec),
+              RoundAwarePlan(table_, res, steps, scale * exec, tau)}) {
+          for (const AllocationSegment& seg : plan.segments) {
+            // Segments execute sequentially: audit each as its own
+            // single-assignment round on an idle 8-GPU node.
+            audit::RoundAudit round;
+            round.free_gpus = cluster::FullMask(8);
+            round.all_gpus = cluster::FullMask(8);
+            round.assignments.push_back(
+                {cluster::FullMask(seg.degree), 1, seg.steps});
+            auditor.OnRoundPlan(round);
+          }
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
 }
 
 }  // namespace

@@ -5,8 +5,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
+#include "audit/checkers.h"
 #include "sim/simulator.h"
 
 namespace tetri::sim {
@@ -112,6 +114,30 @@ TEST(SimulatorDeathTest, SchedulingInPastPanics)
   sim.ScheduleAt(100, []() {});
   sim.RunAll();
   EXPECT_DEATH(sim.ScheduleAt(50, []() {}), "past");
+}
+
+TEST(SimulatorAuditTest, AuditedCascadeIsViolationFree)
+{
+  // Audit-mode run of the seed scheduling patterns: nested relative
+  // scheduling plus a grid of absolute events, with the full checker
+  // suite attached. Zero violations expected.
+  Simulator sim;
+  audit::Auditor auditor;
+  audit::InstallStandardCheckers(auditor);
+  sim.set_audit(&auditor);
+  EXPECT_EQ(sim.audit(), &auditor);
+
+  int fired = 0;
+  std::function<void()> cascade = [&]() {
+    if (++fired < 50) sim.ScheduleAfter(7, cascade);
+  };
+  sim.ScheduleAt(5, cascade);
+  for (TimeUs t = 0; t < 200; t += 10) {
+    sim.ScheduleAt(t, [&]() { ++fired; });
+  }
+  sim.RunAll();
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
+  EXPECT_FALSE(sim.HasPending());
 }
 
 }  // namespace

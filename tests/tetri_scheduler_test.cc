@@ -8,6 +8,7 @@
 
 #include <map>
 
+#include "audit/checkers.h"
 #include "core/tetri_scheduler.h"
 #include "costmodel/model_config.h"
 #include "serving/request_tracker.h"
@@ -324,6 +325,21 @@ TEST_P(PlanValiditySweep, StructurallyValid)
       EXPECT_EQ(times_scheduled[id], 1) << "request scheduled twice";
     }
   }
+
+  // The same plan must also satisfy the audit-layer round invariants.
+  audit::Auditor auditor;
+  audit::InstallStandardCheckers(auditor);
+  audit::RoundAudit round;
+  round.now = ctx.now;
+  round.round_end = ctx.round_end;
+  round.free_gpus = ctx.free_gpus;
+  round.all_gpus = topo.all_gpus();
+  for (const auto& a : plan.assignments) {
+    round.assignments.push_back(
+        {a.mask, static_cast<int>(a.requests.size()), a.max_steps});
+  }
+  auditor.OnRoundPlan(round);
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
 }
 
 INSTANTIATE_TEST_SUITE_P(
