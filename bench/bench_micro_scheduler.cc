@@ -1,18 +1,35 @@
 /**
  * @file
- * Google-benchmark microbenchmarks of TetriServe's control plane:
- * the group-knapsack DP (Algorithm 1), deadline-aware allocation,
- * round-aware planning, and a full Plan() invocation at varying
- * queue depths — substantiating the paper's claim of millisecond
- * control-plane latency (§5, Table 6).
+ * Microbenchmarks of TetriServe's control plane: the group-knapsack DP
+ * (Algorithm 1), deadline-aware allocation, round-aware planning, and
+ * a full Plan() invocation at varying queue depths — substantiating
+ * the paper's claim of millisecond control-plane latency (§5, Table 6).
+ *
+ * Two modes:
+ *  - default: google-benchmark micro suite (BM_*).
+ *  - `--json=PATH [--smoke]`: the scheduler regression harness. For a
+ *    (queue depth x GPU count) matrix it times the PlanScratch fast
+ *    path against the seed reference path (TetriOptions::
+ *    reference_plan), cross-checks that both emit identical plans,
+ *    and writes p50/p99 latencies plus the median speedup to PATH
+ *    (BENCH_scheduler.json). `--smoke` shrinks the sample counts for
+ *    CI.
  */
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "core/allocation.h"
 #include "core/dp_packer.h"
 #include "core/tetri_scheduler.h"
 #include "costmodel/model_config.h"
 #include "serving/request_tracker.h"
+#include "util/check.h"
 #include "util/rng.h"
 #include "workload/slo.h"
 
@@ -72,6 +89,21 @@ BM_PackRound(benchmark::State& state)
 BENCHMARK(BM_PackRound)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 void
+BM_PackRoundScratch(benchmark::State& state)
+{
+  Rng rng(7);
+  auto groups = RandomGroups(static_cast<int>(state.range(0)), rng);
+  core::PackScratch scratch;
+  core::PackResult result;
+  for (auto _ : state) {
+    core::PackRoundInto(groups.data(), static_cast<int>(groups.size()),
+                        8, &scratch, &result);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PackRoundScratch)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void
 BM_FindPlan(benchmark::State& state)
 {
   const auto& table = F().table;
@@ -93,14 +125,12 @@ BM_RoundAwarePlan(benchmark::State& state)
 }
 BENCHMARK(BM_RoundAwarePlan);
 
+/** Shared queue construction for BM_FullPlan and the regression
+ * harness: `depth` mixed-resolution requests with randomized SLO
+ * scales, all pending at t=0. */
 void
-BM_FullPlan(benchmark::State& state)
+FillQueue(serving::RequestTracker* tracker, int depth)
 {
-  const int depth = static_cast<int>(state.range(0));
-  auto& fixture = F();
-  core::TetriScheduler sched(&fixture.table);
-
-  serving::RequestTracker tracker;
   Rng rng(depth);
   for (int i = 0; i < depth; ++i) {
     workload::TraceRequest meta;
@@ -112,8 +142,19 @@ BM_FullPlan(benchmark::State& state)
         workload::SloPolicy::BaseTargetSec(meta.resolution) * 1e6 *
         rng.NextRange(0.9, 1.5));
     meta.num_steps = 50;
-    tracker.Admit(meta);
+    tracker->Admit(meta);
   }
+}
+
+void
+BM_FullPlan(benchmark::State& state)
+{
+  const int depth = static_cast<int>(state.range(0));
+  auto& fixture = F();
+  core::TetriScheduler sched(&fixture.table);
+
+  serving::RequestTracker tracker;
+  FillQueue(&tracker, depth);
   auto schedulable = tracker.Schedulable(0);
   serving::ScheduleContext ctx;
   ctx.now = 0;
@@ -129,7 +170,175 @@ BM_FullPlan(benchmark::State& state)
 }
 BENCHMARK(BM_FullPlan)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
+// ---------------------------------------------------------------
+// Regression harness (--json=PATH [--smoke])
+// ---------------------------------------------------------------
+
+struct CellResult {
+  int depth = 0;
+  int gpus = 0;
+  int samples = 0;
+  double fast_p50_us = 0.0;
+  double fast_p99_us = 0.0;
+  double ref_p50_us = 0.0;
+  double ref_p99_us = 0.0;
+  double speedup_p50 = 0.0;
+};
+
+double
+Percentile(std::vector<double>* samples, double p)
+{
+  std::sort(samples->begin(), samples->end());
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples->size() - 1));
+  return (*samples)[idx];
+}
+
+/** Time `iters` steady-state Plan() calls, returning per-call wall
+ * microseconds. The first `warmup` calls are discarded so the fast
+ * path is measured with a warm arena (its contract) and both paths
+ * with warm caches of the underlying tables. */
+std::vector<double>
+TimePlans(core::TetriScheduler* sched, serving::ScheduleContext* ctx,
+          int warmup, int iters)
+{
+  using clock = std::chrono::steady_clock;
+  std::vector<double> out;
+  out.reserve(iters);
+  for (int i = 0; i < warmup + iters; ++i) {
+    const auto start = clock::now();
+    auto plan = sched->Plan(*ctx);
+    const auto stop = clock::now();
+    benchmark::DoNotOptimize(plan);
+    if (i >= warmup) {
+      out.push_back(
+          std::chrono::duration<double, std::micro>(stop - start)
+              .count());
+    }
+  }
+  return out;
+}
+
+CellResult
+RunCell(int depth, int gpus, int warmup, int iters)
+{
+  auto& fixture = F();
+  core::TetriOptions ref_opts;
+  ref_opts.reference_plan = true;
+  core::TetriScheduler fast(&fixture.table);
+  core::TetriScheduler ref(&fixture.table, ref_opts);
+
+  serving::RequestTracker tracker;
+  FillQueue(&tracker, depth);
+  auto schedulable = tracker.Schedulable(0);
+  serving::ScheduleContext ctx;
+  ctx.now = 0;
+  ctx.round_end = fast.RoundDurationUs();
+  ctx.free_gpus = cluster::FullMask(gpus);
+  ctx.schedulable = &schedulable;
+  ctx.topology = &fixture.topo;
+  ctx.table = &fixture.table;
+
+  // Guard: both paths must produce identical plans before their
+  // latencies are comparable at all.
+  const auto fast_plan = fast.Plan(ctx);
+  const auto ref_plan = ref.Plan(ctx);
+  TETRI_CHECK_MSG(fast_plan.assignments.size() ==
+                      ref_plan.assignments.size(),
+                  "fast/reference plan divergence at depth " << depth);
+  for (std::size_t i = 0; i < fast_plan.assignments.size(); ++i) {
+    const auto& a = fast_plan.assignments[i];
+    const auto& b = ref_plan.assignments[i];
+    TETRI_CHECK_MSG(a.requests == b.requests && a.mask == b.mask &&
+                        a.max_steps == b.max_steps,
+                    "fast/reference assignment divergence at depth "
+                        << depth << " index " << i);
+  }
+
+  auto fast_samples = TimePlans(&fast, &ctx, warmup, iters);
+  auto ref_samples = TimePlans(&ref, &ctx, warmup, iters);
+
+  CellResult cell;
+  cell.depth = depth;
+  cell.gpus = gpus;
+  cell.samples = iters;
+  cell.fast_p50_us = Percentile(&fast_samples, 0.50);
+  cell.fast_p99_us = Percentile(&fast_samples, 0.99);
+  cell.ref_p50_us = Percentile(&ref_samples, 0.50);
+  cell.ref_p99_us = Percentile(&ref_samples, 0.99);
+  cell.speedup_p50 = cell.ref_p50_us / cell.fast_p50_us;
+  return cell;
+}
+
+int
+RunRegression(const std::string& json_path, bool smoke)
+{
+  const int warmup = smoke ? 5 : 20;
+  const int iters = smoke ? 40 : 400;
+  const int depths[] = {8, 16, 32, 64, 128, 256};
+  const int gpu_counts[] = {2, 4, 8};
+
+  std::vector<CellResult> cells;
+  std::printf("%8s %6s %12s %12s %12s %12s %9s\n", "depth", "gpus",
+              "fast_p50", "fast_p99", "ref_p50", "ref_p99", "speedup");
+  for (int gpus : gpu_counts) {
+    for (int depth : depths) {
+      auto cell = RunCell(depth, gpus, warmup, iters);
+      std::printf("%8d %6d %10.1fus %10.1fus %10.1fus %10.1fus %8.2fx\n",
+                  cell.depth, cell.gpus, cell.fast_p50_us,
+                  cell.fast_p99_us, cell.ref_p50_us, cell.ref_p99_us,
+                  cell.speedup_p50);
+      cells.push_back(cell);
+    }
+  }
+
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"benchmark\": \"tetri_scheduler_plan\",\n");
+  std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(out, "  \"configs\": [\n");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    std::fprintf(out,
+                 "    {\"queue_depth\": %d, \"num_gpus\": %d, "
+                 "\"samples\": %d, \"fast_p50_us\": %.3f, "
+                 "\"fast_p99_us\": %.3f, \"ref_p50_us\": %.3f, "
+                 "\"ref_p99_us\": %.3f, \"speedup_p50\": %.3f}%s\n",
+                 c.depth, c.gpus, c.samples, c.fast_p50_us,
+                 c.fast_p99_us, c.ref_p50_us, c.ref_p99_us,
+                 c.speedup_p50, i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace tetri
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+  std::string json_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+  if (!json_path.empty()) {
+    return tetri::RunRegression(json_path, smoke);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -366,7 +366,13 @@ CostModelSanityChecker::ValidateView(const TableView& view)
                         " at ", ResolutionName(res), " degree ", degree,
                         " batch ", batch));
         }
-        if (mean < prev_mean) {
+        // Monotone in resolution, up to a small band: at high degrees
+        // a small model is communication/overhead-bound, and the cost
+        // model legitimately prices neighbouring small resolutions
+        // within a few percent of each other in either order
+        // (SD3-Medium at degree 8 puts 256px ~3% above 512px). Only an
+        // inversion beyond the band indicates a corrupted table.
+        if (mean < 0.95 * prev_mean) {
           Report(0, Msg("step time not monotone in resolution at ",
                         ResolutionName(res), " degree ", degree,
                         " batch ", batch, ": ", mean, " < ", prev_mean));

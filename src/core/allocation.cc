@@ -141,20 +141,288 @@ SegmentDurationUs(int steps, int per_round, double step_us,
 
 }  // namespace
 
+void
+BuildRoundDegreeInfo(const costmodel::LatencyTable& table,
+                     costmodel::Resolution res, double round_us,
+                     std::vector<RoundDegreeInfo>* out)
+{
+  TETRI_CHECK(out != nullptr);
+  TETRI_CHECK(round_us > 0.0);
+  out->clear();
+  for (int k : table.degrees()) {
+    const double t = table.StepTimeUs(res, k);
+    out->push_back(RoundDegreeInfo{
+        k, t, static_cast<int>(std::floor(round_us / t))});
+  }
+}
+
+double
+RoundAwareLowerBoundUs(const std::vector<RoundDegreeInfo>& info,
+                       int remaining_steps, double round_us)
+{
+  if (remaining_steps <= 0) return 0.0;
+  double best = std::numeric_limits<double>::max();
+  for (const RoundDegreeInfo& d : info) {
+    best = std::min(best, SegmentDurationUs(remaining_steps,
+                                            d.steps_per_round, d.step_us,
+                                            round_us));
+  }
+  return best;
+}
+
 double
 RoundAwareLowerBoundUs(const costmodel::LatencyTable& table,
                        costmodel::Resolution res, int remaining_steps,
                        double round_us)
 {
   if (remaining_steps <= 0) return 0.0;
-  double best = std::numeric_limits<double>::max();
-  for (int k : table.degrees()) {
-    const double t = table.StepTimeUs(res, k);
-    const int q = static_cast<int>(std::floor(round_us / t));
-    best = std::min(
-        best, SegmentDurationUs(remaining_steps, q, t, round_us));
+  std::vector<RoundDegreeInfo> info;
+  BuildRoundDegreeInfo(table, res, round_us, &info);
+  return RoundAwareLowerBoundUs(info, remaining_steps, round_us);
+}
+
+namespace {
+
+/**
+ * Enumerate every candidate mix of the round-aware planner, in its
+ * canonical scan order, computing each candidate's duration and GPU
+ * time exactly once. This is the single source of truth shared by
+ * RoundAwarePlanInto and BuildPlanStaircase: both see identical
+ * candidate values in identical order, which is what makes the
+ * staircase's precomputed answers bit-identical to a direct scan.
+ */
+template <typename Fn>
+void
+ForEachRoundCandidate(const std::vector<RoundDegreeInfo>& info,
+                      int remaining_steps, double round_us, Fn&& fn)
+{
+  const int num = static_cast<int>(info.size());
+  auto emit = [&](int slow_idx, int slow_steps, int fast_idx,
+                  int fast_steps) {
+    // Execution order: the packer's progress tie-break runs the fast
+    // segment first, so the slow segment holds the finishing tail.
+    const RoundDegreeInfo& fast = info[fast_idx];
+    const RoundDegreeInfo& slow = info[slow_idx];
+    double duration;
+    if (slow_steps > 0) {
+      const double fast_rounds =
+          fast_steps > 0
+              ? std::ceil(static_cast<double>(fast_steps) /
+                          std::max(fast.steps_per_round, 1)) *
+                    round_us
+              : 0.0;
+      duration = fast_rounds +
+                 SegmentDurationUs(slow_steps, slow.steps_per_round,
+                                   slow.step_us, round_us);
+    } else {
+      duration = SegmentDurationUs(fast_steps, fast.steps_per_round,
+                                   fast.step_us, round_us);
+    }
+    const double gpu_time = slow_steps * slow.degree * slow.step_us +
+                            fast_steps * fast.degree * fast.step_us;
+    fn(PlanCandidate{slow_idx, slow_steps, fast_idx, fast_steps,
+                     duration, gpu_time});
+  };
+
+  for (int b = 0; b < num; ++b) {
+    // Single-degree plans.
+    emit(b, 0, b, remaining_steps);
+    // Two-degree mixes: slow degree `a` takes whole rounds; enumerate
+    // how many steps the fast degree `b` covers.
+    for (int a = 0; a < num; ++a) {
+      if (a == b) continue;
+      if (info[a].step_us <= info[b].step_us) continue;  // `a` slower
+      if (info[a].steps_per_round <= 0) continue;  // unusable in round
+      for (int fast_steps = 1; fast_steps < remaining_steps;
+           ++fast_steps) {
+        emit(a, remaining_steps - fast_steps, b, fast_steps);
+      }
+    }
   }
-  return best;
+}
+
+/** The planner's preference order: lower GPU time wins, with an
+ * absolute epsilon band on GPU time breaking ties toward the shorter
+ * duration. */
+inline bool
+RoundPlanBetter(bool found, double gpu_time, double duration,
+                double best_gpu_time, double best_duration)
+{
+  return !found || gpu_time < best_gpu_time - 1e-9 ||
+         (std::abs(gpu_time - best_gpu_time) <= 1e-9 &&
+          duration < best_duration);
+}
+
+/** Expand a winning candidate into an AllocationPlan, reusing the
+ * output's segment capacity. */
+void
+MaterializeRoundPlan(const std::vector<RoundDegreeInfo>& info,
+                     const PlanCandidate& c, AllocationPlan* out)
+{
+  const RoundDegreeInfo& fast = info[c.fast_idx];
+  const RoundDegreeInfo& slow = info[c.slow_idx];
+  out->segments.clear();
+  if (c.slow_steps > 0) {
+    out->segments.push_back(AllocationSegment{slow.degree, c.slow_steps});
+  }
+  if (c.fast_steps > 0) {
+    if (!out->segments.empty() && fast.degree == slow.degree) {
+      out->segments.back().steps += c.fast_steps;
+    } else {
+      out->segments.push_back(
+          AllocationSegment{fast.degree, c.fast_steps});
+    }
+  }
+  std::sort(out->segments.begin(), out->segments.end(),
+            [](const AllocationSegment& a, const AllocationSegment& b) {
+              return a.degree < b.degree;
+            });
+  out->exec_time_us = c.duration_us;
+  out->gpu_time_us = c.gpu_time_us;
+  out->feasible = true;
+}
+
+/** The definitely-late fallback: the fastest trajectory, marked
+ * infeasible. */
+void
+FallbackRoundPlan(const std::vector<RoundDegreeInfo>& info,
+                  int remaining_steps, double round_us,
+                  AllocationPlan* out)
+{
+  const int num = static_cast<int>(info.size());
+  int fastest = 0;
+  double fastest_dur = std::numeric_limits<double>::max();
+  for (int i = 0; i < num; ++i) {
+    const double dur =
+        SegmentDurationUs(remaining_steps, info[i].steps_per_round,
+                          info[i].step_us, round_us);
+    if (dur < fastest_dur) {
+      fastest_dur = dur;
+      fastest = i;
+    }
+  }
+  out->segments.clear();
+  out->segments.push_back(
+      AllocationSegment{info[fastest].degree, remaining_steps});
+  out->exec_time_us = fastest_dur;
+  out->gpu_time_us =
+      remaining_steps * info[fastest].degree * info[fastest].step_us;
+  out->feasible = false;
+}
+
+}  // namespace
+
+void
+RoundAwarePlanInto(const std::vector<RoundDegreeInfo>& info,
+                   int remaining_steps, double slack_us, double round_us,
+                   AllocationPlan* out)
+{
+  TETRI_CHECK(remaining_steps > 0);
+  TETRI_CHECK(round_us > 0.0);
+  TETRI_CHECK(out != nullptr && !info.empty());
+
+  bool found = false;
+  double best_gpu_time = std::numeric_limits<double>::max();
+  double best_duration = 0.0;
+  PlanCandidate winner;
+  ForEachRoundCandidate(
+      info, remaining_steps, round_us, [&](const PlanCandidate& c) {
+        if (c.duration_us > slack_us) return;
+        if (!RoundPlanBetter(found, c.gpu_time_us, c.duration_us,
+                             best_gpu_time, best_duration)) {
+          return;
+        }
+        found = true;
+        best_gpu_time = c.gpu_time_us;
+        best_duration = c.duration_us;
+        winner = c;
+      });
+
+  if (found) {
+    MaterializeRoundPlan(info, winner, out);
+  } else {
+    FallbackRoundPlan(info, remaining_steps, round_us, out);
+  }
+}
+
+void
+BuildPlanStaircase(const std::vector<RoundDegreeInfo>& info,
+                   int remaining_steps, double round_us,
+                   PlanStaircase* out)
+{
+  TETRI_CHECK(remaining_steps > 0);
+  TETRI_CHECK(round_us > 0.0);
+  TETRI_CHECK(out != nullptr && !info.empty());
+
+  out->candidates.clear();
+  ForEachRoundCandidate(
+      info, remaining_steps, round_us,
+      [&](const PlanCandidate& c) { out->candidates.push_back(c); });
+
+  out->thresholds.clear();
+  for (const PlanCandidate& c : out->candidates) {
+    out->thresholds.push_back(c.duration_us);
+  }
+  std::sort(out->thresholds.begin(), out->thresholds.end());
+  out->thresholds.erase(
+      std::unique(out->thresholds.begin(), out->thresholds.end()),
+      out->thresholds.end());
+
+  // For each feasibility breakpoint, replay the planner's scan over
+  // the candidates that would pass the slack gate. The epsilon tie
+  // band makes the preference order-dependent, so an incremental
+  // update against the previous breakpoint's winner would not be
+  // faithful; a full replay per breakpoint is (and is one-time cost).
+  out->winners.assign(out->thresholds.size(), -1);
+  const int num_candidates = static_cast<int>(out->candidates.size());
+  for (std::size_t ti = 0; ti < out->thresholds.size(); ++ti) {
+    const double slack = out->thresholds[ti];
+    bool found = false;
+    double best_gpu_time = std::numeric_limits<double>::max();
+    double best_duration = 0.0;
+    int winner = -1;
+    for (int ci = 0; ci < num_candidates; ++ci) {
+      const PlanCandidate& c = out->candidates[ci];
+      if (c.duration_us > slack) continue;
+      if (!RoundPlanBetter(found, c.gpu_time_us, c.duration_us,
+                           best_gpu_time, best_duration)) {
+        continue;
+      }
+      found = true;
+      best_gpu_time = c.gpu_time_us;
+      best_duration = c.duration_us;
+      winner = ci;
+    }
+    TETRI_CHECK(winner >= 0);  // the breakpoint's own candidate fits
+    out->winners[ti] = winner;
+  }
+
+  FallbackRoundPlan(info, remaining_steps, round_us, &out->fallback);
+  out->built = true;
+}
+
+void
+LookupRoundPlan(const PlanStaircase& staircase,
+                const std::vector<RoundDegreeInfo>& info,
+                double slack_us, AllocationPlan* out)
+{
+  TETRI_CHECK(staircase.built && out != nullptr);
+  const auto& thresholds = staircase.thresholds;
+  auto it = std::upper_bound(thresholds.begin(), thresholds.end(),
+                             slack_us);
+  if (it == thresholds.begin()) {
+    // Below every breakpoint: definitely late.
+    const AllocationPlan& fb = staircase.fallback;
+    out->segments.assign(fb.segments.begin(), fb.segments.end());
+    out->exec_time_us = fb.exec_time_us;
+    out->gpu_time_us = fb.gpu_time_us;
+    out->feasible = false;
+    return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>(it - thresholds.begin()) - 1;
+  MaterializeRoundPlan(info, staircase.candidates[staircase.winners[idx]],
+                       out);
 }
 
 AllocationPlan
@@ -162,111 +430,11 @@ RoundAwarePlan(const costmodel::LatencyTable& table,
                costmodel::Resolution res, int remaining_steps,
                double slack_us, double round_us)
 {
-  TETRI_CHECK(remaining_steps > 0);
-  TETRI_CHECK(round_us > 0.0);
-  const std::vector<int>& degrees = table.degrees();
-
-  struct DegreeInfo {
-    int k;
-    double t;
-    int q;
-  };
-  std::vector<DegreeInfo> info;
-  for (int k : degrees) {
-    const double t = table.StepTimeUs(res, k);
-    info.push_back(DegreeInfo{
-        k, t, static_cast<int>(std::floor(round_us / t))});
-  }
-
-  AllocationPlan best;
-  double best_gpu_time = std::numeric_limits<double>::max();
-  bool found = false;
-  auto consider = [&](int slow_idx, int slow_steps, int fast_idx,
-                      int fast_steps) {
-    // Execution order: the packer's progress tie-break runs the fast
-    // segment first, so the slow segment holds the finishing tail.
-    const DegreeInfo& fast = info[fast_idx];
-    const DegreeInfo& slow = info[slow_idx];
-    double duration;
-    if (slow_steps > 0) {
-      const double fast_rounds =
-          fast_steps > 0
-              ? std::ceil(static_cast<double>(fast_steps) /
-                          std::max(fast.q, 1)) *
-                    round_us
-              : 0.0;
-      duration = fast_rounds +
-                 SegmentDurationUs(slow_steps, slow.q, slow.t, round_us);
-    } else {
-      duration =
-          SegmentDurationUs(fast_steps, fast.q, fast.t, round_us);
-    }
-    if (duration > slack_us) return;
-    const double gpu_time = slow_steps * slow.k * slow.t +
-                            fast_steps * fast.k * fast.t;
-    const bool better =
-        !found || gpu_time < best_gpu_time - 1e-9 ||
-        (std::abs(gpu_time - best_gpu_time) <= 1e-9 &&
-         duration < best.exec_time_us);
-    if (!better) return;
-    found = true;
-    best_gpu_time = gpu_time;
-    best.segments.clear();
-    if (slow_steps > 0) {
-      best.segments.push_back(AllocationSegment{slow.k, slow_steps});
-    }
-    if (fast_steps > 0) {
-      if (!best.segments.empty() && fast.k == slow.k) {
-        best.segments.back().steps += fast_steps;
-      } else {
-        best.segments.push_back(AllocationSegment{fast.k, fast_steps});
-      }
-    }
-    std::sort(best.segments.begin(), best.segments.end(),
-              [](const AllocationSegment& a, const AllocationSegment& b) {
-                return a.degree < b.degree;
-              });
-    best.exec_time_us = duration;
-    best.gpu_time_us = gpu_time;
-    best.feasible = true;
-  };
-
-  const int num = static_cast<int>(info.size());
-  for (int b = 0; b < num; ++b) {
-    // Single-degree plans.
-    consider(b, 0, b, remaining_steps);
-    // Two-degree mixes: slow degree `a` takes whole rounds; enumerate
-    // how many steps the fast degree `b` covers.
-    for (int a = 0; a < num; ++a) {
-      if (a == b) continue;
-      if (info[a].t <= info[b].t) continue;  // `a` must be slower
-      if (info[a].q <= 0) continue;          // unusable within a round
-      for (int fast_steps = 1; fast_steps < remaining_steps;
-           ++fast_steps) {
-        consider(a, remaining_steps - fast_steps, b, fast_steps);
-      }
-    }
-  }
-
-  if (!found) {
-    // Definitely late: fall back to the fastest trajectory.
-    int fastest = 0;
-    double fastest_dur = std::numeric_limits<double>::max();
-    for (int i = 0; i < num; ++i) {
-      const double dur = SegmentDurationUs(remaining_steps, info[i].q,
-                                           info[i].t, round_us);
-      if (dur < fastest_dur) {
-        fastest_dur = dur;
-        fastest = i;
-      }
-    }
-    best.segments = {AllocationSegment{info[fastest].k, remaining_steps}};
-    best.exec_time_us = fastest_dur;
-    best.gpu_time_us =
-        remaining_steps * info[fastest].k * info[fastest].t;
-    best.feasible = false;
-  }
-  return best;
+  std::vector<RoundDegreeInfo> info;
+  BuildRoundDegreeInfo(table, res, round_us, &info);
+  AllocationPlan plan;
+  RoundAwarePlanInto(info, remaining_steps, slack_us, round_us, &plan);
+  return plan;
 }
 
 AllocationPlan

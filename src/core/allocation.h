@@ -79,6 +79,31 @@ AllocationPlan FindPlan(const costmodel::LatencyTable& table,
                         double slack_us);
 
 /**
+ * Per-degree inputs of round-aware planning: the profiled step time
+ * and the whole steps fitting one round. These depend only on
+ * (resolution, round length), so TetriScheduler's fast path computes
+ * them once per resolution per round and replans every queued request
+ * against the shared copy instead of re-reading the latency table per
+ * entry.
+ */
+struct RoundDegreeInfo {
+  int degree = 0;
+  /** Profiled step time at this degree, microseconds. */
+  double step_us = 0.0;
+  /** floor(round_us / step_us): whole steps per round (0 if a step
+   * spills past the round). */
+  int steps_per_round = 0;
+};
+
+/**
+ * Fill @p out (cleared first) with one RoundDegreeInfo per feasible
+ * degree of @p table, in table degree order.
+ */
+void BuildRoundDegreeInfo(const costmodel::LatencyTable& table,
+                          costmodel::Resolution res, double round_us,
+                          std::vector<RoundDegreeInfo>* out);
+
+/**
  * Round-aware minimal-GPU-time plan (the production path used by
  * TetriScheduler). Because the round packer admits at most one
  * allocation per request per round, a two-degree mix executes as
@@ -100,6 +125,15 @@ AllocationPlan RoundAwarePlan(const costmodel::LatencyTable& table,
                               double round_us);
 
 /**
+ * Allocation-free core of RoundAwarePlan: plans against prebuilt
+ * degree info and writes into @p out, reusing its segment capacity.
+ * Emits exactly the plan RoundAwarePlan would for the same inputs.
+ */
+void RoundAwarePlanInto(const std::vector<RoundDegreeInfo>& info,
+                        int remaining_steps, double slack_us,
+                        double round_us, AllocationPlan* out);
+
+/**
  * Tightest achievable residual completion time under round
  * quantization: min over degrees of full rounds plus a mid-round
  * finishing tail. Used as the survival lower bound LB_i.
@@ -107,6 +141,63 @@ AllocationPlan RoundAwarePlan(const costmodel::LatencyTable& table,
 double RoundAwareLowerBoundUs(const costmodel::LatencyTable& table,
                               costmodel::Resolution res,
                               int remaining_steps, double round_us);
+
+/** RoundAwareLowerBoundUs over prebuilt degree info (the fast path). */
+double RoundAwareLowerBoundUs(const std::vector<RoundDegreeInfo>& info,
+                              int remaining_steps, double round_us);
+
+/** One candidate mix of the round-aware planner: `slow_steps` at
+ * info[slow_idx] finishing after `fast_steps` at info[fast_idx]. */
+struct PlanCandidate {
+  int slow_idx = 0;
+  int slow_steps = 0;
+  int fast_idx = 0;
+  int fast_steps = 0;
+  /** Wall-clock of the mix under round quantization. */
+  double duration_us = 0.0;
+  /** GPU time of the mix. */
+  double gpu_time_us = 0.0;
+};
+
+/**
+ * Precomputed answer of RoundAwarePlanInto as a function of slack.
+ *
+ * For fixed (degree info, remaining steps, round length) the planner's
+ * candidate set is slack-independent; slack only gates which
+ * candidates are feasible. The winner is therefore a step function of
+ * slack whose breakpoints are the distinct candidate durations. The
+ * staircase stores, for every breakpoint, the winner of a faithful
+ * re-scan of the candidate list (same enumeration order, same
+ * epsilon comparator), so LookupRoundPlan answers any slack with a
+ * binary search yet reproduces RoundAwarePlanInto bit for bit.
+ */
+struct PlanStaircase {
+  bool built = false;
+  /** All candidates in the planner's enumeration order. */
+  std::vector<PlanCandidate> candidates;
+  /** Sorted distinct candidate durations (feasibility breakpoints). */
+  std::vector<double> thresholds;
+  /** winners[i]: candidate index chosen when slack lies in
+   * [thresholds[i], thresholds[i+1]). */
+  std::vector<int> winners;
+  /** The definitely-late fallback (slack below every threshold). */
+  AllocationPlan fallback;
+};
+
+/** Precompute the staircase for (info, remaining_steps, round_us). */
+void BuildPlanStaircase(const std::vector<RoundDegreeInfo>& info,
+                        int remaining_steps, double round_us,
+                        PlanStaircase* out);
+
+/**
+ * Answer a RoundAwarePlanInto query from a prebuilt staircase in
+ * O(log candidates). @p info must be the vector the staircase was
+ * built from. Writes into @p out, reusing its segment capacity, and
+ * produces exactly the plan RoundAwarePlanInto would.
+ */
+void LookupRoundPlan(const PlanStaircase& staircase,
+                     const std::vector<RoundDegreeInfo>& info,
+                     double slack_us, AllocationPlan* out);
 
 /**
  * Reference solution: exact DP over (steps x degrees) minimizing GPU

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "cluster/allocator.h"
 #include "util/check.h"
@@ -22,6 +23,7 @@ TetriScheduler::TetriScheduler(const costmodel::LatencyTable* table,
   TETRI_CHECK(table_ != nullptr);
   TETRI_CHECK(options_.step_granularity >= 1);
   TETRI_CHECK(options_.max_batch >= 1);
+  scratch_.step_cache.Bind(table_);
 }
 
 std::string
@@ -31,6 +33,7 @@ TetriScheduler::Name() const
   if (!options_.placement_preservation) name += "-NoPlace";
   if (!options_.elastic_scale_up) name += "-NoElastic";
   if (!options_.selective_batching) name += "-NoBatch";
+  if (options_.reference_plan) name += "-Ref";
   return name;
 }
 
@@ -98,12 +101,89 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
   serving::RoundPlan plan;
   if (capacity == 0 || ctx.schedulable->empty()) return plan;
 
+  // One shared planning logic, two data paths. The fast path plans out
+  // of the PlanScratch arena (prebuilt per-resolution degree info,
+  // epoch-stamped memo caches, flat DP scratch, incremental GPU
+  // counter); the reference path reproduces the seed implementation's
+  // data flow (per-call RoundAwarePlan allocations, direct latency
+  // table lookups, the nested-vector DP, O(pendings) recounts). Both
+  // emit bit-identical RoundPlans — the equivalence tests and the
+  // bench harness rely on that.
+  const bool fast = !options_.reference_plan;
+  ++scratch_.round_epoch;
+  if (fast) scratch_.step_cache.BeginRound();
+  scratch_.degree_info_ready.fill(false);
+  if (fast && scratch_.staircase_tau != tau) {
+    for (auto& per_res : scratch_.staircases) {
+      for (PlanStaircase& s : per_res) s.built = false;
+    }
+    scratch_.staircase_tau = tau;
+  }
+
+  auto degree_info = [&](Resolution res)
+      -> const std::vector<RoundDegreeInfo>& {
+    const int ri = costmodel::ResolutionIndex(res);
+    if (!scratch_.degree_info_ready[ri]) {
+      BuildRoundDegreeInfo(*table_, res, tau, &scratch_.degree_info[ri]);
+      scratch_.degree_info_ready[ri] = true;
+    }
+    return scratch_.degree_info[ri];
+  };
+  // Memoized profiled step time (fast) vs direct table lookup
+  // (reference). LatencyTable::StepTimeUs interpolates and validates;
+  // the cache collapses the repeated (res, degree, batch) probes the
+  // batching and scale-up stages issue.
+  auto step_time = [&](Resolution res, int degree, int batch) {
+    return fast ? scratch_.step_cache.StepTimeUs(res, degree, batch)
+                : table_->StepTimeUs(res, degree, batch);
+  };
+  auto steps_in_round = [&](Resolution res, int degree) {
+    return static_cast<int>(
+        std::floor(tau / step_time(res, degree, 1)));
+  };
+  // Stage-1 planner answers via the precomputed staircase (fast path
+  // only): the candidate scan runs once per (resolution, remaining
+  // steps) for as long as tau is stable; every later request with the
+  // same key is a binary search over the feasibility breakpoints.
+  auto staircase = [&](Resolution res, int rem) -> const PlanStaircase& {
+    const int ri = costmodel::ResolutionIndex(res);
+    auto& per_res = scratch_.staircases[ri];
+    if (static_cast<int>(per_res.size()) <= rem) {
+      per_res.resize(rem + 1);
+    }
+    PlanStaircase& s = per_res[rem];
+    if (!s.built) BuildPlanStaircase(degree_info(res), rem, tau, &s);
+    return s;
+  };
+  auto lower_bound = [&](Resolution res, int steps) {
+    if (!fast) return RoundAwareLowerBoundUs(*table_, res, steps, tau);
+    if (steps <= 0) return 0.0;
+    const int ri = costmodel::ResolutionIndex(res);
+    auto& memo = scratch_.lb_memo[ri];
+    auto& epoch = scratch_.lb_memo_epoch[ri];
+    if (static_cast<int>(memo.size()) <= steps) {
+      memo.resize(steps + 1, 0.0);
+      epoch.resize(steps + 1, 0);
+    }
+    if (epoch[steps] != scratch_.round_epoch) {
+      memo[steps] = RoundAwareLowerBoundUs(degree_info(res), steps, tau);
+      epoch[steps] = scratch_.round_epoch;
+    }
+    return memo[steps];
+  };
+
   // ---- Stage 1: deadline-aware GPU allocation (§4.2.1) ----
-  std::vector<Entry> entries;
-  entries.reserve(ctx.schedulable->size());
-  for (Request* req : *ctx.schedulable) {
-    Entry entry;
+  const int num_entries = static_cast<int>(ctx.schedulable->size());
+  if (static_cast<int>(scratch_.entries.size()) < num_entries) {
+    scratch_.entries.resize(num_entries);
+  }
+  for (int ei = 0; ei < num_entries; ++ei) {
+    Entry& entry = scratch_.entries[ei];
+    Request* req = (*ctx.schedulable)[ei];
     entry.request = req;
+    entry.late = false;
+    entry.chosen_degree = 0;
+    entry.chosen_steps = 0;
     entry.slack_us =
         EffectiveDeadlineUs(*req) - static_cast<double>(ctx.now);
     const int rem = req->RemainingSteps();
@@ -111,12 +191,15 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     if (options_.use_continuous_planner) {
       entry.alloc = FindPlan(*table_, req->meta.resolution, rem,
                              std::max(entry.slack_us, 0.0));
+    } else if (fast) {
+      LookupRoundPlan(staircase(req->meta.resolution, rem),
+                      degree_info(req->meta.resolution),
+                      std::max(entry.slack_us, 0.0), &entry.alloc);
     } else {
       entry.alloc = RoundAwarePlan(*table_, req->meta.resolution, rem,
                                    std::max(entry.slack_us, 0.0), tau);
     }
     entry.late = !entry.alloc.feasible;
-    entries.push_back(std::move(entry));
   }
 
   // ---- Stage 1.5: EDF overload control ----
@@ -128,120 +211,162 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
   // the prefix to the best-effort lane so the rest can actually make
   // their deadlines.
   {
-    std::vector<Entry*> edf;
-    for (Entry& entry : entries) {
-      if (!entry.late) edf.push_back(&entry);
+    scratch_.edf.clear();
+    for (int ei = 0; ei < num_entries; ++ei) {
+      Entry& entry = scratch_.entries[ei];
+      if (!entry.late) scratch_.edf.push_back(&entry);
     }
-    // entries are already deadline-sorted (schedulable order).
-    std::vector<Entry*> admitted;
+    // The scan needs *effective*-deadline order. Arrival/raw-deadline
+    // order (the schedulable order) is not that: VAE decode time and
+    // the margin fraction are resolution- and budget-dependent, so a
+    // large-resolution request can come earlier effectively while
+    // later nominally. Sort explicitly; ties break on request id to
+    // keep planning deterministic.
+    std::sort(scratch_.edf.begin(), scratch_.edf.end(),
+              [](const Entry* a, const Entry* b) {
+                if (a->slack_us != b->slack_us) {
+                  return a->slack_us < b->slack_us;
+                }
+                return a->request->meta.id < b->request->meta.id;
+              });
+    scratch_.admitted.clear();
     double work_us = 0.0;  // GPU-us of admitted prefix
-    for (Entry* entry : edf) {
-      admitted.push_back(entry);
+    for (Entry* entry : scratch_.edf) {
+      scratch_.admitted.push_back(entry);
       work_us += entry->alloc.gpu_time_us;
-      const double horizon =
-          EffectiveDeadlineUs(*entry->request) -
-          static_cast<double>(ctx.now);
+      const double horizon = entry->slack_us;
       while (work_us >
                  capacity * horizon * options_.overload_utilization &&
-             !admitted.empty()) {
+             !scratch_.admitted.empty()) {
         auto victim = std::max_element(
-            admitted.begin(), admitted.end(),
+            scratch_.admitted.begin(), scratch_.admitted.end(),
             [](const Entry* a, const Entry* b) {
               return a->alloc.gpu_time_us < b->alloc.gpu_time_us;
             });
         (*victim)->late = true;
         work_us -= (*victim)->alloc.gpu_time_us;
-        admitted.erase(victim);
+        scratch_.admitted.erase(victim);
       }
     }
   }
 
   // ---- Stage 2: round packing DP (Algorithm 1) ----
-  std::vector<PackGroup> groups;
-  std::vector<int> group_entry;  // group index -> entry index
-  for (int ei = 0; ei < static_cast<int>(entries.size()); ++ei) {
-    Entry& entry = entries[ei];
+  scratch_.group_entry.clear();
+  int num_groups = 0;
+  for (int ei = 0; ei < num_entries; ++ei) {
+    Entry& entry = scratch_.entries[ei];
     if (entry.late) continue;
     const Request& req = *entry.request;
     const Resolution res = req.meta.resolution;
     const int rem = req.RemainingSteps();
     const double deadline_eff = EffectiveDeadlineUs(req);
     const double next_round = static_cast<double>(ctx.round_end);
-    auto lb = [&](int steps_left) {
-      return RoundAwareLowerBoundUs(*table_, res, steps_left, tau);
-    };
 
-    PackGroup group;
+    if (static_cast<int>(scratch_.groups.size()) <= num_groups) {
+      scratch_.groups.emplace_back();
+    }
+    PackGroup& group = scratch_.groups[num_groups];
+    group.options.clear();
     group.id = req.meta.id;
-    group.survives_if_idle = next_round + lb(rem) <= deadline_eff;
+    const double lb_rem = lower_bound(res, rem);
+    group.survives_if_idle = next_round + lb_rem <= deadline_eff;
 
     // Laxity: rounds this request can afford to idle before the
     // survival bound trips. The tie-break weight decays with laxity
     // (least-laxity-first), so under contention the requests closest
     // to becoming definitely late receive GPUs first, while relaxed
     // ones defer to the work-conserving elastic stage.
-    const double laxity_us = deadline_eff - next_round - lb(rem);
+    const double laxity_us = deadline_eff - next_round - lb_rem;
     const double laxity_rounds =
         std::max(0.0, std::floor(laxity_us / tau));
     const double weight = 1.0 / (1.0 + laxity_rounds);
-    const double t_min = lb(rem) / rem;  // per-step progress value
+    const double t_min = lb_rem / rem;  // per-step progress value
 
     for (const AllocationSegment& seg : entry.alloc.segments) {
       // The plan is recomputed from scratch every round, so an option
       // may run more steps at its degree than the segment nominally
       // holds; only the remaining step count caps it.
-      const int q =
-          std::min(rem, StepsInRound(res, seg.degree, 1, tau));
+      const int q = std::min(rem, steps_in_round(res, seg.degree));
       if (q <= 0) continue;  // discard q == 0 options (Algorithm 1)
       PackOption opt;
       opt.degree = seg.degree;
       opt.steps = q;
-      opt.survives = next_round + lb(rem - q) <= deadline_eff;
+      opt.survives = next_round + lower_bound(res, rem - q) <= deadline_eff;
       // Progress measured in residual-lower-bound reduction (q steps,
       // each worth T_min), urgency-weighted.
       opt.work = weight * static_cast<double>(q) * t_min;
       group.options.push_back(opt);
     }
-    groups.push_back(std::move(group));
-    group_entry.push_back(ei);
+    ++num_groups;
+    scratch_.group_entry.push_back(ei);
   }
 
-  const PackResult packed = PackRound(groups, capacity);
-  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+  if (fast) {
+    PackRoundInto(scratch_.groups.data(), num_groups, capacity,
+                  &scratch_.pack, &scratch_.packed);
+  } else {
+    // Reproduce the seed's allocation profile: a fresh exact-size
+    // group vector feeding the per-call nested-vector DP.
+    const std::vector<PackGroup> groups_copy(
+        scratch_.groups.begin(), scratch_.groups.begin() + num_groups);
+    scratch_.packed = PackRoundReference(groups_copy, capacity);
+  }
+  const PackResult& packed = scratch_.packed;
+  for (int gi = 0; gi < num_groups; ++gi) {
     if (packed.choice[gi] < 0) continue;
-    const PackOption& opt = groups[gi].options[packed.choice[gi]];
-    Entry& entry = entries[group_entry[gi]];
+    const PackOption& opt =
+        scratch_.groups[gi].options[packed.choice[gi]];
+    Entry& entry = scratch_.entries[scratch_.group_entry[gi]];
     entry.chosen_degree = opt.degree;
     entry.chosen_steps = opt.steps;
   }
 
-  // Working assignments before placement.
-  struct Pending {
-    std::vector<Request*> members;
-    int degree = 0;
-    int steps = 0;
+  // Working assignments before placement, in reusable slots.
+  int num_pendings = 0;
+  int used_gpus = 0;  // incremental sum of pending degrees
+  auto append_pending = [&](Request* member, int degree, int steps,
+                            bool best_effort) {
+    if (static_cast<int>(scratch_.pendings.size()) <= num_pendings) {
+      scratch_.pendings.emplace_back();
+    }
+    Pending& p = scratch_.pendings[num_pendings++];
+    p.members.clear();
+    p.members.push_back(member);
+    p.degree = degree;
+    p.steps = steps;
+    p.base_degree = degree;
+    p.base_steps = steps;
+    p.best_effort = best_effort;
+    used_gpus += degree;
   };
-  std::vector<Pending> pendings;
-  for (Entry& entry : entries) {
-    if (entry.chosen_degree == 0) continue;
-    pendings.push_back(
-        Pending{{entry.request}, entry.chosen_degree, entry.chosen_steps});
-  }
   auto gpus_used = [&]() {
+    if (fast) return used_gpus;
     int used = 0;
-    for (const Pending& p : pendings) used += p.degree;
+    for (int pi = 0; pi < num_pendings; ++pi) {
+      used += scratch_.pendings[pi].degree;
+    }
+    // The reference recount doubles as an audit of the incremental
+    // counter: every differential run cross-checks them.
+    TETRI_CHECK(used == used_gpus);
     return used;
   };
 
+  for (int ei = 0; ei < num_entries; ++ei) {
+    Entry& entry = scratch_.entries[ei];
+    if (entry.chosen_degree == 0) continue;
+    append_pending(entry.request, entry.chosen_degree,
+                   entry.chosen_steps, /*best_effort=*/false);
+  }
+
   // ---- Stage 4: best-effort lane for definitely-late requests ----
-  for (Entry& entry : entries) {
+  for (int ei = 0; ei < num_entries; ++ei) {
+    Entry& entry = scratch_.entries[ei];
     if (!entry.late) continue;
     if (gpus_used() >= capacity) break;
     const Resolution res = entry.request->meta.resolution;
     const int rem = entry.request->RemainingSteps();
-    const int steps =
-        std::clamp(StepsInRound(res, 1, 1, tau), 1, rem);
-    pendings.push_back(Pending{{entry.request}, 1, steps});
+    const int steps = std::clamp(steps_in_round(res, 1), 1, rem);
+    append_pending(entry.request, 1, steps, /*best_effort=*/true);
     entry.chosen_degree = 1;
     entry.chosen_steps = steps;
   }
@@ -264,14 +389,14 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
         costmodel::ResolutionIndex(options_.batch_max_resolution)) {
       return false;
     }
-    for (Pending& host : pendings) {
+    for (int pi = 0; pi < num_pendings; ++pi) {
+      Pending& host = scratch_.pendings[pi];
       if (host.members.front()->meta.resolution != res) continue;
       const int new_bs = static_cast<int>(host.members.size() + 1);
       if (new_bs > std::min(options_.max_batch, table_->max_batch())) {
         continue;
       }
-      const double t_batched =
-          table_->StepTimeUs(res, host.degree, new_bs);
+      const double t_batched = step_time(res, host.degree, new_bs);
       const int q_round = static_cast<int>(std::floor(tau / t_batched));
       int q = q_round;
       for (Request* member : host.members) {
@@ -303,8 +428,8 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
   };
 
   if (options_.elastic_scale_up || options_.selective_batching) {
-    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-      Entry& entry = entries[group_entry[gi]];
+    for (int gi = 0; gi < num_groups; ++gi) {
+      Entry& entry = scratch_.entries[scratch_.group_entry[gi]];
       if (entry.chosen_degree != 0) continue;
       const Resolution res = entry.request->meta.resolution;
       const int rem = entry.request->RemainingSteps();
@@ -315,10 +440,10 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
       if (options_.elastic_scale_up && free > 0) {
         for (const AllocationSegment& seg : entry.alloc.segments) {
           if (seg.degree > free) continue;
-          const int q =
-              std::clamp(StepsInRound(res, seg.degree, 1, tau), 1,
-                         std::min(seg.steps, rem));
-          pendings.push_back(Pending{{entry.request}, seg.degree, q});
+          const int q = std::clamp(steps_in_round(res, seg.degree), 1,
+                                   std::min(seg.steps, rem));
+          append_pending(entry.request, seg.degree, q,
+                         /*best_effort=*/false);
           entry.chosen_degree = seg.degree;
           entry.chosen_steps = q;
           admitted = true;
@@ -337,14 +462,15 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
       Pending* best = nullptr;
       double best_benefit = 0.0;
       int best_new_steps = 0;
-      for (Pending& p : pendings) {
+      for (int pi = 0; pi < num_pendings; ++pi) {
+        Pending& p = scratch_.pendings[pi];
         const int next_degree = p.degree * 2;
         if (next_degree > table_->max_degree()) continue;
         if (p.degree > free) continue;  // needs p.degree extra GPUs
         const Resolution res = p.members.front()->meta.resolution;
         const int bs = static_cast<int>(p.members.size());
-        const double t_old = table_->StepTimeUs(res, p.degree, bs);
-        const double t_new = table_->StepTimeUs(res, next_degree, bs);
+        const double t_old = step_time(res, p.degree, bs);
+        const double t_new = step_time(res, next_degree, bs);
         if (t_new >= t_old) continue;  // must actually benefit
         int q = static_cast<int>(std::floor(tau / t_new));
         for (Request* member : p.members) {
@@ -359,6 +485,7 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
         }
       }
       if (best == nullptr) break;
+      used_gpus += best->degree;
       best->degree *= 2;
       best->steps = best_new_steps;
     }
@@ -367,45 +494,79 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
   // ---- Stage 6: placement with preservation (§4.2.3) ----
   cluster::GpuAllocator allocator(ctx.topology);
   allocator.SetFree(ctx.free_gpus);
-  std::vector<GpuMask> masks(pendings.size(), 0);
+  scratch_.masks.assign(num_pendings, 0);
   if (options_.placement_preservation) {
-    for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
-      const Request& lead = *pendings[pi].members.front();
-      if (pendings[pi].members.size() == 1 &&
-          lead.last_degree == pendings[pi].degree &&
+    for (int pi = 0; pi < num_pendings; ++pi) {
+      const Pending& p = scratch_.pendings[pi];
+      const Request& lead = *p.members.front();
+      if (p.members.size() == 1 && lead.last_degree == p.degree &&
           lead.last_mask != 0 &&
           allocator.TryAllocateExact(lead.last_mask)) {
-        masks[pi] = lead.last_mask;
+        scratch_.masks[pi] = lead.last_mask;
       }
     }
   }
   // Largest groups first to keep blocks aligned.
-  std::vector<std::size_t> order;
-  for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
-    if (masks[pi] == 0) order.push_back(pi);
+  scratch_.order.clear();
+  for (int pi = 0; pi < num_pendings; ++pi) {
+    if (scratch_.masks[pi] == 0) {
+      scratch_.order.push_back(static_cast<std::size_t>(pi));
+    }
   }
-  std::sort(order.begin(), order.end(),
+  std::sort(scratch_.order.begin(), scratch_.order.end(),
             [&](std::size_t a, std::size_t b) {
-              return pendings[a].degree > pendings[b].degree;
+              return scratch_.pendings[a].degree >
+                     scratch_.pendings[b].degree;
             });
-  for (std::size_t pi : order) {
-    const GpuMask prefer =
-        options_.placement_preservation
-            ? pendings[pi].members.front()->last_mask
-            : 0;
-    auto mask = allocator.Allocate(pendings[pi].degree, prefer);
-    TETRI_CHECK_MSG(mask.has_value(), "placement must succeed");
-    masks[pi] = *mask;
+  for (std::size_t pi : scratch_.order) {
+    Pending& p = scratch_.pendings[pi];
+    const GpuMask prefer = options_.placement_preservation
+                               ? p.members.front()->last_mask
+                               : 0;
+    std::optional<GpuMask> mask = allocator.Allocate(p.degree, prefer);
+    // Stages 4/5 size degrees against the free-GPU *count*; the
+    // allocator places against the free *set*. If a degree that fit
+    // by count cannot be placed (fragmentation, or a preservation
+    // grab that split the free set), degrade gracefully instead of
+    // aborting the round: roll elastic scale-ups back one doubling at
+    // a time toward the pending's packed base, and as a last resort
+    // drop it — the request stays queued and replans next round.
+    const Resolution res = p.members.front()->meta.resolution;
+    const int bs = static_cast<int>(p.members.size());
+    while (!mask.has_value() && p.degree > p.base_degree) {
+      p.degree /= 2;
+      if (p.degree == p.base_degree) {
+        p.steps = p.base_steps;
+      } else {
+        // Intermediate rollback degree: recompute the round's step
+        // budget the way Stage 5c would have at this degree.
+        int q = static_cast<int>(
+            std::floor(tau / step_time(res, p.degree, bs)));
+        for (Request* member : p.members) {
+          q = std::min(q, member->RemainingSteps());
+        }
+        p.steps = std::max(q, 1);
+      }
+      mask = allocator.Allocate(p.degree, prefer);
+    }
+    if (!mask.has_value()) {
+      continue;  // dropped: masks[pi] stays 0 and Emit skips it
+    }
+    scratch_.masks[pi] = *mask;
   }
 
   // ---- Emit ----
-  for (std::size_t pi = 0; pi < pendings.size(); ++pi) {
+  plan.assignments.reserve(num_pendings);
+  for (int pi = 0; pi < num_pendings; ++pi) {
+    if (scratch_.masks[pi] == 0) continue;
+    const Pending& p = scratch_.pendings[pi];
     serving::Assignment assignment;
-    for (Request* member : pendings[pi].members) {
+    assignment.requests.reserve(p.members.size());
+    for (Request* member : p.members) {
       assignment.requests.push_back(member->meta.id);
     }
-    assignment.mask = masks[pi];
-    assignment.max_steps = pendings[pi].steps;
+    assignment.mask = scratch_.masks[pi];
+    assignment.max_steps = p.steps;
     plan.assignments.push_back(std::move(assignment));
   }
   return plan;

@@ -20,11 +20,15 @@
 #ifndef TETRI_CORE_TETRI_SCHEDULER_H
 #define TETRI_CORE_TETRI_SCHEDULER_H
 
+#include <array>
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/allocation.h"
 #include "core/dp_packer.h"
+#include "costmodel/step_time_cache.h"
 #include "serving/scheduler.h"
 
 namespace tetri::core {
@@ -62,6 +66,15 @@ struct TetriOptions {
    * orphan segments; bench_ablation_alloc quantifies the damage.
    */
   bool use_continuous_planner = false;
+  /**
+   * Run Plan() through the seed data path — per-call buffers, direct
+   * latency-table lookups, the nested-vector round-packing DP, and an
+   * O(pendings) GPU recount — instead of the PlanScratch arena fast
+   * path. Both paths share the planning logic and emit bit-identical
+   * RoundPlans; this switch exists for the plan-equivalence tests and
+   * the bench_micro_scheduler speedup measurement.
+   */
+  bool reference_plan = false;
 };
 
 /** The TetriServe policy. */
@@ -102,6 +115,66 @@ class TetriScheduler : public serving::Scheduler {
     int chosen_steps = 0;
   };
 
+  /** Working assignment before placement. */
+  struct Pending {
+    std::vector<serving::Request*> members;
+    int degree = 0;
+    int steps = 0;
+    /**
+     * Degree and step count when the pending was created — the floor
+     * Stage-6 placement rolls elastic scale-ups back to when a
+     * fragmented free set cannot place the scaled degree.
+     */
+    int base_degree = 0;
+    int base_steps = 0;
+    /** Stage-4 lane member: droppable when placement cannot fit it. */
+    bool best_effort = false;
+  };
+
+  /**
+   * Reusable planning arena (§4.2.2 "cheap enough to rerun every
+   * round" made literal): entry/group/pending buffers, the flat DP
+   * scratch, per-resolution round degree info, and the memoized
+   * step-time cache. Buffers only grow; once the queue-depth
+   * high-water mark is reached, a Plan() call performs no heap
+   * allocation beyond the emitted RoundPlan itself.
+   */
+  struct PlanScratch {
+    std::vector<Entry> entries;
+    std::vector<PackGroup> groups;  // active prefix: num_groups
+    std::vector<int> group_entry;   // group index -> entry index
+    std::vector<Pending> pendings;  // active prefix: num_pendings
+    std::vector<Entry*> edf;
+    std::vector<Entry*> admitted;
+    std::vector<std::size_t> order;
+    std::vector<GpuMask> masks;
+    std::array<std::vector<RoundDegreeInfo>,
+               costmodel::kNumResolutions>
+        degree_info;
+    std::array<bool, costmodel::kNumResolutions> degree_info_ready{};
+    // Per-round memo of RoundAwareLowerBoundUs(res, steps): Stage 2
+    // evaluates the bound for every (option, residual) pair and the
+    // same residuals recur across requests. Epoch-stamped so BeginRound
+    // invalidation is O(1).
+    std::array<std::vector<double>, costmodel::kNumResolutions> lb_memo;
+    std::array<std::vector<std::uint64_t>, costmodel::kNumResolutions>
+        lb_memo_epoch;
+    std::uint64_t round_epoch = 0;
+    // Stage-1 planner staircases, indexed [resolution][remaining
+    // steps]. A staircase depends only on (table, tau, res, steps), so
+    // it persists across rounds while tau is stable — the common case,
+    // since the engine drives fixed-length rounds — turning the
+    // planner's O(degrees^2 * steps) candidate scan per request into a
+    // binary search. staircase_tau guards against callers that change
+    // the round window between Plan() calls.
+    std::array<std::vector<PlanStaircase>, costmodel::kNumResolutions>
+        staircases;
+    double staircase_tau = -1.0;
+    PackScratch pack;
+    PackResult packed;
+    costmodel::StepTimeCache step_cache;
+  };
+
   double EffectiveDeadlineUs(const serving::Request& req) const;
   int StepsInRound(costmodel::Resolution res, int degree, int batch,
                    double window_us) const;
@@ -118,6 +191,7 @@ class TetriScheduler : public serving::Scheduler {
   const costmodel::LatencyTable* table_;
   TetriOptions options_;
   TimeUs round_us_;
+  PlanScratch scratch_;
 };
 
 }  // namespace tetri::core

@@ -1,0 +1,46 @@
+#include "costmodel/step_time_cache.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace tetri::costmodel {
+
+void
+StepTimeCache::Bind(const LatencyTable* table)
+{
+  TETRI_CHECK(table != nullptr);
+  table_ = table;
+  num_degrees_ = table->num_degrees();
+  max_batch_ = table->max_batch();
+  slots_.assign(static_cast<std::size_t>(kNumResolutions) *
+                    num_degrees_ * max_batch_,
+                Slot{});
+  epoch_ = 1;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+double
+StepTimeCache::StepTimeUs(Resolution res, int degree, int batch)
+{
+  TETRI_CHECK(table_ != nullptr);
+  const int di = std::countr_zero(static_cast<unsigned>(degree));
+  const std::size_t idx =
+      (static_cast<std::size_t>(ResolutionIndex(res)) * num_degrees_ +
+       di) *
+          max_batch_ +
+      (batch - 1);
+  TETRI_CHECK(idx < slots_.size());
+  Slot& slot = slots_[idx];
+  if (slot.epoch == epoch_) {
+    ++hits_;
+    return slot.value;
+  }
+  ++misses_;
+  slot.value = table_->StepTimeUs(res, degree, batch);
+  slot.epoch = epoch_;
+  return slot.value;
+}
+
+}  // namespace tetri::costmodel

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-round memoized front of LatencyTable::StepTimeUs.
+ *
+ * TetriScheduler::Plan evaluates the same (resolution, degree, batch)
+ * step times dozens of times per round — deadline allocation, round
+ * packing, batching feasibility, and elastic scale-up all consult the
+ * table for the handful of cells the current queue mix touches. The
+ * table lookup itself walks nested vectors and re-validates its
+ * arguments on every call; this cache flattens that to one
+ * bounds-free array probe after the first hit per key per round.
+ *
+ * Invalidation is epoch-based: BeginRound() bumps a counter instead of
+ * clearing storage, so starting a round is O(1) and the slot array is
+ * allocated exactly once per bound table (zero steady-state heap
+ * traffic). Cached values are the table's values verbatim — the cache
+ * can never change a planning decision, only the cost of making it.
+ */
+#ifndef TETRI_COSTMODEL_STEP_TIME_CACHE_H
+#define TETRI_COSTMODEL_STEP_TIME_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "costmodel/latency_table.h"
+
+namespace tetri::costmodel {
+
+/** Memoizing wrapper over one LatencyTable. Not thread-safe. */
+class StepTimeCache {
+ public:
+  StepTimeCache() = default;
+  explicit StepTimeCache(const LatencyTable* table) { Bind(table); }
+
+  /** Bind (or re-bind) the backing table and drop all cached values. */
+  void Bind(const LatencyTable* table);
+
+  /** Invalidate every cached value in O(1). Call at round start. */
+  void BeginRound() { ++epoch_; }
+
+  const LatencyTable* table() const { return table_; }
+
+  /**
+   * Mean step time, microseconds; identical to
+   * table()->StepTimeUs(res, degree, batch) by construction.
+   */
+  double StepTimeUs(Resolution res, int degree, int batch = 1);
+
+  /** Lookups served from the memo since Bind(). */
+  std::uint64_t hits() const { return hits_; }
+  /** Lookups that had to consult the table since Bind(). */
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    std::uint64_t epoch = 0;  // 0 never matches a live epoch
+    double value = 0.0;
+  };
+
+  const LatencyTable* table_ = nullptr;
+  int num_degrees_ = 0;
+  int max_batch_ = 0;
+  std::uint64_t epoch_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::vector<Slot> slots_;  // [res][log2 degree][batch-1] flattened
+};
+
+}  // namespace tetri::costmodel
+
+#endif  // TETRI_COSTMODEL_STEP_TIME_CACHE_H

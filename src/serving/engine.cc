@@ -1,6 +1,7 @@
 #include "serving/engine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 
@@ -118,12 +119,22 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
     exec_us += mean_us * std::max(0.5, rng_.NextGaussian(1.0, cv));
   }
 
+  // One rounding rule for the assignment's wall-clock span: exec time
+  // is converted to integer microseconds exactly once (llround), and
+  // every consumer — the completion event, the timeline entry, the
+  // busy-GPU accumulator, and per-request GPU time — uses that same
+  // value. Truncating here while accumulating the raw double into
+  // busy_gpu_us_ would let utilization's numerator drift from the sum
+  // of timeline spans by up to a microsecond per dispatch.
+  const TimeUs exec_span_us =
+      static_cast<TimeUs>(std::llround(exec_us));
   busy_ |= assignment.mask;
   ++num_assignments_;
-  busy_gpu_us_ += degree * (exec_us + static_cast<double>(transfer_us));
+  busy_gpu_us_ +=
+      static_cast<double>(degree) *
+      static_cast<double>(exec_span_us + transfer_us);
 
-  const TimeUs end =
-      now + transfer_us + static_cast<TimeUs>(exec_us);
+  const TimeUs end = now + transfer_us + exec_span_us;
   if (timeline_ != nullptr) {
     TimelineEntry entry;
     entry.start_us = now;
@@ -137,15 +148,15 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
     timeline_->Add(std::move(entry));
   }
   Assignment copy = assignment;
-  simulator_->ScheduleAt(end, [this, copy, steps, exec_us,
+  simulator_->ScheduleAt(end, [this, copy, steps, exec_span_us,
                                transfer_us]() mutable {
-    Complete(std::move(copy), steps, exec_us, transfer_us);
+    Complete(std::move(copy), steps, exec_span_us, transfer_us);
   });
 }
 
 void
 ExecutionEngine::Complete(Assignment assignment, int steps,
-                          double exec_us, TimeUs /*transfer_us*/)
+                          TimeUs exec_span_us, TimeUs /*transfer_us*/)
 {
   const int degree = cluster::Popcount(assignment.mask);
   const int batch = static_cast<int>(assignment.requests.size());
@@ -164,7 +175,9 @@ ExecutionEngine::Complete(Assignment assignment, int steps,
     Request& req = tracker_->Get(id);
     TETRI_CHECK(req.state == RequestState::kRunning);
     req.steps_done += steps;
-    req.gpu_time_us += degree * exec_us / batch;
+    req.gpu_time_us +=
+        static_cast<double>(degree) *
+        static_cast<double>(exec_span_us) / batch;
     req.degree_step_sum += static_cast<double>(degree) * steps;
     if (req.RemainingSteps() == 0) {
       FinishRequest(req);

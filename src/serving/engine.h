@@ -77,7 +77,7 @@ class ExecutionEngine {
   }
 
  private:
-  void Complete(Assignment assignment, int steps, double exec_us,
+  void Complete(Assignment assignment, int steps, TimeUs exec_span_us,
                 TimeUs transfer_us);
   void FinishRequest(Request& request);
 

@@ -6,6 +6,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "audit/checkers.h"
 #include "cluster/gpu_set.h"
 #include "core/allocation.h"
@@ -206,6 +209,49 @@ TEST_F(RoundAwareTest, GenerousSlackStillCheapest)
     const int cheapest = table_.MostEfficientDegree(res);
     EXPECT_NEAR(plan.gpu_time_us,
                 50 * table_.GpuTimeUs(res, cheapest), 1.0);
+  }
+}
+
+TEST_F(AllocationTest, StaircaseMatchesDirectScanEverywhere)
+{
+  // The staircase must reproduce RoundAwarePlanInto bit for bit at
+  // every slack, in particular straddling each feasibility breakpoint
+  // where the winner changes, and below the smallest breakpoint where
+  // the fallback kicks in.
+  for (Resolution res : kAllResolutions) {
+    std::vector<RoundDegreeInfo> info;
+    const double tau = 4.0 * table_.StepTimeUs(Resolution::k1024, 4);
+    BuildRoundDegreeInfo(table_, res, tau, &info);
+    for (int steps : {1, 2, 7, 23, 50}) {
+      PlanStaircase staircase;
+      BuildPlanStaircase(info, steps, tau, &staircase);
+      ASSERT_TRUE(staircase.built);
+      ASSERT_FALSE(staircase.thresholds.empty());
+
+      std::vector<double> slacks = {0.0, staircase.thresholds.front() / 2,
+                                    staircase.thresholds.back() * 2};
+      for (double t : staircase.thresholds) {
+        slacks.push_back(std::nextafter(t, 0.0));  // just infeasible
+        slacks.push_back(t);                       // boundary inclusive
+        slacks.push_back(std::nextafter(t, 1e300));  // just feasible
+      }
+      for (double slack : slacks) {
+        AllocationPlan direct;
+        RoundAwarePlanInto(info, steps, slack, tau, &direct);
+        AllocationPlan cached;
+        LookupRoundPlan(staircase, info, slack, &cached);
+        ASSERT_EQ(direct.feasible, cached.feasible)
+            << "res " << costmodel::ResolutionIndex(res) << " steps "
+            << steps << " slack " << slack;
+        EXPECT_EQ(direct.exec_time_us, cached.exec_time_us);
+        EXPECT_EQ(direct.gpu_time_us, cached.gpu_time_us);
+        ASSERT_EQ(direct.segments.size(), cached.segments.size());
+        for (std::size_t i = 0; i < direct.segments.size(); ++i) {
+          EXPECT_EQ(direct.segments[i].degree, cached.segments[i].degree);
+          EXPECT_EQ(direct.segments[i].steps, cached.segments[i].steps);
+        }
+      }
+    }
   }
 }
 

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/dp_packer.h"
 #include "util/rng.h"
 
@@ -96,6 +98,42 @@ TEST(PackRoundTest, UrgentBeatsRelaxedUnderContention)
   EXPECT_EQ(result.survivors, 2);
 }
 
+TEST(PackComparatorTest, RelativeEpsilonTiesWork)
+{
+  EXPECT_TRUE(WorkNearlyEqual(1.0, 1.0 + 1e-12));
+  EXPECT_TRUE(WorkNearlyEqual(1e6, 1e6 + 1e-4));
+  EXPECT_TRUE(WorkNearlyEqual(0.0, 5e-10));
+  EXPECT_FALSE(WorkNearlyEqual(1.0, 1.0 + 1e-6));
+  EXPECT_FALSE(WorkNearlyEqual(1e6, 1e6 + 1e-2));
+}
+
+TEST(PackComparatorTest, NearTieFallsThroughToWidth)
+{
+  // Accumulation-noise work difference must not decide; width does.
+  const double w = 0.9;
+  const double w_noisy = std::nextafter(w, 1.0);
+  EXPECT_TRUE(PackValueBetter(1, w, 1, 1, w_noisy, 2));
+  EXPECT_FALSE(PackValueBetter(1, w_noisy, 2, 1, w, 1));
+  // A genuinely larger work still wins regardless of width.
+  EXPECT_TRUE(PackValueBetter(1, w + 1e-3, 8, 1, w, 1));
+  // Survivors dominate everything.
+  EXPECT_TRUE(PackValueBetter(2, 0.0, 8, 1, 100.0, 1));
+}
+
+TEST(PackRoundTest, NearTieWorkPrefersFewerGpus)
+{
+  // Two options whose works differ by one ulp: under exact comparison
+  // the wide option's infinitesimally larger work would win; under the
+  // shared epsilon comparator the tie falls through to GPU economy.
+  const double w = 0.9;
+  auto result = PackRound(
+      {MakeGroup(0, true,
+                 {{4, 3, true, std::nextafter(w, 1.0)}, {2, 3, true, w}})},
+      8);
+  EXPECT_EQ(result.choice[0], 1);
+  EXPECT_EQ(result.gpus_used, 2);
+}
+
 TEST(PackRoundTest, ZeroCapacityRunsNothing)
 {
   auto result = PackRound(
@@ -138,6 +176,15 @@ TEST_P(PackerEquivalenceSweep, MatchesExhaustive)
   EXPECT_NEAR(dp.work, exhaustive.work, 1e-9);
   EXPECT_LE(dp.gpus_used, capacity);
 
+  // The flat-arena DP must be bit-identical to the seed nested-vector
+  // implementation — same choices, same accumulated values.
+  auto ref = PackRoundReference(groups, capacity);
+  EXPECT_EQ(dp.choice, ref.choice);
+  EXPECT_EQ(dp.survivors, ref.survivors);
+  EXPECT_EQ(dp.gpus_used, ref.gpus_used);
+  EXPECT_EQ(dp.running, ref.running);
+  EXPECT_EQ(dp.work, ref.work);  // bit-for-bit, not NEAR
+
   // Choice vector internally consistent.
   int used = 0, survivors = 0;
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -156,6 +203,61 @@ TEST_P(PackerEquivalenceSweep, MatchesExhaustive)
 
 INSTANTIATE_TEST_SUITE_P(RandomInstances, PackerEquivalenceSweep,
                          ::testing::Range(1, 120));
+
+/** Near-tie property sweep: works drawn from a tiny discrete set so
+ * many packings tie within epsilon; every implementation must agree on
+ * the objective and respect the width tie-break. */
+class PackerNearTieSweep : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(PackerNearTieSweep, ImplementationsAgreeOnTies)
+{
+  Rng rng(1000 + GetParam());
+  const int num_groups = 2 + static_cast<int>(rng.NextBelow(4));
+  const int capacity = 2 + static_cast<int>(rng.NextBelow(7));
+  // Works are multiples of 0.1 assembled via repeated addition, the
+  // classic source of 1-ulp accumulation noise.
+  auto noisy = [&](int tenths) {
+    double w = 0.0;
+    for (int i = 0; i < tenths; ++i) w += 0.1;
+    return w;
+  };
+  std::vector<PackGroup> groups;
+  for (int g = 0; g < num_groups; ++g) {
+    PackGroup group;
+    group.id = g;
+    group.survives_if_idle = rng.NextDouble() < 0.5;
+    const int num_options = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int o = 0; o < num_options; ++o) {
+      PackOption opt;
+      opt.degree = 1 << rng.NextBelow(3);
+      opt.steps = 1 + static_cast<int>(rng.NextBelow(5));
+      opt.survives = rng.NextDouble() < 0.7;
+      opt.work = noisy(1 + static_cast<int>(rng.NextBelow(4)));
+      group.options.push_back(opt);
+    }
+    groups.push_back(std::move(group));
+  }
+
+  auto dp = PackRound(groups, capacity);
+  auto ref = PackRoundReference(groups, capacity);
+  auto exhaustive = PackRoundExhaustive(groups, capacity);
+
+  EXPECT_EQ(dp.choice, ref.choice);
+  EXPECT_EQ(dp.work, ref.work);
+  EXPECT_EQ(dp.survivors, exhaustive.survivors);
+  EXPECT_TRUE(WorkNearlyEqual(dp.work, exhaustive.work))
+      << dp.work << " vs " << exhaustive.work;
+  // On an epsilon tie of (survivors, work), the DP must not consume
+  // more GPUs than the exhaustive optimum.
+  if (dp.survivors == exhaustive.survivors &&
+      WorkNearlyEqual(dp.work, exhaustive.work)) {
+    EXPECT_LE(dp.gpus_used, exhaustive.gpus_used);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, PackerNearTieSweep,
+                         ::testing::Range(1, 80));
 
 }  // namespace
 }  // namespace tetri::core

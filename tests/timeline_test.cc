@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baselines/fixed_sp.h"
 #include "baselines/throughput.h"
 #include "core/tetri_scheduler.h"
@@ -110,6 +112,45 @@ TEST(TimelineTest, EndToEndRunsAreCapacityConsistent)
   EXPECT_NEAR(tetri_result.timeline.Utilization(
                   8, tetri_result.makespan_us),
               tetri_result.GpuUtilization(8), 0.02);
+}
+
+TEST(TimelineTest, BusyAccountingMatchesTimelineSpansExactly)
+{
+  // The engine rounds each assignment's exec time to integer
+  // microseconds once (llround) and feeds the same rounded span to the
+  // completion event, the timeline entry, and the busy-GPU
+  // accumulator. Consequence: busy_gpu_us equals the sum of
+  // degree * (end - start) over timeline entries to within double
+  // summation noise — no per-assignment truncation drift.
+  auto model = costmodel::ModelConfig::FluxDev();
+  auto topo = cluster::Topology::H100Node();
+  ServingConfig config;
+  config.record_timeline = true;
+  ServingSystem system(&topo, &model, config);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 120;
+  auto trace = workload::BuildTrace(spec);
+
+  for (int policy = 0; policy < 2; ++policy) {
+    std::unique_ptr<Scheduler> sched;
+    if (policy == 0) {
+      sched = std::make_unique<core::TetriScheduler>(&system.table());
+    } else {
+      sched = std::make_unique<baselines::FixedSpScheduler>(2);
+    }
+    auto result = system.Run(sched.get(), trace);
+    ASSERT_FALSE(result.timeline.empty());
+    double span_gpu_us = 0.0;
+    for (const auto& e : result.timeline.entries()) {
+      ASSERT_GE(e.end_us, e.start_us);
+      span_gpu_us += static_cast<double>(e.degree) *
+                     static_cast<double>(e.end_us - e.start_us);
+    }
+    EXPECT_NEAR(result.busy_gpu_us, span_gpu_us,
+                1e-9 * span_gpu_us + 1e-6)
+        << "policy " << sched->Name();
+  }
 }
 
 TEST(TimelineTest, DisabledByDefault)
