@@ -14,15 +14,26 @@
  *    and writes p50/p99 latencies plus the median speedup to PATH
  *    (BENCH_scheduler.json). `--smoke` shrinks the sample counts for
  *    CI.
+ *
+ * Chaos knobs (compose with either mode): `--chaos-seed=N` runs one
+ * deterministic failure/recovery serving cycle before the benchmark
+ * proper, injecting `--fail-gpus=K` (default 1) seeded GPU failures
+ * through tetri::chaos, and reports the recovery accounting (a
+ * "chaos" block in the JSON when `--json=` is active). CI's
+ * bench-smoke job uses this to exercise the recovery path end to end.
  */
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
+
+#include "chaos/chaos.h"
+#include "serving/system.h"
 
 #include "core/allocation.h"
 #include "core/dp_packer.h"
@@ -171,6 +182,69 @@ BM_FullPlan(benchmark::State& state)
 BENCHMARK(BM_FullPlan)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
 
 // ---------------------------------------------------------------
+// Chaos cycle (--chaos-seed=N [--fail-gpus=K])
+// ---------------------------------------------------------------
+
+struct ChaosCycle {
+  std::uint64_t seed = 0;
+  int fail_gpus = 0;
+  int gpu_failures = 0;
+  int gpu_recoveries = 0;
+  int aborted = 0;
+  int requeues = 0;
+  int dropped = 0;
+  int cancelled = 0;
+  double lost_gpu_us = 0.0;
+  std::size_t trace_events = 0;
+};
+
+/** One deterministic failure/recovery serving cycle through
+ * tetri::chaos: seeded GPU failures against a short FLUX trace on the
+ * fixture node, with the recovery accounting surfaced for CI. */
+ChaosCycle
+RunChaosCycle(std::uint64_t seed, int fail_gpus)
+{
+  chaos::ChaosConfig config;
+  config.seed = seed;
+  config.gpu_failures = fail_gpus;
+  config.mean_time_to_recover_sec = 1.0;
+  chaos::ChaosController controller(config);
+
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  serving::ServingSystem system(&F().topo, &F().model, sc);
+  core::TetriScheduler scheduler(&system.table());
+
+  workload::TraceSpec spec;
+  spec.num_requests = 40;
+  spec.slo_scale = 1.5;
+  spec.seed = seed + 1;
+  const auto result = system.Run(&scheduler, workload::BuildTrace(spec));
+
+  ChaosCycle cycle;
+  cycle.seed = seed;
+  cycle.fail_gpus = fail_gpus;
+  cycle.gpu_failures = result.recovery.gpu_failures;
+  cycle.gpu_recoveries = result.recovery.gpu_recoveries;
+  cycle.aborted = result.recovery.aborted_assignments;
+  cycle.requeues = result.recovery.requeues;
+  cycle.dropped = result.num_dropped;
+  cycle.cancelled = result.num_cancelled;
+  cycle.lost_gpu_us = result.recovery.lost_gpu_us;
+  cycle.trace_events = controller.trace().size();
+  TETRI_CHECK_MSG(cycle.gpu_failures >= 1,
+                  "chaos cycle injected no GPU failure");
+  std::printf("chaos cycle: seed=%llu failures=%d recoveries=%d "
+              "aborted=%d requeues=%d dropped=%d cancelled=%d "
+              "lost_gpu_us=%.0f events=%zu\n",
+              static_cast<unsigned long long>(cycle.seed),
+              cycle.gpu_failures, cycle.gpu_recoveries, cycle.aborted,
+              cycle.requeues, cycle.dropped, cycle.cancelled,
+              cycle.lost_gpu_us, cycle.trace_events);
+  return cycle;
+}
+
+// ---------------------------------------------------------------
 // Regression harness (--json=PATH [--smoke])
 // ---------------------------------------------------------------
 
@@ -271,7 +345,8 @@ RunCell(int depth, int gpus, int warmup, int iters)
 }
 
 int
-RunRegression(const std::string& json_path, bool smoke)
+RunRegression(const std::string& json_path, bool smoke,
+              const ChaosCycle* chaos)
 {
   const int warmup = smoke ? 5 : 20;
   const int iters = smoke ? 40 : 400;
@@ -312,7 +387,23 @@ RunRegression(const std::string& json_path, bool smoke)
                  c.fast_p99_us, c.ref_p50_us, c.ref_p99_us,
                  c.speedup_p50, i + 1 < cells.size() ? "," : "");
   }
-  std::fprintf(out, "  ]\n}\n");
+  if (chaos != nullptr) {
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"chaos\": {\"seed\": %llu, \"fail_gpus\": %d, "
+                 "\"gpu_failures\": %d, \"gpu_recoveries\": %d, "
+                 "\"aborted\": %d, \"requeues\": %d, \"dropped\": %d, "
+                 "\"cancelled\": %d, \"lost_gpu_us\": %.1f, "
+                 "\"trace_events\": %zu}\n",
+                 static_cast<unsigned long long>(chaos->seed),
+                 chaos->fail_gpus, chaos->gpu_failures,
+                 chaos->gpu_recoveries, chaos->aborted, chaos->requeues,
+                 chaos->dropped, chaos->cancelled, chaos->lost_gpu_us,
+                 chaos->trace_events);
+    std::fprintf(out, "}\n");
+  } else {
+    std::fprintf(out, "  ]\n}\n");
+  }
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;
@@ -326,15 +417,27 @@ main(int argc, char** argv)
 {
   std::string json_path;
   bool smoke = false;
+  bool chaos = false;
+  std::uint64_t chaos_seed = 1;
+  int fail_gpus = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos = true;
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--fail-gpus=", 12) == 0) {
+      chaos = true;
+      fail_gpus = std::atoi(argv[i] + 12);
     }
   }
+  tetri::ChaosCycle cycle;
+  if (chaos) cycle = tetri::RunChaosCycle(chaos_seed, fail_gpus);
   if (!json_path.empty()) {
-    return tetri::RunRegression(json_path, smoke);
+    return tetri::RunRegression(json_path, smoke,
+                                chaos ? &cycle : nullptr);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

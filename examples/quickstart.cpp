@@ -8,24 +8,48 @@
  *   3. construct the TetriServe scheduler against that table,
  *   4. generate a workload trace and run it,
  *   5. read SAR / latency metrics from the result.
+ *
+ * Optional fault injection: `--chaos-seed=N [--fail-gpus=K]` attaches
+ * a tetri::chaos controller so K seeded GPU failures (default 1) hit
+ * mid-run and the recovery accounting is printed alongside the
+ * metrics. Same seed, same run — byte for byte.
  */
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
+#include "chaos/chaos.h"
 #include "core/tetri_scheduler.h"
 #include "metrics/metrics.h"
 #include "serving/system.h"
 
 int
-main()
+main(int argc, char** argv)
 {
   using namespace tetri;
+
+  chaos::ChaosConfig chaos_config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_config.seed = std::strtoull(argv[i] + 13, nullptr, 10);
+      if (chaos_config.gpu_failures == 0) chaos_config.gpu_failures = 1;
+    } else if (std::strncmp(argv[i], "--fail-gpus=", 12) == 0) {
+      chaos_config.gpu_failures = std::atoi(argv[i] + 12);
+    }
+  }
+  chaos::ChaosController controller(chaos_config);
 
   // 1. Model and hardware.
   auto model = costmodel::ModelConfig::FluxDev();
   auto topology = cluster::Topology::H100Node();
 
-  // 2. Serving system: profiling happens here, once.
-  serving::ServingSystem system(&topology, &model);
+  // 2. Serving system: profiling happens here, once. The chaos hook
+  //    is inert unless --chaos-seed enabled fault injection.
+  serving::ServingConfig serving_config;
+  if (chaos_config.Enabled()) {
+    serving_config.on_run_setup = controller.Hook();
+  }
+  serving::ServingSystem system(&topology, &model, serving_config);
 
   // 3. The paper's scheduler with default options (granularity 5,
   //    placement preservation, elastic scale-up, batching).
@@ -58,5 +82,13 @@ main()
               result.num_scheduler_calls,
               result.scheduler_wall_us_total /
                   result.num_scheduler_calls);
+  if (chaos_config.Enabled()) {
+    std::printf("chaos: %d failure(s), %d recover(ies), %d aborted "
+                "assignment(s), %d requeue(s), %.0f GPU-us lost\n",
+                result.recovery.gpu_failures,
+                result.recovery.gpu_recoveries,
+                result.recovery.aborted_assignments,
+                result.recovery.requeues, result.recovery.lost_gpu_us);
+  }
   return 0;
 }

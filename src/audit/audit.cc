@@ -84,6 +84,30 @@ Auditor::OnAssignmentComplete(const CompleteAudit& complete)
 }
 
 void
+Auditor::OnAssignmentAborted(const CompleteAudit& aborted)
+{
+  for (auto& c : checkers_) c->OnAssignmentAborted(aborted);
+}
+
+void
+Auditor::OnGpuFailed(GpuMask mask, TimeUs now)
+{
+  for (auto& c : checkers_) c->OnGpuFailed(mask, now);
+}
+
+void
+Auditor::OnGpuRecovered(GpuMask mask, TimeUs now)
+{
+  for (auto& c : checkers_) c->OnGpuRecovered(mask, now);
+}
+
+void
+Auditor::OnRunEnd(TimeUs now)
+{
+  for (auto& c : checkers_) c->OnRunEnd(now);
+}
+
+void
 Auditor::OnRequestAdmitted(RequestId id, TimeUs arrival_us,
                            TimeUs deadline_us, int num_steps)
 {

@@ -87,6 +87,10 @@ class Auditor final : public AuditSink {
   void OnRoundPlan(const RoundAudit& round) override;
   void OnDispatch(const DispatchAudit& dispatch) override;
   void OnAssignmentComplete(const CompleteAudit& complete) override;
+  void OnAssignmentAborted(const CompleteAudit& aborted) override;
+  void OnGpuFailed(GpuMask mask, TimeUs now) override;
+  void OnGpuRecovered(GpuMask mask, TimeUs now) override;
+  void OnRunEnd(TimeUs now) override;
   void OnRequestAdmitted(RequestId id, TimeUs arrival_us,
                          TimeUs deadline_us, int num_steps) override;
   void OnRequestTransition(RequestId id, int from_state, int to_state,

@@ -1,5 +1,6 @@
 #include "audit/checkers.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <sstream>
@@ -37,6 +38,7 @@ StateName(int state)
     case serving::RequestState::kRunning: return "Running";
     case serving::RequestState::kFinished: return "Finished";
     case serving::RequestState::kDropped: return "Dropped";
+    case serving::RequestState::kCancelled: return "Cancelled";
   }
   return "Invalid";
 }
@@ -134,6 +136,16 @@ GpuConservationChecker::OnAssignmentComplete(const CompleteAudit& c)
   busy_ &= ~c.mask;
 }
 
+void
+GpuConservationChecker::OnAssignmentAborted(const CompleteAudit& a)
+{
+  if ((a.mask & busy_) != a.mask) {
+    Report(a.now, Msg("abort releases GPUs that were not busy: ",
+                      cluster::MaskToString(a.mask & ~busy_)));
+  }
+  busy_ &= ~a.mask;
+}
+
 // --- RequestLifecycleChecker ---
 
 void
@@ -171,12 +183,105 @@ RequestLifecycleChecker::OnRequestTransition(RequestId id, int from_state,
       (from == RequestState::kQueued && to == RequestState::kRunning) ||
       (from == RequestState::kRunning && to == RequestState::kQueued) ||
       (from == RequestState::kRunning && to == RequestState::kFinished) ||
-      (from == RequestState::kQueued && to == RequestState::kDropped);
+      (from == RequestState::kQueued && to == RequestState::kDropped) ||
+      (from == RequestState::kQueued && to == RequestState::kCancelled) ||
+      (from == RequestState::kRunning && to == RequestState::kCancelled);
   if (!legal) {
     Report(now, Msg("illegal transition of request ", id, ": ",
                     StateName(from_state), " -> ", StateName(to_state)));
   }
   it->second = to_state;
+}
+
+// --- GpuHealthChecker ---
+
+void
+GpuHealthChecker::OnGpuFailed(GpuMask mask, TimeUs now)
+{
+  if (mask == 0) Report(now, "empty GPU failure notification");
+  if ((mask & failed_) != 0) {
+    Report(now, Msg("GPUs failed twice without recovering: ",
+                    cluster::MaskToString(mask & failed_)));
+  }
+  failed_ |= mask;
+}
+
+void
+GpuHealthChecker::OnGpuRecovered(GpuMask mask, TimeUs now)
+{
+  if ((mask & failed_) != mask) {
+    Report(now, Msg("recovery of GPUs that were not failed: ",
+                    cluster::MaskToString(mask & ~failed_)));
+  }
+  failed_ &= ~mask;
+}
+
+void
+GpuHealthChecker::OnRoundPlan(const RoundAudit& round)
+{
+  for (const AssignmentAudit& a : round.assignments) {
+    if ((a.mask & failed_) != 0) {
+      Report(round.now,
+             Msg("plan schedules work on failed GPUs ",
+                 cluster::MaskToString(a.mask & failed_)));
+    }
+  }
+}
+
+void
+GpuHealthChecker::OnDispatch(const DispatchAudit& dispatch)
+{
+  if ((dispatch.mask & failed_) != 0) {
+    Report(dispatch.now,
+           Msg("dispatch on failed GPUs ",
+               cluster::MaskToString(dispatch.mask & failed_)));
+  }
+}
+
+void
+GpuHealthChecker::OnLatentAssign(RequestId id, GpuMask mask, TimeUs now)
+{
+  if ((mask & failed_) != 0) {
+    Report(now, Msg("latent of request ", id, " placed on failed GPUs ",
+                    cluster::MaskToString(mask & failed_)));
+  }
+}
+
+// --- RequestConservationChecker ---
+
+void
+RequestConservationChecker::OnRequestAdmitted(RequestId id,
+                                              TimeUs /*arrival_us*/,
+                                              TimeUs /*deadline_us*/,
+                                              int /*num_steps*/)
+{
+  open_.insert(id);
+}
+
+void
+RequestConservationChecker::OnRequestTransition(RequestId id,
+                                                int /*from_state*/,
+                                                int to_state,
+                                                TimeUs /*now*/)
+{
+  const auto to = static_cast<serving::RequestState>(to_state);
+  if (to == serving::RequestState::kFinished ||
+      to == serving::RequestState::kDropped ||
+      to == serving::RequestState::kCancelled) {
+    open_.erase(id);
+  }
+}
+
+void
+RequestConservationChecker::OnRunEnd(TimeUs now)
+{
+  std::vector<RequestId> lost(open_.begin(), open_.end());
+  std::sort(lost.begin(), lost.end());
+  for (RequestId id : lost) {
+    Report(now, Msg("request ", id,
+                    " silently lost: admitted but never reached a "
+                    "terminal state"));
+  }
 }
 
 // --- DeadlineAccountingChecker ---
@@ -406,6 +511,8 @@ InstallStandardCheckers(Auditor& auditor)
   auditor.AddChecker(std::make_unique<RequestLifecycleChecker>());
   auditor.AddChecker(std::make_unique<DeadlineAccountingChecker>());
   auditor.AddChecker(std::make_unique<LatentLifetimeChecker>());
+  auditor.AddChecker(std::make_unique<GpuHealthChecker>());
+  auditor.AddChecker(std::make_unique<RequestConservationChecker>());
 }
 
 CostModelSanityChecker&

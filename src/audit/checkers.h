@@ -17,6 +17,12 @@
  *    and scheduler invocations move forward in time.
  *  - LatentLifetimeChecker: a request's latent buffer is never
  *    assigned after release (use-after-release) or released twice.
+ *  - GpuHealthChecker: no plan, dispatch, or latent placement ever
+ *    touches a GPU that failed and has not recovered; fail/recover
+ *    notifications bracket sanely.
+ *  - RequestConservationChecker: every admitted request reaches a
+ *    terminal state (finished/dropped/cancelled) by end of run — no
+ *    request is silently lost across failures and requeues.
  *  - CostModelSanityChecker: profiled latencies are finite, positive,
  *    and monotone in resolution; runs once over the table at install.
  *
@@ -57,10 +63,43 @@ class GpuConservationChecker final : public Checker {
   void OnRoundPlan(const RoundAudit& round) override;
   void OnDispatch(const DispatchAudit& dispatch) override;
   void OnAssignmentComplete(const CompleteAudit& complete) override;
+  void OnAssignmentAborted(const CompleteAudit& aborted) override;
 
  private:
   /** GPUs currently executing, mirrored from dispatch/complete. */
   GpuMask busy_ = 0;
+};
+
+/** Failed GPUs never receive work until they recover. */
+class GpuHealthChecker final : public Checker {
+ public:
+  std::string_view name() const override { return "gpu-health"; }
+  void OnGpuFailed(GpuMask mask, TimeUs now) override;
+  void OnGpuRecovered(GpuMask mask, TimeUs now) override;
+  void OnRoundPlan(const RoundAudit& round) override;
+  void OnDispatch(const DispatchAudit& dispatch) override;
+  void OnLatentAssign(RequestId id, GpuMask mask, TimeUs now) override;
+
+ private:
+  /** GPUs currently failed, mirrored from fail/recover events. */
+  GpuMask failed_ = 0;
+};
+
+/** Every admitted request reaches a terminal state by end of run. */
+class RequestConservationChecker final : public Checker {
+ public:
+  std::string_view name() const override {
+    return "request-conservation";
+  }
+  void OnRequestAdmitted(RequestId id, TimeUs arrival_us,
+                         TimeUs deadline_us, int num_steps) override;
+  void OnRequestTransition(RequestId id, int from_state, int to_state,
+                           TimeUs now) override;
+  void OnRunEnd(TimeUs now) override;
+
+ private:
+  /** Admitted requests not yet in a terminal state. */
+  std::unordered_set<RequestId> open_;
 };
 
 /** Request state-machine legality. */
@@ -144,7 +183,7 @@ class CostModelSanityChecker final : public Checker {
 };
 
 /**
- * Install the five runtime checkers (everything except the cost-model
+ * Install the seven runtime checkers (everything except the cost-model
  * sweep, which needs a latency table).
  */
 void InstallStandardCheckers(Auditor& auditor);

@@ -96,6 +96,26 @@ class AuditSink {
   virtual void OnAssignmentComplete(const CompleteAudit& complete) {
     (void)complete;
   }
+  /** An in-flight assignment was killed by a GPU failure; its GPUs are
+   * released and its members requeued. @p steps is the planned step
+   * count that will NOT be credited. */
+  virtual void OnAssignmentAborted(const CompleteAudit& aborted) {
+    (void)aborted;
+  }
+
+  // --- fault injection (tetri::chaos) ---
+  virtual void OnGpuFailed(GpuMask mask, TimeUs now) {
+    (void)mask;
+    (void)now;
+  }
+  virtual void OnGpuRecovered(GpuMask mask, TimeUs now) {
+    (void)mask;
+    (void)now;
+  }
+
+  /** The serving loop drained every event; end-of-run invariants
+   * (e.g. request conservation) are checked here. */
+  virtual void OnRunEnd(TimeUs now) { (void)now; }
 
   // --- request lifecycle (states are serving::RequestState as int) ---
   virtual void OnRequestAdmitted(RequestId id, TimeUs arrival_us,

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic fault injection (tetri::chaos).
+ *
+ * A ChaosController turns a seeded ChaosConfig into first-class
+ * simulator events — GPU failure/recovery, per-worker straggler
+ * windows, client cancellations — scheduled against the serving run it
+ * attaches to via ServingConfig::on_run_setup. It also owns the
+ * recovery policy applied when the engine aborts an assignment:
+ * bounded retries with degraded sequence parallelism, plus a
+ * deadline-aware drop when the residual work can no longer land before
+ * the serving loop's drop deadline.
+ *
+ * Everything the controller injects and every recovery action it takes
+ * is appended to a ChaosTrace of flat POD records. The determinism
+ * contract: an identical (config, trace, scheduler, seed) tuple yields
+ * a bit-identical ChaosTrace and identical request records across
+ * runs, so any failing randomized sweep is reproducible from its seed
+ * alone.
+ */
+#ifndef TETRI_CHAOS_CHAOS_H
+#define TETRI_CHAOS_CHAOS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "serving/system.h"
+#include "util/types.h"
+
+namespace tetri::serving {
+struct AbortReport;
+}  // namespace tetri::serving
+
+namespace tetri::chaos {
+
+/** Recovery policy applied when a GPU failure aborts an assignment. */
+struct RetryPolicy {
+  /** Abort -> requeue cycles allowed per request before dropping. */
+  int max_retries = 2;
+  /** Halve the request's SP-degree cap on every retry, so the retry
+   * needs a smaller healthy GPU set (degraded-SP). */
+  bool degrade_sp = true;
+  /** Drop at requeue time when even the fastest residual plan cannot
+   * finish before the serving loop's drop deadline. */
+  bool deadline_aware_drop = true;
+};
+
+/** One scripted (non-random) GPU failure, for pinned golden tests. */
+struct ScriptedFailure {
+  TimeUs at_us = 0;
+  int gpu = 0;
+  /** Delay until recovery; 0 = the GPU never comes back. */
+  TimeUs recover_after_us = 0;
+};
+
+/** Seeded fault-injection plan for one serving run. */
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+  /** Random GPU-failure events over the trace window. */
+  int gpu_failures = 0;
+  /** Mean of the exponential failure-to-recovery delay. */
+  double mean_time_to_recover_sec = 2.0;
+  /** Random straggler windows (one GPU runs slow for a while). */
+  int stragglers = 0;
+  double straggler_factor = 2.0;
+  double straggler_duration_sec = 1.0;
+  /** Fraction of trace requests the client cancels mid-run. */
+  double cancel_fraction = 0.0;
+  /** Cancellation lands near this fraction of the SLO budget after
+   * arrival, jittered uniformly in [0.5x, 1.5x]. */
+  double cancel_after_frac = 0.6;
+  /** Deterministic failures injected in addition to the random ones. */
+  std::vector<ScriptedFailure> scripted;
+  RetryPolicy retry;
+
+  bool Enabled() const {
+    return gpu_failures > 0 || stragglers > 0 || cancel_fraction > 0.0 ||
+           !scripted.empty();
+  }
+};
+
+/** Human-readable name of a recovery-event kind. */
+const char* RecoveryEventKindName(metrics::RecoveryEventKind kind);
+
+/**
+ * Bit-comparable log of injected faults and recovery actions, in the
+ * exact order they fired. Two runs replay identically iff their
+ * traces compare equal.
+ */
+class ChaosTrace {
+ public:
+  void Add(metrics::RecoveryEvent event) {
+    events_.push_back(event);
+  }
+  void Clear() { events_.clear(); }
+
+  const std::vector<metrics::RecoveryEvent>& events() const {
+    return events_;
+  }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  int Count(metrics::RecoveryEventKind kind) const;
+
+  bool operator==(const ChaosTrace& other) const {
+    return events_ == other.events_;
+  }
+
+  /** One line per event: "t=<us> <kind> req=<id> mask=<gpus>". */
+  std::string ToString() const;
+
+ private:
+  std::vector<metrics::RecoveryEvent> events_;
+};
+
+/**
+ * Drives one serving run's fault schedule. Create it, pass Hook() as
+ * ServingConfig::on_run_setup, call ServingSystem::Run, then inspect
+ * trace()/TimelineFor(). The controller must outlive the run; Attach
+ * resets per-run state, so one controller can drive repeated runs
+ * (each replays the identical schedule — that is the point).
+ */
+class ChaosController {
+ public:
+  explicit ChaosController(ChaosConfig config);
+
+  /** Adapter for ServingConfig::on_run_setup. */
+  std::function<void(const serving::RunContext&)> Hook();
+
+  /** Wire the controller into a live run (what Hook() forwards to). */
+  void Attach(const serving::RunContext& ctx);
+
+  const ChaosConfig& config() const { return config_; }
+
+  /** Complete injected-fault + recovery-action log of the last run. */
+  const ChaosTrace& trace() const { return trace_; }
+
+  /** Recovery timeline of one request, in event order. */
+  std::vector<metrics::RecoveryEvent> TimelineFor(RequestId id) const {
+    return metrics::TimelineFor(trace_.events(), id);
+  }
+
+ private:
+  void ScheduleFailure(TimeUs at_us, int gpu, TimeUs recover_after_us);
+  void ScheduleStraggler(TimeUs at_us, int gpu);
+  void ScheduleCancel(TimeUs at_us, RequestId id);
+  void OnAbort(const serving::AbortReport& report);
+  void Record(TimeUs time_us, metrics::RecoveryEventKind kind,
+              RequestId request, GpuMask mask);
+
+  ChaosConfig config_;
+  ChaosTrace trace_;
+  /** Live components of the attached run; valid during Run() only. */
+  serving::RunContext ctx_;
+  /** Mirror of currently-failed GPUs: overlapping random failure
+   * windows degenerate to skipped fail/recover pairs. */
+  GpuMask failed_ = 0;
+};
+
+}  // namespace tetri::chaos
+
+#endif  // TETRI_CHAOS_CHAOS_H

@@ -16,10 +16,11 @@ std::optional<GpuMask>
 GpuAllocator::Allocate(int k, GpuMask prefer)
 {
   TETRI_CHECK(IsPow2(k));
-  if (k > NumFree()) return std::nullopt;
+  const GpuMask avail = free_mask();
+  if (k > Popcount(avail)) return std::nullopt;
 
   // 1. Placement preservation: exact previous mask.
-  if (prefer != 0 && Popcount(prefer) == k && (prefer & free_) == prefer) {
+  if (prefer != 0 && Popcount(prefer) == k && (prefer & avail) == prefer) {
     free_ &= ~prefer;
     return prefer;
   }
@@ -30,7 +31,7 @@ GpuAllocator::Allocate(int k, GpuMask prefer)
   std::optional<GpuMask> best;
   int best_overlap = -1;
   for (GpuMask block : AlignedBlocks(topology_->num_gpus(), k)) {
-    if ((block & free_) != block) continue;
+    if ((block & avail) != block) continue;
     const int overlap = OverlapCount(block, prefer);
     if (overlap > best_overlap) {
       best_overlap = overlap;
@@ -47,12 +48,12 @@ GpuAllocator::Allocate(int k, GpuMask prefer)
   //    then lowest index.
   GpuMask mask = 0;
   int needed = k;
-  for (int i : GpuIndices(prefer & free_)) {
+  for (int i : GpuIndices(prefer & avail)) {
     if (needed == 0) break;
     mask |= GpuMask{1} << i;
     --needed;
   }
-  for (int i : GpuIndices(free_ & ~mask)) {
+  for (int i : GpuIndices(avail & ~mask)) {
     if (needed == 0) break;
     mask |= GpuMask{1} << i;
     --needed;
@@ -74,7 +75,7 @@ GpuAllocator::Release(GpuMask mask)
 bool
 GpuAllocator::TryAllocateExact(GpuMask mask)
 {
-  if ((mask & free_) != mask) return false;
+  if ((mask & free_mask()) != mask) return false;
   free_ &= ~mask;
   return true;
 }
@@ -90,6 +91,22 @@ GpuAllocator::SetFree(GpuMask free)
 {
   TETRI_CHECK((free & ~topology_->all_gpus()) == 0);
   free_ = free;
+}
+
+void
+GpuAllocator::MarkFailed(GpuMask mask)
+{
+  TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
+  failed_ |= mask;
+}
+
+void
+GpuAllocator::MarkRecovered(GpuMask mask)
+{
+  TETRI_CHECK_MSG((mask & failed_) == mask,
+                  "recovering GPUs that were not failed: "
+                      << MaskToString(mask & ~failed_));
+  failed_ &= ~mask;
 }
 
 }  // namespace tetri::cluster

@@ -24,9 +24,12 @@ class GpuAllocator {
  public:
   explicit GpuAllocator(const Topology* topology);
 
-  /** GPUs not currently allocated. */
-  GpuMask free_mask() const { return free_; }
-  int NumFree() const { return Popcount(free_); }
+  /** GPUs not currently allocated (failed GPUs are never free). */
+  GpuMask free_mask() const { return free_ & ~failed_; }
+  int NumFree() const { return Popcount(free_mask()); }
+
+  /** GPUs currently marked failed. */
+  GpuMask failed_mask() const { return failed_; }
 
   /**
    * Allocate @p k GPUs (power of two).
@@ -41,15 +44,27 @@ class GpuAllocator {
   /** Mark a specific mask allocated (used by placement preservation). */
   bool TryAllocateExact(GpuMask mask);
 
-  /** Reset all GPUs to free. */
+  /** Reset all GPUs to free (failed GPUs stay unallocatable). */
   void Clear();
 
   /** Start from an explicit free set (schedulers plan round-locally). */
   void SetFree(GpuMask free);
 
+  /**
+   * Mark GPUs failed: they are excluded from every allocation path
+   * until MarkRecovered, regardless of the free set. Releasing a mask
+   * that includes failed GPUs stays legal (an aborted assignment hands
+   * its dead GPUs back), but the bits stay unallocatable.
+   */
+  void MarkFailed(GpuMask mask);
+
+  /** Return failed GPUs to service. @p mask must be failed. */
+  void MarkRecovered(GpuMask mask);
+
  private:
   const Topology* topology_;
   GpuMask free_;
+  GpuMask failed_ = 0;
 };
 
 }  // namespace tetri::cluster

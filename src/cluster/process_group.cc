@@ -50,6 +50,25 @@ ProcessGroupCache::WarmAll(const std::vector<GpuMask>& groups)
   return total;
 }
 
+int
+ProcessGroupCache::Invalidate(GpuMask mask)
+{
+  TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
+  int evicted = 0;
+  for (auto it = warm_.begin(); it != warm_.end();) {
+    if ((it->first & mask) == 0) {
+      ++it;
+      continue;
+    }
+    for (int gpu : GpuIndices(it->first)) {
+      buffer_mib_[gpu] -= buffer_mib_per_gpu_;
+    }
+    it = warm_.erase(it);
+    ++evicted;
+  }
+  return evicted;
+}
+
 bool
 ProcessGroupCache::IsWarm(GpuMask mask) const
 {

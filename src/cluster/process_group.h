@@ -44,6 +44,14 @@ class ProcessGroupCache {
   bool IsWarm(GpuMask mask) const;
   std::size_t NumWarmGroups() const { return warm_.size(); }
 
+  /**
+   * Process-group collapse: evict every warm group containing a GPU in
+   * @p mask (a failed worker tears down its communicators) and return
+   * their persistent buffers. Survivor groups re-warm on demand,
+   * paying the warmup latency again. @return groups evicted.
+   */
+  int Invalidate(GpuMask mask);
+
   /** Total persistent buffer memory attributed to one GPU, MiB. */
   double BufferMibOnGpu(int gpu) const;
 

@@ -188,7 +188,23 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
         EffectiveDeadlineUs(*req) - static_cast<double>(ctx.now);
     const int rem = req->RemainingSteps();
     TETRI_CHECK(rem > 0);
-    if (options_.use_continuous_planner) {
+    if (req->degree_cap > 0) {
+      // Degraded-SP failure retry: plan against the capped degree set
+      // only. The shared cache and staircase are keyed by (resolution,
+      // steps) and cannot express a per-request cap, so both data
+      // paths run the same direct planner over freshly filtered info —
+      // equivalence holds by construction, and uncapped requests are
+      // untouched.
+      BuildRoundDegreeInfo(*table_, req->meta.resolution, tau,
+                           &scratch_.capped_info);
+      std::erase_if(scratch_.capped_info,
+                    [cap = req->degree_cap](const RoundDegreeInfo& d) {
+                      return d.degree > cap;
+                    });
+      RoundAwarePlanInto(scratch_.capped_info, rem,
+                         std::max(entry.slack_us, 0.0), tau,
+                         &entry.alloc);
+    } else if (options_.use_continuous_planner) {
       entry.alloc = FindPlan(*table_, req->meta.resolution, rem,
                              std::max(entry.slack_us, 0.0));
     } else if (fast) {
@@ -392,6 +408,9 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     for (int pi = 0; pi < num_pendings; ++pi) {
       Pending& host = scratch_.pendings[pi];
       if (host.members.front()->meta.resolution != res) continue;
+      if (guest->degree_cap > 0 && host.degree > guest->degree_cap) {
+        continue;  // degraded retry may not ride a wider group
+      }
       const int new_bs = static_cast<int>(host.members.size() + 1);
       if (new_bs > std::min(options_.max_batch, table_->max_batch())) {
         continue;
@@ -465,7 +484,13 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
       for (int pi = 0; pi < num_pendings; ++pi) {
         Pending& p = scratch_.pendings[pi];
         const int next_degree = p.degree * 2;
-        if (next_degree > table_->max_degree()) continue;
+        int degree_limit = table_->max_degree();
+        for (Request* member : p.members) {
+          if (member->degree_cap > 0) {
+            degree_limit = std::min(degree_limit, member->degree_cap);
+          }
+        }
+        if (next_degree > degree_limit) continue;
         if (p.degree > free) continue;  // needs p.degree extra GPUs
         const Resolution res = p.members.front()->meta.resolution;
         const int bs = static_cast<int>(p.members.size());

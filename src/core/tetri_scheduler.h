@@ -170,6 +170,11 @@ class TetriScheduler : public serving::Scheduler {
     std::array<std::vector<PlanStaircase>, costmodel::kNumResolutions>
         staircases;
     double staircase_tau = -1.0;
+    // Degree info filtered to a request's degree_cap (degraded-SP
+    // failure retries). Per-request, so it cannot share the
+    // per-resolution cache or the staircase; rebuilt on demand for the
+    // rare capped request, identically on both data paths.
+    std::vector<RoundDegreeInfo> capped_info;
     PackScratch pack;
     PackResult packed;
     costmodel::StepTimeCache step_cache;

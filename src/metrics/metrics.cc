@@ -124,4 +124,32 @@ TotalGpuHours(const std::vector<RequestRecord>& records)
   return total_us / 1e6 / 3600.0;
 }
 
+std::vector<RecoveryEvent>
+TimelineFor(const std::vector<RecoveryEvent>& events, RequestId id)
+{
+  std::vector<RecoveryEvent> out;
+  for (const auto& ev : events) {
+    if (ev.request == id) out.push_back(ev);
+  }
+  return out;
+}
+
+RecoveryCounters
+ComputeRecovery(const std::vector<RequestRecord>& records)
+{
+  RecoveryCounters out;
+  for (const auto& rec : records) {
+    out.requeues += rec.failure_retries;
+    if (rec.outcome == Outcome::kCancelled) ++out.cancelled;
+    if (rec.outcome != Outcome::kDropped) continue;
+    switch (rec.drop_reason) {
+      case DropReason::kTimeout: ++out.timeout_drops; break;
+      case DropReason::kRetryBudget: ++out.retry_drops; break;
+      case DropReason::kInfeasible: ++out.infeasible_drops; break;
+      case DropReason::kNone: break;
+    }
+  }
+  return out;
+}
+
 }  // namespace tetri::metrics

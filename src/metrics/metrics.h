@@ -17,6 +17,22 @@
 
 namespace tetri::metrics {
 
+/** Terminal disposition of a request. */
+enum class Outcome {
+  kUnfinished,  ///< run ended before the request reached a terminal state
+  kCompleted,   ///< all steps + VAE decode done
+  kDropped,     ///< abandoned by the server (see DropReason)
+  kCancelled,   ///< client withdrew the request
+};
+
+/** Why a dropped request was abandoned. */
+enum class DropReason {
+  kNone,         ///< not dropped
+  kTimeout,      ///< sat past drop_timeout_factor x its SLO budget
+  kRetryBudget,  ///< exceeded the failure-retry budget
+  kInfeasible,   ///< residual work cannot finish by the drop deadline
+};
+
 /** Final outcome of one served request. */
 struct RequestRecord {
   RequestId id = kInvalidRequest;
@@ -30,6 +46,10 @@ struct RequestRecord {
   /** Steps executed weighted by degree, for average-SP reporting. */
   double degree_step_sum = 0.0;
   int steps_executed = 0;
+  Outcome outcome = Outcome::kUnfinished;
+  DropReason drop_reason = DropReason::kNone;
+  /** Assignments of this request aborted by GPU failure and requeued. */
+  int failure_retries = 0;
 
   static constexpr TimeUs kNeverCompleted = -1;
 
@@ -84,6 +104,63 @@ std::vector<TimePoint> WindowedAvgDegree(
 
 /** Total GPU-hours consumed across records. */
 double TotalGpuHours(const std::vector<RequestRecord>& records);
+
+/** One entry of a failure/recovery timeline (chaos + engine events). */
+enum class RecoveryEventKind {
+  kGpuFail,         ///< GPU(s) in mask died
+  kGpuRecover,      ///< GPU(s) in mask came back
+  kStragglerStart,  ///< GPU in mask began running slow
+  kStragglerEnd,    ///< straggler window over
+  kAbort,           ///< in-flight assignment on mask aborted
+  kRequeue,         ///< request requeued with remaining steps
+  kRetryDrop,       ///< request dropped by the retry/deadline policy
+  kCancelRequest,   ///< client asked to cancel the request
+  kCancelApplied,   ///< cancellation took effect
+};
+
+/**
+ * A failure/recovery event. GPU-scoped events use @p mask and leave
+ * @p request = kInvalidRequest; request-scoped events do the reverse
+ * (aborts carry both). Flat POD so traces compare bit-identically.
+ */
+struct RecoveryEvent {
+  TimeUs time_us = 0;
+  RecoveryEventKind kind = RecoveryEventKind::kGpuFail;
+  RequestId request = kInvalidRequest;
+  GpuMask mask = 0;
+
+  bool operator==(const RecoveryEvent& o) const {
+    return time_us == o.time_us && kind == o.kind &&
+           request == o.request && mask == o.mask;
+  }
+};
+
+/** Per-request slice of a recovery timeline, in event order. */
+std::vector<RecoveryEvent> TimelineFor(
+    const std::vector<RecoveryEvent>& events, RequestId id);
+
+/** Aggregate failure/retry/requeue counters for one run. */
+struct RecoveryCounters {
+  int gpu_failures = 0;
+  int gpu_recoveries = 0;
+  int aborted_assignments = 0;
+  /** Sum of failure_retries across records (abort -> requeue cycles). */
+  int requeues = 0;
+  int timeout_drops = 0;
+  int retry_drops = 0;
+  int infeasible_drops = 0;
+  int cancelled = 0;
+  /** GPU-microseconds of partially-executed rounds thrown away. */
+  double lost_gpu_us = 0.0;
+};
+
+/**
+ * Fill the request-derived counters (requeues, drop breakdown,
+ * cancellations) from records. Engine-side counters (gpu_failures,
+ * aborted_assignments, lost_gpu_us) are owned by the caller.
+ */
+RecoveryCounters ComputeRecovery(
+    const std::vector<RequestRecord>& records);
 
 }  // namespace tetri::metrics
 

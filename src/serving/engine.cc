@@ -18,7 +18,9 @@ ExecutionEngine::ExecutionEngine(sim::Simulator* simulator,
       latents_(latents),
       rng_(seed),
       pg_cache_(&cost->topology(), cost->params().pg_warmup_us,
-                cost->params().pg_buffer_mib)
+                cost->params().pg_buffer_mib),
+      straggler_(static_cast<std::size_t>(cost->topology().num_gpus()),
+                 1.0)
 {
   TETRI_CHECK(simulator_ && cost_ && tracker_ && latents_);
   // Startup warmup of the compact default group set (§5); charged to
@@ -35,6 +37,10 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   TETRI_CHECK_MSG((assignment.mask & busy_) == 0,
                   "dispatch on busy GPUs "
                       << cluster::MaskToString(assignment.mask & busy_));
+  TETRI_CHECK_MSG(
+      (assignment.mask & failed_) == 0,
+      "dispatch on failed GPUs "
+          << cluster::MaskToString(assignment.mask & failed_));
   TETRI_CHECK(assignment.max_steps >= 1);
 
   const int batch = static_cast<int>(assignment.requests.size());
@@ -109,9 +115,12 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   }
   transfer_us += stall_us;
 
-  // Execute `steps` jittered steps on the actual placement.
+  // Execute `steps` jittered steps on the actual placement. A
+  // sequence-parallel group synchronizes every step, so the whole
+  // assignment runs at the pace of its slowest (straggling) member.
   const double mean_us =
-      cost_->StepTimeOnMaskUs(res, batch, assignment.mask);
+      cost_->StepTimeOnMaskUs(res, batch, assignment.mask) *
+      StragglerFactor(assignment.mask);
   const double cv =
       cost_->JitterCv(res, degree);
   double exec_us = 0.0;
@@ -135,7 +144,9 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
       static_cast<double>(exec_span_us + transfer_us);
 
   const TimeUs end = now + transfer_us + exec_span_us;
+  std::ptrdiff_t timeline_index = -1;
   if (timeline_ != nullptr) {
+    timeline_index = static_cast<std::ptrdiff_t>(timeline_->size());
     TimelineEntry entry;
     entry.start_us = now;
     entry.end_us = end;
@@ -147,11 +158,32 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
     entry.requests = assignment.requests;
     timeline_->Add(std::move(entry));
   }
-  Assignment copy = assignment;
-  simulator_->ScheduleAt(end, [this, copy, steps, exec_span_us,
-                               transfer_us]() mutable {
-    Complete(std::move(copy), steps, exec_span_us, transfer_us);
-  });
+
+  // Register the flight so FailGpus can find and abort it; the
+  // completion event no-ops if the registry entry is gone by then.
+  const std::uint64_t flight_id = next_flight_id_++;
+  InFlight flight;
+  flight.assignment = assignment;
+  flight.start_us = now;
+  flight.end_us = end;
+  flight.steps = steps;
+  flight.exec_span_us = exec_span_us;
+  flight.transfer_us = transfer_us;
+  flight.timeline_index = timeline_index;
+  in_flight_.emplace(flight_id, std::move(flight));
+  simulator_->ScheduleAt(end,
+                         [this, flight_id]() { CompleteById(flight_id); });
+}
+
+void
+ExecutionEngine::CompleteById(std::uint64_t id)
+{
+  auto it = in_flight_.find(id);
+  if (it == in_flight_.end()) return;  // aborted by a GPU failure
+  InFlight flight = std::move(it->second);
+  in_flight_.erase(it);
+  Complete(std::move(flight.assignment), flight.steps,
+           flight.exec_span_us, flight.transfer_us);
 }
 
 void
@@ -181,12 +213,156 @@ ExecutionEngine::Complete(Assignment assignment, int steps,
     req.degree_step_sum += static_cast<double>(degree) * steps;
     if (req.RemainingSteps() == 0) {
       FinishRequest(req);
+    } else if (req.cancel_requested) {
+      CancelNow(req);
     } else {
       tracker_->Transition(req, RequestState::kQueued, simulator_->Now());
     }
   }
 
   if (on_assignment_done_) on_assignment_done_(simulator_->Now());
+}
+
+void
+ExecutionEngine::FailGpus(GpuMask mask)
+{
+  TETRI_CHECK(mask != 0);
+  TETRI_CHECK((mask & ~cost_->topology().all_gpus()) == 0);
+  TETRI_CHECK_MSG((mask & failed_) == 0,
+                  "GPUs failed twice without recovering: "
+                      << cluster::MaskToString(mask & failed_));
+  const TimeUs now = simulator_->Now();
+  failed_ |= mask;
+  ++num_gpu_failures_;
+  // Process-group collapse: a dead worker tears down every
+  // communicator it participates in; survivors re-warm on demand.
+  pg_cache_.Invalidate(mask);
+  if (audit_ != nullptr) audit_->OnGpuFailed(mask, now);
+
+  bool aborted_any = false;
+  for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+    if ((it->second.assignment.mask & mask) == 0) {
+      ++it;
+      continue;
+    }
+    const InFlight flight = std::move(it->second);
+    it = in_flight_.erase(it);
+    Abort(flight, mask);
+    aborted_any = true;
+  }
+  if (aborted_any && on_assignment_done_) on_assignment_done_(now);
+}
+
+void
+ExecutionEngine::RecoverGpus(GpuMask mask)
+{
+  TETRI_CHECK(mask != 0);
+  TETRI_CHECK_MSG(
+      (mask & failed_) == mask,
+      "recovering GPUs that were not failed: "
+          << cluster::MaskToString(mask & ~failed_));
+  failed_ &= ~mask;
+  ++num_gpu_recoveries_;
+  const TimeUs now = simulator_->Now();
+  if (audit_ != nullptr) audit_->OnGpuRecovered(mask, now);
+  // Capacity came back: let an event-driven serving loop replan.
+  if (on_assignment_done_) on_assignment_done_(now);
+}
+
+void
+ExecutionEngine::Abort(const InFlight& flight, GpuMask failed_now)
+{
+  const Assignment& assignment = flight.assignment;
+  const int degree = cluster::Popcount(assignment.mask);
+  const TimeUs now = simulator_->Now();
+  busy_ &= ~assignment.mask;
+
+  // Unwind the dispatch-time accounting down to the span that really
+  // occupied the GPUs (one-rounding-rule: busy_gpu_us keeps matching
+  // the sum of degree x recorded timeline spans), and book the
+  // partial, uncredited round as lost GPU time.
+  busy_gpu_us_ -= static_cast<double>(degree) *
+                  static_cast<double>(flight.end_us - now);
+  lost_gpu_us_ += static_cast<double>(degree) *
+                  static_cast<double>(now - flight.start_us);
+  ++num_aborted_;
+  if (timeline_ != nullptr && flight.timeline_index >= 0) {
+    timeline_->TruncateAborted(
+        static_cast<std::size_t>(flight.timeline_index), now);
+  }
+
+  if (audit_ != nullptr) {
+    audit::CompleteAudit aa;
+    aa.now = now;
+    aa.mask = assignment.mask;
+    aa.steps = flight.steps;
+    aa.requests = assignment.requests;
+    audit_->OnAssignmentAborted(aa);
+  }
+
+  for (RequestId id : assignment.requests) {
+    Request& req = tracker_->Get(id);
+    TETRI_CHECK(req.state == RequestState::kRunning);
+    tracker_->Transition(req, RequestState::kQueued, now);
+    // The placement died with its GPUs: never prefer it again, and
+    // pay the full re-shard on retry.
+    req.last_mask = 0;
+    req.last_degree = 0;
+    if (req.cancel_requested) CancelNow(req);
+  }
+
+  if (on_assignment_aborted_) {
+    AbortReport report;
+    report.now = now;
+    report.mask = assignment.mask;
+    report.failed_gpus = failed_now;
+    report.degree = degree;
+    report.planned_steps = flight.steps;
+    report.requests = assignment.requests;
+    on_assignment_aborted_(report);
+  }
+}
+
+bool
+ExecutionEngine::Cancel(RequestId id)
+{
+  Request& req = tracker_->Get(id);
+  if (req.state == RequestState::kQueued) {
+    CancelNow(req);
+    return true;
+  }
+  if (req.state == RequestState::kRunning) {
+    req.cancel_requested = true;
+    return true;
+  }
+  return false;
+}
+
+void
+ExecutionEngine::CancelNow(Request& request)
+{
+  tracker_->Transition(request, RequestState::kCancelled,
+                       simulator_->Now());
+  latents_->Forget(request.meta.id, simulator_->Now());
+  if (on_request_cancelled_) on_request_cancelled_(request);
+}
+
+void
+ExecutionEngine::SetStragglerFactor(int gpu, double factor)
+{
+  TETRI_CHECK(gpu >= 0 && gpu < cost_->topology().num_gpus());
+  TETRI_CHECK(factor > 0.0);
+  straggler_[static_cast<std::size_t>(gpu)] = factor;
+}
+
+double
+ExecutionEngine::StragglerFactor(GpuMask mask) const
+{
+  double slow = 1.0;
+  for (int gpu : cluster::GpuIndices(mask)) {
+    slow = std::max(slow, straggler_[static_cast<std::size_t>(gpu)]);
+  }
+  return slow;
 }
 
 void

@@ -14,6 +14,23 @@ Request::ToRecord() const
   rec.gpu_time_us = gpu_time_us;
   rec.degree_step_sum = degree_step_sum;
   rec.steps_executed = steps_done;
+  switch (state) {
+    case RequestState::kFinished:
+      rec.outcome = metrics::Outcome::kCompleted;
+      break;
+    case RequestState::kDropped:
+      rec.outcome = metrics::Outcome::kDropped;
+      break;
+    case RequestState::kCancelled:
+      rec.outcome = metrics::Outcome::kCancelled;
+      break;
+    case RequestState::kQueued:
+    case RequestState::kRunning:
+      rec.outcome = metrics::Outcome::kUnfinished;
+      break;
+  }
+  rec.drop_reason = drop_reason;
+  rec.failure_retries = failure_retries;
   return rec;
 }
 

@@ -15,10 +15,11 @@ namespace tetri::serving {
 
 /** Lifecycle of a request. */
 enum class RequestState {
-  kQueued,    ///< arrived, waiting for GPUs
-  kRunning,   ///< an assignment is executing its steps
-  kFinished,  ///< all steps + VAE decode done
-  kDropped,   ///< timed out far past its deadline and abandoned
+  kQueued,     ///< arrived, waiting for GPUs
+  kRunning,    ///< an assignment is executing its steps
+  kFinished,   ///< all steps + VAE decode done
+  kDropped,    ///< timed out far past its deadline and abandoned
+  kCancelled,  ///< withdrawn by the client before finishing
 };
 
 /** Mutable serving-side request record. */
@@ -38,6 +39,16 @@ struct Request {
   double degree_step_sum = 0.0;
   TimeUs completion_us = metrics::RequestRecord::kNeverCompleted;
   TimeUs first_start_us = -1;
+
+  /** Failure recovery (tetri::chaos). */
+  int failure_retries = 0;
+  /** Max SP degree the scheduler may plan; 0 = uncapped. Set by the
+   * degraded-SP retry policy after an abort so the retry needs a
+   * smaller (easier to find) healthy GPU set. */
+  int degree_cap = 0;
+  /** Client cancellation seen while kRunning; applied at round end. */
+  bool cancel_requested = false;
+  metrics::DropReason drop_reason = metrics::DropReason::kNone;
 
   int RemainingSteps() const { return meta.num_steps - steps_done; }
   bool Arrived(TimeUs now) const { return meta.arrival_us <= now; }

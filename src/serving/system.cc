@@ -84,9 +84,9 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
           static_cast<TimeUs>(config_.drop_timeout_factor *
                               static_cast<double>(budget));
       if (now >= drop_at) {
+        req->drop_reason = metrics::DropReason::kTimeout;
         tracker.Transition(*req, RequestState::kDropped, now);
         latents.Forget(req->meta.id, now);
-        ++result.num_dropped;
       }
     }
   };
@@ -183,9 +183,49 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
     }
   }
 
+  // Fault injection (tetri::chaos) attaches here, after the arrival
+  // and round-tick events are enqueued: same-timestamp chaos events
+  // then fire after the serving events they race with, keeping replay
+  // order a pure function of the configuration.
+  if (config_.on_run_setup) {
+    RunContext rc;
+    rc.simulator = &simulator;
+    rc.engine = &engine;
+    rc.tracker = &tracker;
+    rc.latents = &latents;
+    rc.trace = &trace;
+    rc.topology = topology_;
+    rc.table = &table_;
+    rc.auditor = auditor;
+    rc.drop_timeout_factor = config_.drop_timeout_factor;
+    config_.on_run_setup(rc);
+  }
+
   simulator.RunAll();
 
+  // Conservation: the run is over, so strand nothing. A request can
+  // still be queued here when capacity vanished for good in
+  // event-driven mode (no completion event ever fired to re-plan);
+  // drop it with a recorded reason rather than lose it silently.
+  for (Request* req : tracker.Schedulable(simulator.Now())) {
+    req->drop_reason = metrics::DropReason::kInfeasible;
+    tracker.Transition(*req, RequestState::kDropped, simulator.Now());
+    latents.Forget(req->meta.id, simulator.Now());
+  }
+  if (auditor != nullptr) auditor->OnRunEnd(simulator.Now());
+
   result.records = tracker.Records();
+  for (const metrics::RequestRecord& rec : result.records) {
+    if (rec.outcome == metrics::Outcome::kDropped) ++result.num_dropped;
+    if (rec.outcome == metrics::Outcome::kCancelled) {
+      ++result.num_cancelled;
+    }
+  }
+  result.recovery = metrics::ComputeRecovery(result.records);
+  result.recovery.gpu_failures = engine.num_gpu_failures();
+  result.recovery.gpu_recoveries = engine.num_gpu_recoveries();
+  result.recovery.aborted_assignments = engine.num_aborted_assignments();
+  result.recovery.lost_gpu_us = engine.lost_gpu_us();
   result.busy_gpu_us = engine.busy_gpu_us();
   result.makespan_us = simulator.Now();
   result.latent_transfer_us = latents.total_transfer_us();

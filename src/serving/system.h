@@ -13,6 +13,7 @@
 #ifndef TETRI_SERVING_SYSTEM_H
 #define TETRI_SERVING_SYSTEM_H
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -23,7 +24,36 @@
 #include "serving/timeline.h"
 #include "workload/trace.h"
 
+namespace tetri::sim {
+class Simulator;
+}  // namespace tetri::sim
+
 namespace tetri::serving {
+
+class ExecutionEngine;
+class RequestTracker;
+class LatentManager;
+
+/**
+ * Live components of one Run(), handed to ServingConfig::on_run_setup
+ * so an external subsystem (tetri::chaos) can schedule fault events
+ * against the same simulator, engine, and tracker without the serving
+ * layer depending on it. Pointers are valid only for the duration of
+ * that run.
+ */
+struct RunContext {
+  sim::Simulator* simulator = nullptr;
+  ExecutionEngine* engine = nullptr;
+  RequestTracker* tracker = nullptr;
+  LatentManager* latents = nullptr;
+  const workload::Trace* trace = nullptr;
+  const cluster::Topology* topology = nullptr;
+  const costmodel::LatencyTable* table = nullptr;
+  /** The run's auditor; null when unaudited. */
+  audit::Auditor* auditor = nullptr;
+  /** Serving-loop drop policy, for deadline-aware retry decisions. */
+  double drop_timeout_factor = 10.0;
+};
 
 /** Run-level knobs independent of the scheduling policy. */
 struct ServingConfig {
@@ -50,6 +80,13 @@ struct ServingConfig {
    * violation, making every serving run self-verifying.
    */
   audit::Auditor* auditor = nullptr;
+  /**
+   * Invoked once per Run() after every component is wired but before
+   * the event loop starts; fault injectors attach here. Chaos events
+   * enqueue after the arrival/round events of the same timestamp, so
+   * replays are deterministic. Zero overhead when empty (the default).
+   */
+  std::function<void(const RunContext&)> on_run_setup;
 };
 
 /** Outcome of one serving run. */
@@ -65,8 +102,11 @@ struct ServingResult {
   int num_latent_transfers = 0;
   int num_assignments = 0;
   int num_dropped = 0;
+  int num_cancelled = 0;
   double reconfig_stall_us = 0.0;
   int num_reconfigs = 0;
+  /** Failure/retry accounting (all zero when chaos is disabled). */
+  metrics::RecoveryCounters recovery;
   /** Populated when ServingConfig::record_timeline is set. */
   Timeline timeline;
   /** Invariant violations observed by the run's auditor (0 if none). */

@@ -16,6 +16,17 @@ Timeline::Add(TimelineEntry entry)
   entries_.push_back(std::move(entry));
 }
 
+void
+Timeline::TruncateAborted(std::size_t index, TimeUs now)
+{
+  TETRI_CHECK(index < entries_.size());
+  TimelineEntry& entry = entries_[index];
+  TETRI_CHECK(now >= entry.start_us && now <= entry.end_us);
+  entry.end_us = now;
+  entry.steps = 0;
+  entry.aborted = true;
+}
+
 bool
 Timeline::CapacityConsistent() const
 {

@@ -30,6 +30,8 @@ struct TimelineEntry {
   int steps = 0;
   costmodel::Resolution resolution = costmodel::Resolution::k256;
   std::vector<RequestId> requests;
+  /** Killed by a GPU failure at end_us; no steps were credited. */
+  bool aborted = false;
 };
 
 /** Append-only execution log with analysis helpers. */
@@ -39,6 +41,15 @@ class Timeline {
 
   const std::vector<TimelineEntry>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+
+  /**
+   * Truncate entry @p index at @p now: the engine aborted the
+   * recorded assignment mid-flight, so the log must show the span that
+   * actually occupied the GPUs (one-rounding-rule: busy_gpu_us must
+   * keep matching the sum of degree x recorded spans).
+   */
+  void TruncateAborted(std::size_t index, TimeUs now);
 
   /**
    * Verify no GPU is double-booked: for every pair of overlapping

@@ -19,7 +19,9 @@ void
 Simulator::ScheduleAfter(TimeUs delay, EventFn fn)
 {
   TETRI_CHECK(delay >= 0);
-  queue_.Push(now_ + delay, std::move(fn));
+  // Route through ScheduleAt so the audit sink sees every scheduled
+  // event, not just the absolute-time ones.
+  ScheduleAt(now_ + delay, std::move(fn));
 }
 
 bool

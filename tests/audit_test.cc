@@ -363,6 +363,94 @@ TEST(AuditNegativeTest, RealLatencyTablePassesSanitySweep)
   EXPECT_TRUE(auditor.clean()) << auditor.Summary();
 }
 
+TEST(AuditNegativeTest, HealthCheckerFlagsWorkOnFailedGpus)
+{
+  Auditor auditor;
+  auditor.AddChecker(std::make_unique<GpuHealthChecker>());
+  auditor.OnGpuFailed(0b0011, 100);
+
+  RoundAudit round;
+  round.now = 200;
+  round.free_gpus = 0xFF;
+  round.all_gpus = 0xFF;
+  round.assignments.push_back({/*mask=*/0b0001, 1, 5});
+  auditor.OnRoundPlan(round);
+  ASSERT_EQ(auditor.total_violations(), 1u);
+  EXPECT_NE(auditor.violations()[0].message.find("plan schedules work"),
+            std::string::npos);
+
+  DispatchAudit d;
+  d.now = 300;
+  d.mask = 0b0010;
+  d.steps = 5;
+  auditor.OnDispatch(d);
+  EXPECT_EQ(auditor.total_violations(), 2u);
+
+  auditor.OnLatentAssign(9, 0b0001, 400);
+  ASSERT_EQ(auditor.total_violations(), 3u);
+  EXPECT_NE(auditor.violations()[2].message.find("failed GPUs"),
+            std::string::npos);
+
+  // Recovered GPUs are legal again.
+  auditor.OnGpuRecovered(0b0011, 500);
+  auditor.OnRoundPlan(round);
+  auditor.OnDispatch(d);
+  EXPECT_EQ(auditor.total_violations(), 3u);
+}
+
+TEST(AuditNegativeTest, HealthCheckerFlagsBogusFailureProtocol)
+{
+  Auditor auditor;
+  auditor.AddChecker(std::make_unique<GpuHealthChecker>());
+  auditor.OnGpuRecovered(0b0001, 50);  // never failed
+  ASSERT_EQ(auditor.total_violations(), 1u);
+  EXPECT_NE(auditor.violations()[0].message.find("not failed"),
+            std::string::npos);
+
+  auditor.OnGpuFailed(0b0010, 100);
+  auditor.OnGpuFailed(0b0010, 150);  // failed twice
+  ASSERT_EQ(auditor.total_violations(), 2u);
+  EXPECT_NE(auditor.violations()[1].message.find("twice"),
+            std::string::npos);
+}
+
+TEST(AuditNegativeTest, ConservationCheckerFlagsSilentlyLostRequest)
+{
+  Auditor auditor;
+  auditor.AddChecker(std::make_unique<RequestConservationChecker>());
+  auditor.OnRequestAdmitted(1, 0, 1000, 20);
+  auditor.OnRequestAdmitted(2, 0, 1000, 20);
+  auditor.OnRequestAdmitted(3, 0, 1000, 20);
+  auditor.OnRequestTransition(
+      1, static_cast<int>(serving::RequestState::kQueued),
+      static_cast<int>(serving::RequestState::kRunning), 100);
+  auditor.OnRequestTransition(
+      1, static_cast<int>(serving::RequestState::kRunning),
+      static_cast<int>(serving::RequestState::kFinished), 200);
+  auditor.OnRequestTransition(
+      2, static_cast<int>(serving::RequestState::kQueued),
+      static_cast<int>(serving::RequestState::kCancelled), 300);
+  // Request 3 stays queued and reaches no terminal state.
+  auditor.OnRunEnd(400);
+  ASSERT_EQ(auditor.total_violations(), 1u);
+  EXPECT_NE(auditor.violations()[0].message.find("request 3"),
+            std::string::npos);
+  EXPECT_NE(auditor.violations()[0].message.find("silently lost"),
+            std::string::npos);
+}
+
+TEST(AuditNegativeTest, ConservationCheckerAcceptsCleanRun)
+{
+  Auditor auditor;
+  auditor.AddChecker(std::make_unique<RequestConservationChecker>());
+  auditor.OnRequestAdmitted(7, 0, 1000, 20);
+  auditor.OnRequestTransition(
+      7, static_cast<int>(serving::RequestState::kQueued),
+      static_cast<int>(serving::RequestState::kDropped), 100);
+  auditor.OnRunEnd(200);
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
+}
+
 TEST(AuditTest, SummaryAndStorageCap)
 {
   Auditor auditor;

@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Fault-injection tests. Three layers:
+ *
+ *  - engine faults: FailGpus aborts in-flight assignments and unwinds
+ *    their accounting, stragglers slow execution proportionally,
+ *    cancellation resolves immediately when queued and at round end
+ *    when running, recovery restores capacity;
+ *  - recovery policy: the ChaosController's bounded-retry /
+ *    degraded-SP / deadline-aware-drop decisions, driven through a
+ *    hand-built RunContext with scripted failures;
+ *  - determinism: a full serving run under seeded random chaos replays
+ *    bit-identically — same seed, same ChaosTrace, same outcomes.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "audit/checkers.h"
+#include "chaos/chaos.h"
+#include "core/tetri_scheduler.h"
+#include "serving/engine.h"
+#include "serving/latent_manager.h"
+#include "serving/request_tracker.h"
+#include "serving/system.h"
+#include "sim/simulator.h"
+
+namespace tetri::chaos {
+namespace {
+
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+using metrics::DropReason;
+using metrics::Outcome;
+using metrics::RecoveryEventKind;
+using serving::RequestState;
+
+workload::TraceRequest
+MakeRequest(RequestId id, Resolution res, TimeUs arrival, TimeUs deadline,
+            int steps = 50)
+{
+  workload::TraceRequest req;
+  req.id = id;
+  req.arrival_us = arrival;
+  req.deadline_us = deadline;
+  req.resolution = res;
+  req.num_steps = steps;
+  req.prompt = "chaos";
+  return req;
+}
+
+// ---------------------------------------------------------------------
+// Engine-level fault semantics on a 2-GPU node.
+// ---------------------------------------------------------------------
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  EngineFaultTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node(2)),
+        cost_(&model_, &topo_),
+        latents_(&cost_),
+        engine_(&sim_, &cost_, &tracker_, &latents_, 1)
+  {
+  }
+
+  serving::Request& Admit(RequestId id, Resolution res, int steps = 50)
+  {
+    return tracker_.Admit(MakeRequest(id, res, 0, UsFromSec(100), steps));
+  }
+
+  void DispatchPair(RequestId id, int steps)
+  {
+    serving::Assignment a;
+    a.requests = {id};
+    a.mask = 0b0011;
+    a.max_steps = steps;
+    engine_.Dispatch(a);
+  }
+
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  sim::Simulator sim_;
+  serving::RequestTracker tracker_;
+  serving::LatentManager latents_;
+  serving::ExecutionEngine engine_;
+};
+
+TEST_F(EngineFaultTest, FailGpusAbortsInFlightAndRequeues)
+{
+  Admit(0, Resolution::k1024);
+  DispatchPair(0, 5);
+  EXPECT_EQ(engine_.busy_mask(), 0b0011u);
+
+  serving::AbortReport report;
+  int aborts = 0;
+  engine_.set_on_assignment_aborted(
+      [&](const serving::AbortReport& r) {
+        report = r;
+        ++aborts;
+      });
+  sim_.ScheduleAt(1000, [&]() { engine_.FailGpus(0b0001); });
+  sim_.RunAll();
+
+  // No steps credited; the member is queued again with a cleared
+  // placement so the retry takes a fresh shard.
+  const serving::Request& req = tracker_.Get(0);
+  EXPECT_EQ(req.state, RequestState::kQueued);
+  EXPECT_EQ(req.steps_done, 0);
+  EXPECT_EQ(req.last_mask, 0u);
+  EXPECT_EQ(req.last_degree, 0);
+
+  // GPU 1 survives and is free; GPU 0 is out of service.
+  EXPECT_EQ(engine_.busy_mask(), 0u);
+  EXPECT_EQ(engine_.failed_mask(), 0b0001u);
+  EXPECT_EQ(engine_.FreeMask(), 0b0010u);
+
+  // The partial round is booked as lost GPU time, exactly
+  // degree x elapsed.
+  EXPECT_DOUBLE_EQ(engine_.lost_gpu_us(), 2.0 * 1000.0);
+  EXPECT_EQ(engine_.num_gpu_failures(), 1);
+  EXPECT_EQ(engine_.num_aborted_assignments(), 1);
+
+  ASSERT_EQ(aborts, 1);
+  EXPECT_EQ(report.now, 1000);
+  EXPECT_EQ(report.mask, 0b0011u);
+  EXPECT_EQ(report.failed_gpus, 0b0001u);
+  EXPECT_EQ(report.degree, 2);
+  EXPECT_EQ(report.planned_steps, 5);
+  ASSERT_EQ(report.requests.size(), 1u);
+  EXPECT_EQ(report.requests[0], 0);
+}
+
+TEST_F(EngineFaultTest, FailureLeavesDisjointAssignmentAlone)
+{
+  Admit(0, Resolution::k512, 5);
+  Admit(1, Resolution::k512, 5);
+  serving::Assignment a;
+  a.requests = {0};
+  a.mask = 0b0001;
+  a.max_steps = 5;
+  engine_.Dispatch(a);
+  serving::Assignment b;
+  b.requests = {1};
+  b.mask = 0b0010;
+  b.max_steps = 5;
+  engine_.Dispatch(b);
+
+  sim_.ScheduleAt(1, [&]() { engine_.FailGpus(0b0001); });
+  sim_.RunAll();
+
+  EXPECT_EQ(tracker_.Get(0).steps_done, 0);
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kQueued);
+  EXPECT_EQ(tracker_.Get(1).steps_done, 5);
+  EXPECT_EQ(engine_.num_aborted_assignments(), 1);
+}
+
+TEST_F(EngineFaultTest, RecoverRestoresCapacity)
+{
+  engine_.FailGpus(0b0010);
+  EXPECT_EQ(engine_.FreeMask(), 0b0001u);
+  engine_.RecoverGpus(0b0010);
+  EXPECT_EQ(engine_.FreeMask(), 0b0011u);
+  EXPECT_EQ(engine_.failed_mask(), 0u);
+  EXPECT_EQ(engine_.num_gpu_recoveries(), 1);
+}
+
+TEST_F(EngineFaultTest, AbortKeepsBusyAccountingConsistent)
+{
+  serving::Timeline timeline;
+  engine_.set_timeline(&timeline);
+  Admit(0, Resolution::k1024, 100);
+  DispatchPair(0, 5);
+  sim_.ScheduleAt(2000, [&]() { engine_.FailGpus(0b0001); });
+  sim_.RunAll();
+  engine_.RecoverGpus(0b0001);
+  DispatchPair(0, 5);
+  sim_.RunAll();
+
+  // busy_gpu_us == sum of degree x recorded span over every timeline
+  // entry, including the truncated aborted one (one-rounding-rule).
+  double span_sum = 0.0;
+  for (const serving::TimelineEntry& entry : timeline.entries()) {
+    span_sum += static_cast<double>(entry.degree) *
+                static_cast<double>(entry.end_us - entry.start_us);
+  }
+  EXPECT_DOUBLE_EQ(engine_.busy_gpu_us(), span_sum);
+  EXPECT_TRUE(timeline.entries()[0].aborted);
+  EXPECT_EQ(timeline.entries()[0].steps, 0);
+  EXPECT_FALSE(timeline.entries()[1].aborted);
+}
+
+TEST_F(EngineFaultTest, StragglerSlowsExecutionProportionally)
+{
+  Admit(0, Resolution::k1024, 5);
+  DispatchPair(0, 5);
+  sim_.RunAll();
+  const double baseline = static_cast<double>(sim_.Now());
+  ASSERT_GT(baseline, 0.0);
+
+  // Same seed, same dispatch, one straggling member: the SP group
+  // synchronizes every step, so the whole assignment runs 2x slower.
+  sim::Simulator sim2;
+  serving::RequestTracker tracker2;
+  serving::LatentManager latents2(&cost_);
+  serving::ExecutionEngine engine2(&sim2, &cost_, &tracker2, &latents2,
+                                   1);
+  engine2.SetStragglerFactor(1, 2.0);
+  EXPECT_DOUBLE_EQ(engine2.StragglerFactor(0b0011), 2.0);
+  tracker2.Admit(MakeRequest(0, Resolution::k1024, 0, UsFromSec(100), 5));
+  serving::Assignment a;
+  a.requests = {0};
+  a.mask = 0b0011;
+  a.max_steps = 5;
+  engine2.Dispatch(a);
+  sim2.RunAll();
+  EXPECT_NEAR(static_cast<double>(sim2.Now()) / baseline, 2.0, 0.02);
+}
+
+TEST_F(EngineFaultTest, CancelQueuedResolvesImmediately)
+{
+  Admit(0, Resolution::k256);
+  RequestId cancelled = kInvalidRequest;
+  engine_.set_on_request_cancelled(
+      [&](serving::Request& req) { cancelled = req.meta.id; });
+  EXPECT_TRUE(engine_.Cancel(0));
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kCancelled);
+  EXPECT_EQ(cancelled, 0);
+  // Terminal: a second cancel is a no-op.
+  EXPECT_FALSE(engine_.Cancel(0));
+}
+
+TEST_F(EngineFaultTest, CancelRunningAppliesAtRoundEnd)
+{
+  Admit(0, Resolution::k1024, 50);
+  DispatchPair(0, 5);
+  bool was_running_at_cancel = false;
+  sim_.ScheduleAt(1, [&]() {
+    was_running_at_cancel =
+        tracker_.Get(0).state == RequestState::kRunning;
+    EXPECT_TRUE(engine_.Cancel(0));
+  });
+  sim_.RunAll();
+  EXPECT_TRUE(was_running_at_cancel);
+  // The in-flight round finished (work already paid for), then the
+  // cancellation took effect instead of a requeue.
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kCancelled);
+  EXPECT_EQ(tracker_.Get(0).steps_done, 5);
+}
+
+using EngineFaultDeathTest = EngineFaultTest;
+
+TEST_F(EngineFaultDeathTest, DispatchOnFailedGpuPanics)
+{
+  Admit(0, Resolution::k256);
+  engine_.FailGpus(0b0001);
+  serving::Assignment a;
+  a.requests = {0};
+  a.mask = 0b0001;
+  a.max_steps = 1;
+  EXPECT_DEATH(engine_.Dispatch(a), "failed");
+}
+
+TEST_F(EngineFaultDeathTest, DoubleFailurePanics)
+{
+  engine_.FailGpus(0b0001);
+  EXPECT_DEATH(engine_.FailGpus(0b0001), "twice");
+}
+
+TEST_F(EngineFaultDeathTest, RecoveringHealthyGpuPanics)
+{
+  EXPECT_DEATH(engine_.RecoverGpus(0b0001), "not failed");
+}
+
+// ---------------------------------------------------------------------
+// Recovery policy, driven through a hand-built RunContext.
+// ---------------------------------------------------------------------
+
+class RetryPolicyTest : public ::testing::Test {
+ protected:
+  RetryPolicyTest()
+      : model_(ModelConfig::FluxDev()),
+        topo_(Topology::H100Node(2)),
+        cost_(&model_, &topo_),
+        table_(costmodel::LatencyTable::Profile(cost_, 4, 20, 5)),
+        latents_(&cost_),
+        engine_(&sim_, &cost_, &tracker_, &latents_, 1)
+  {
+  }
+
+  serving::RunContext Context()
+  {
+    serving::RunContext rc;
+    rc.simulator = &sim_;
+    rc.engine = &engine_;
+    rc.tracker = &tracker_;
+    rc.latents = &latents_;
+    rc.trace = &trace_;
+    rc.topology = &topo_;
+    rc.table = &table_;
+    rc.drop_timeout_factor = 10.0;
+    return rc;
+  }
+
+  void DispatchPair(RequestId id, int steps)
+  {
+    serving::Assignment a;
+    a.requests = {id};
+    a.mask = 0b0011;
+    a.max_steps = steps;
+    engine_.Dispatch(a);
+  }
+
+  ModelConfig model_;
+  Topology topo_;
+  costmodel::StepCostModel cost_;
+  costmodel::LatencyTable table_;
+  sim::Simulator sim_;
+  serving::RequestTracker tracker_;
+  serving::LatentManager latents_;
+  serving::ExecutionEngine engine_;
+  workload::Trace trace_;
+};
+
+TEST_F(RetryPolicyTest, RequeueDegradesSpDegree)
+{
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k1024, 0, UsFromSec(100)));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.scripted.push_back({1000, 0, 500});
+  ChaosController controller(config);
+  controller.Attach(Context());
+
+  DispatchPair(0, 5);
+  sim_.RunAll();
+
+  const serving::Request& req = tracker_.Get(0);
+  EXPECT_EQ(req.state, RequestState::kQueued);
+  EXPECT_EQ(req.failure_retries, 1);
+  EXPECT_EQ(req.degree_cap, 1);  // degree 2 halved by degraded-SP
+
+  const std::vector<RecoveryEventKind> kinds = {
+      RecoveryEventKind::kGpuFail, RecoveryEventKind::kAbort,
+      RecoveryEventKind::kRequeue, RecoveryEventKind::kGpuRecover};
+  ASSERT_EQ(controller.trace().size(), kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(controller.trace().events()[i].kind, kinds[i]) << i;
+  }
+}
+
+TEST_F(RetryPolicyTest, RetryBudgetExhaustionDrops)
+{
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k1024, 0, UsFromSec(100)));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.retry.max_retries = 0;
+  config.scripted.push_back({1000, 0, 0});  // permanent
+  ChaosController controller(config);
+  controller.Attach(Context());
+
+  DispatchPair(0, 5);
+  sim_.RunAll();
+
+  const serving::Request& req = tracker_.Get(0);
+  EXPECT_EQ(req.state, RequestState::kDropped);
+  EXPECT_EQ(req.drop_reason, DropReason::kRetryBudget);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kRetryDrop), 1);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kRequeue), 0);
+}
+
+TEST_F(RetryPolicyTest, InfeasibleResidualWorkDropsEarly)
+{
+  // 50 steps of 1024px left, but only 2 x 2ms of effective budget:
+  // even the fastest profiled plan cannot land, so the retry policy
+  // drops at requeue time instead of letting the request thrash.
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k1024, 0, 2000));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.retry.max_retries = 5;
+  config.scripted.push_back({1000, 0, 500});
+  ChaosController controller(config);
+  serving::RunContext rc = Context();
+  rc.drop_timeout_factor = 2.0;
+  controller.Attach(rc);
+
+  DispatchPair(0, 5);
+  sim_.RunAll();
+
+  const serving::Request& req = tracker_.Get(0);
+  EXPECT_EQ(req.state, RequestState::kDropped);
+  EXPECT_EQ(req.drop_reason, DropReason::kInfeasible);
+  EXPECT_EQ(req.failure_retries, 1);
+}
+
+TEST_F(RetryPolicyTest, AbortResolvesPendingCancellation)
+{
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k1024, 0, UsFromSec(100)));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.scripted.push_back({1000, 0, 0});
+  ChaosController controller(config);
+  controller.Attach(Context());
+
+  DispatchPair(0, 5);
+  sim_.ScheduleAt(500, [&]() { engine_.Cancel(0); });
+  sim_.RunAll();
+
+  // The cancellation was pending when the failure aborted the
+  // assignment: the request resolves to kCancelled, not a retry.
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kCancelled);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kCancelApplied),
+            1);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kRequeue), 0);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kRetryDrop), 0);
+}
+
+TEST_F(RetryPolicyTest, CancellationScheduleFiresFromConfig)
+{
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k512, 0, UsFromSec(10)));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.cancel_fraction = 1.0;
+  ChaosController controller(config);
+  controller.Attach(Context());
+
+  sim_.RunAll();  // never dispatched: cancel lands while queued
+
+  EXPECT_EQ(tracker_.Get(0).state, RequestState::kCancelled);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kCancelRequest),
+            1);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kCancelApplied),
+            1);
+}
+
+TEST_F(RetryPolicyTest, TimelineForSlicesPerRequest)
+{
+  trace_.requests.push_back(
+      MakeRequest(0, Resolution::k1024, 0, UsFromSec(100)));
+  tracker_.Admit(trace_.requests[0]);
+
+  ChaosConfig config;
+  config.scripted.push_back({1000, 0, 500});
+  ChaosController controller(config);
+  controller.Attach(Context());
+  DispatchPair(0, 5);
+  sim_.RunAll();
+
+  const auto timeline = controller.TimelineFor(0);
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].kind, RecoveryEventKind::kRequeue);
+  EXPECT_TRUE(controller.TimelineFor(99).empty());
+}
+
+// ---------------------------------------------------------------------
+// Deterministic replay of a full serving run under random chaos.
+// ---------------------------------------------------------------------
+
+std::vector<std::tuple<RequestId, Outcome, TimeUs, int, int>>
+OutcomeDigest(const std::vector<metrics::RequestRecord>& records)
+{
+  std::vector<std::tuple<RequestId, Outcome, TimeUs, int, int>> digest;
+  digest.reserve(records.size());
+  for (const metrics::RequestRecord& rec : records) {
+    digest.emplace_back(rec.id, rec.outcome, rec.completion_us,
+                        rec.steps_executed, rec.failure_retries);
+  }
+  return digest;
+}
+
+TEST(ChaosReplayTest, IdenticalSeedReplaysBitIdentically)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+
+  ChaosConfig config;
+  config.seed = 42;
+  config.gpu_failures = 3;
+  config.mean_time_to_recover_sec = 1.0;
+  config.stragglers = 2;
+  config.straggler_duration_sec = 0.5;
+  config.cancel_fraction = 0.15;
+  ChaosController controller(config);
+
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  serving::ServingSystem system(&topo, &model, sc);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 60;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  core::TetriScheduler first(&system.table());
+  const auto result1 = system.Run(&first, trace);
+  const ChaosTrace trace1 = controller.trace();
+  ASSERT_FALSE(trace1.empty());
+
+  core::TetriScheduler second(&system.table());
+  const auto result2 = system.Run(&second, trace);
+
+  // Bit-identical event trace and identical per-request outcomes.
+  EXPECT_TRUE(controller.trace() == trace1);
+  EXPECT_EQ(controller.trace().ToString(), trace1.ToString());
+  EXPECT_EQ(OutcomeDigest(result1.records),
+            OutcomeDigest(result2.records));
+  EXPECT_EQ(result1.makespan_us, result2.makespan_us);
+  EXPECT_DOUBLE_EQ(result1.busy_gpu_us, result2.busy_gpu_us);
+  EXPECT_DOUBLE_EQ(result1.recovery.lost_gpu_us,
+                   result2.recovery.lost_gpu_us);
+}
+
+TEST(ChaosReplayTest, DifferentSeedsDivergeAndZeroConfigIsInert)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+
+  workload::TraceSpec spec;
+  spec.num_requests = 40;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  std::vector<std::string> traces;
+  for (std::uint64_t seed : {1ULL, 2ULL}) {
+    ChaosConfig config;
+    config.seed = seed;
+    config.gpu_failures = 4;
+    config.mean_time_to_recover_sec = 1.0;
+    ChaosController controller(config);
+    serving::ServingConfig sc;
+    sc.on_run_setup = controller.Hook();
+    serving::ServingSystem system(&topo, &model, sc);
+    core::TetriScheduler scheduler(&system.table());
+    system.Run(&scheduler, trace);
+    traces.push_back(controller.trace().ToString());
+  }
+  EXPECT_NE(traces[0], traces[1]);
+
+  // An all-zero config injects nothing and perturbs nothing: the run
+  // matches a run with no chaos hook at all.
+  ChaosConfig off;
+  EXPECT_FALSE(off.Enabled());
+  ChaosController idle(off);
+  serving::ServingConfig with_hook;
+  with_hook.on_run_setup = idle.Hook();
+  serving::ServingSystem hooked(&topo, &model, with_hook);
+  serving::ServingSystem plain(&topo, &model);
+  core::TetriScheduler s1(&hooked.table());
+  core::TetriScheduler s2(&plain.table());
+  const auto r1 = hooked.Run(&s1, trace);
+  const auto r2 = plain.Run(&s2, trace);
+  EXPECT_TRUE(idle.trace().empty());
+  EXPECT_EQ(OutcomeDigest(r1.records), OutcomeDigest(r2.records));
+  EXPECT_EQ(r1.makespan_us, r2.makespan_us);
+  EXPECT_EQ(r1.recovery.gpu_failures, 0);
+}
+
+TEST(ChaosReplayTest, ScriptedFailureCycleIsAuditClean)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+
+  ChaosConfig config;
+  config.scripted.push_back({500000, 0, 2000000});
+  ChaosController controller(config);
+
+  audit::Auditor auditor;
+  audit::InstallStandardCheckers(auditor);
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  sc.auditor = &auditor;
+  serving::ServingSystem system(&topo, &model, sc);
+
+  workload::TraceSpec spec;
+  spec.num_requests = 30;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  core::TetriScheduler scheduler(&system.table());
+  const auto result = system.Run(&scheduler, trace);
+
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
+  EXPECT_EQ(result.recovery.gpu_failures, 1);
+  EXPECT_EQ(result.recovery.gpu_recoveries, 1);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kGpuFail), 1);
+  EXPECT_EQ(controller.trace().Count(RecoveryEventKind::kGpuRecover), 1);
+  // Conservation: every admitted request reached a terminal state.
+  int terminal = 0;
+  for (const metrics::RequestRecord& rec : result.records) {
+    EXPECT_NE(rec.outcome, Outcome::kUnfinished) << rec.id;
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, static_cast<int>(trace.requests.size()));
+}
+
+TEST(ChaosTraceTest, ToStringNamesEveryKind)
+{
+  ChaosTrace trace;
+  metrics::RecoveryEvent ev;
+  ev.time_us = 7;
+  ev.kind = RecoveryEventKind::kRequeue;
+  ev.request = 3;
+  ev.mask = 0b101;
+  trace.Add(ev);
+  EXPECT_EQ(trace.ToString(), "t=7 Requeue req=3 mask=0x5\n");
+  EXPECT_EQ(trace.Count(RecoveryEventKind::kRequeue), 1);
+  EXPECT_EQ(trace.Count(RecoveryEventKind::kAbort), 0);
+  EXPECT_STREQ(RecoveryEventKindName(RecoveryEventKind::kGpuFail),
+               "GpuFail");
+  EXPECT_STREQ(RecoveryEventKindName(RecoveryEventKind::kCancelApplied),
+               "CancelApplied");
+}
+
+}  // namespace
+}  // namespace tetri::chaos

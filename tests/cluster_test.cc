@@ -215,5 +215,76 @@ TEST(ProcessGroupTest, DefaultWarmSetCoversAlignedBlocks)
   EXPECT_EQ(warm_set.size(), 7u);
 }
 
+TEST(AllocatorFailureTest, FailedGpusLeaveEveryAllocationPath)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  EXPECT_EQ(alloc.NumFree(), 8);
+
+  alloc.MarkFailed(0b0011);
+  EXPECT_EQ(alloc.failed_mask(), 0b0011u);
+  EXPECT_EQ(alloc.NumFree(), 6);
+  EXPECT_EQ(alloc.free_mask() & 0b0011, 0u);
+
+  // Placement preservation cannot resurrect a dead placement.
+  EXPECT_FALSE(alloc.TryAllocateExact(0b0001));
+  auto got = alloc.Allocate(2, /*prefer=*/0b0011);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got & 0b0011, 0u);
+
+  // Demanding the whole node now overshoots capacity.
+  EXPECT_FALSE(alloc.Allocate(8).has_value());
+}
+
+TEST(AllocatorFailureTest, ReleaseOfDeadMaskKeepsBitsUnallocatable)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  auto got = alloc.Allocate(2, /*prefer=*/0b0011);
+  ASSERT_TRUE(got.has_value());
+
+  // The assignment's GPUs die mid-flight; the abort path still
+  // releases the full mask, but the bits stay out of service.
+  alloc.MarkFailed(*got);
+  alloc.Release(*got);
+  EXPECT_EQ(alloc.free_mask() & *got, 0u);
+  EXPECT_EQ(alloc.NumFree(), 6);
+
+  alloc.MarkRecovered(*got);
+  EXPECT_EQ(alloc.failed_mask(), 0u);
+  EXPECT_EQ(alloc.NumFree(), 8);
+}
+
+TEST(AllocatorFailureDeathTest, RecoveringHealthyGpuPanics)
+{
+  auto topo = Topology::H100Node();
+  GpuAllocator alloc(&topo);
+  EXPECT_DEATH(alloc.MarkRecovered(0b0001), "not failed");
+}
+
+TEST(ProcessGroupTest, InvalidateCollapsesIntersectingGroups)
+{
+  auto topo = Topology::H100Node();
+  ProcessGroupCache cache(&topo, 1000.0, 96.0);
+  cache.EnsureWarm(0b0011);
+  cache.EnsureWarm(0b1100);
+  cache.EnsureWarm(0b1111);
+  const double gpu0_before = cache.BufferMibOnGpu(0);
+  EXPECT_GT(gpu0_before, 0.0);
+
+  // GPU 0 dies: both groups containing it collapse, the disjoint pair
+  // survives, and the dead worker's buffers are returned.
+  EXPECT_EQ(cache.Invalidate(0b0001), 2);
+  EXPECT_FALSE(cache.IsWarm(0b0011));
+  EXPECT_FALSE(cache.IsWarm(0b1111));
+  EXPECT_TRUE(cache.IsWarm(0b1100));
+  EXPECT_DOUBLE_EQ(cache.BufferMibOnGpu(0), 0.0);
+
+  // Survivors re-warm on demand, paying the warmup latency again.
+  EXPECT_GT(cache.EnsureWarm(0b0011), 0);
+  EXPECT_EQ(cache.Invalidate(0b0001), 1);
+  EXPECT_EQ(cache.Invalidate(0b0001), 0);
+}
+
 }  // namespace
 }  // namespace tetri::cluster

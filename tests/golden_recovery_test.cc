@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Golden end-to-end recovery traces: a FLUX/H100 and an SD3/A40 mixed
+ * workload each lose one GPU mid-run (scripted, deterministic) and
+ * recover. The chaos event trace and every per-request outcome are
+ * pinned against a committed golden file, so any change to failure
+ * handling, retry policy, or engine accounting shows up as a diff.
+ *
+ * Regenerating after an intentional behaviour change:
+ *   TETRI_REGEN_GOLDEN=1 ./golden_recovery_test
+ * then review and commit tests/golden/chaos_recovery.golden.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "core/tetri_scheduler.h"
+#include "serving/system.h"
+
+namespace tetri::chaos {
+namespace {
+
+using costmodel::ModelConfig;
+using cluster::Topology;
+using metrics::Outcome;
+
+const char*
+OutcomeName(Outcome outcome)
+{
+  switch (outcome) {
+    case Outcome::kUnfinished: return "unfinished";
+    case Outcome::kCompleted: return "completed";
+    case Outcome::kDropped: return "dropped";
+    case Outcome::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+const char*
+ReasonName(metrics::DropReason reason)
+{
+  switch (reason) {
+    case metrics::DropReason::kNone: return "-";
+    case metrics::DropReason::kTimeout: return "timeout";
+    case metrics::DropReason::kRetryBudget: return "retry-budget";
+    case metrics::DropReason::kInfeasible: return "infeasible";
+  }
+  return "?";
+}
+
+/** One section of the golden file: run @p trace on (@p model, @p topo)
+ * with a scripted mid-run failure of @p gpu and render the outcome. */
+std::string
+RunSection(const std::string& title, const ModelConfig& model,
+           const Topology& topo, int gpu)
+{
+  workload::TraceSpec spec;
+  spec.num_requests = 24;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  ChaosConfig config;
+  ScriptedFailure failure;
+  failure.at_us = trace.requests[trace.requests.size() / 2].arrival_us;
+  failure.gpu = gpu;
+  failure.recover_after_us = UsFromSec(2.0);
+  config.scripted.push_back(failure);
+  ChaosController controller(config);
+
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  serving::ServingSystem system(&topo, &model, sc);
+  core::TetriScheduler scheduler(&system.table());
+  const auto result = system.Run(&scheduler, trace);
+
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  out << "chaos-trace:\n" << controller.trace().ToString();
+  out << "aborted=" << result.recovery.aborted_assignments
+      << " requeues=" << result.recovery.requeues
+      << " cancelled=" << result.num_cancelled
+      << " dropped=" << result.num_dropped << "\n";
+  for (const metrics::RequestRecord& rec : result.records) {
+    out << "req=" << rec.id << " res="
+        << costmodel::ResolutionName(rec.resolution)
+        << " outcome=" << OutcomeName(rec.outcome)
+        << " reason=" << ReasonName(rec.drop_reason)
+        << " retries=" << rec.failure_retries
+        << " steps=" << rec.steps_executed << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenRecoveryTest, MixedWorkloadsMatchCommittedTrace)
+{
+  const auto flux = ModelConfig::FluxDev();
+  const auto sd3 = ModelConfig::Sd3Medium();
+  const auto h100 = Topology::H100Node();
+  const auto a40 = Topology::A40Node();
+
+  const std::string actual =
+      RunSection("FLUX.1-dev / 8xH100, GPU1 fails mid-run", flux, h100,
+                 1) +
+      RunSection("SD3-Medium / 4xA40, GPU0 fails mid-run", sd3, a40, 0);
+
+  const std::string golden_path =
+      std::string(TETRI_SOURCE_DIR) + "/tests/golden/chaos_recovery.golden";
+
+  const char* regen = std::getenv("TETRI_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0') {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path
+      << " (regenerate with TETRI_REGEN_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "recovery behaviour changed; if intentional, regenerate with "
+         "TETRI_REGEN_GOLDEN=1 and commit the diff";
+}
+
+}  // namespace
+}  // namespace tetri::chaos

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Overload graceful degradation (chaos disabled): a burst far beyond
+ * cluster capacity must terminate without deadlock, serve what it can,
+ * and shed the rest via timeout drops in effective-deadline order —
+ * the first request dropped is the one whose drop deadline expired
+ * first, never an arbitrary victim.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "audit/checkers.h"
+#include "baselines/edf.h"
+#include "core/tetri_scheduler.h"
+#include "serving/request.h"
+#include "serving/system.h"
+
+namespace tetri::serving {
+namespace {
+
+using costmodel::ModelConfig;
+using costmodel::Resolution;
+using cluster::Topology;
+using metrics::DropReason;
+using metrics::Outcome;
+
+/** Records the order and deadlines of kDropped transitions. */
+class DropOrderRecorder final : public audit::Checker {
+ public:
+  std::string_view name() const override { return "drop-order"; }
+
+  void OnRequestAdmitted(RequestId id, TimeUs /*arrival_us*/,
+                         TimeUs deadline_us, int /*num_steps*/) override
+  {
+    deadlines_[id] = deadline_us;
+  }
+
+  void OnRequestTransition(RequestId id, int /*from*/, int to_state,
+                           TimeUs now) override
+  {
+    if (to_state == static_cast<int>(RequestState::kDropped)) {
+      drops_.push_back({id, deadlines_.at(id), now});
+    }
+  }
+
+  struct Drop {
+    RequestId id;
+    TimeUs deadline_us;
+    TimeUs dropped_at_us;
+  };
+  const std::vector<Drop>& drops() const { return drops_; }
+
+ private:
+  std::unordered_map<RequestId, TimeUs> deadlines_;
+  std::vector<Drop> drops_;
+};
+
+/** Burst trace: everything arrives at t=0 with one shared SLO scale,
+ * so the drop deadline (arrival + factor x budget) is monotone in the
+ * SLO deadline and whole-run drop order is checkable. */
+workload::Trace
+BurstTrace(int n)
+{
+  workload::Trace trace;
+  const Resolution kinds[] = {Resolution::k512, Resolution::k1024,
+                              Resolution::k2048};
+  for (int i = 0; i < n; ++i) {
+    workload::TraceRequest req;
+    req.id = i;
+    req.arrival_us = 0;
+    req.resolution = kinds[i % 3];
+    req.num_steps = 50;
+    // Spread of budgets so the expected shed order is nontrivial.
+    req.deadline_us = UsFromSec(4.0 + 0.5 * (i % 7));
+    req.prompt = "burst";
+    trace.requests.push_back(req);
+  }
+  return trace;
+}
+
+class OverloadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OverloadSweep, ShedsLoadInEffectiveDeadlineOrder)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node(4);  // small node, big burst
+
+  audit::Auditor auditor;
+  audit::InstallStandardCheckers(auditor);
+  auto& recorder = static_cast<DropOrderRecorder&>(
+      auditor.AddChecker(std::make_unique<DropOrderRecorder>()));
+
+  serving::ServingConfig sc;
+  sc.auditor = &auditor;
+  sc.drop_timeout_factor = 3.0;
+  serving::ServingSystem system(&topo, &model, sc);
+
+  std::unique_ptr<Scheduler> scheduler;
+  if (GetParam() == 0) {
+    scheduler = std::make_unique<core::TetriScheduler>(&system.table());
+  } else {
+    scheduler = std::make_unique<baselines::EdfScheduler>(&system.table());
+  }
+
+  const auto trace = BurstTrace(80);
+  const auto result = system.Run(scheduler.get(), trace);
+
+  // Terminated (no deadlock) with every request accounted for.
+  ASSERT_EQ(result.records.size(), trace.requests.size());
+  int completed = 0;
+  for (const auto& rec : result.records) {
+    ASSERT_NE(rec.outcome, Outcome::kUnfinished) << rec.id;
+    if (rec.outcome == Outcome::kCompleted) ++completed;
+    if (rec.outcome == Outcome::kDropped) {
+      EXPECT_EQ(rec.drop_reason, DropReason::kTimeout) << rec.id;
+    }
+  }
+  EXPECT_EQ(completed + result.num_dropped,
+            static_cast<int>(trace.requests.size()));
+
+  // 20x capacity: the system must both shed and still serve.
+  EXPECT_GT(result.num_dropped, 0);
+  EXPECT_GT(completed, 0);
+  EXPECT_TRUE(auditor.clean()) << auditor.Summary();
+
+  // Strict shed order: drop times never decrease, and within the
+  // whole run the victims leave in effective-deadline order (shared
+  // arrival and factor make drop_at monotone in the deadline).
+  const auto& drops = recorder.drops();
+  ASSERT_EQ(static_cast<int>(drops.size()), result.num_dropped);
+  for (std::size_t i = 1; i < drops.size(); ++i) {
+    EXPECT_GE(drops[i].dropped_at_us, drops[i - 1].dropped_at_us);
+    EXPECT_GE(drops[i].deadline_us, drops[i - 1].deadline_us)
+        << "request " << drops[i].id << " shed before "
+        << drops[i - 1].id << " despite a later effective deadline";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, OverloadSweep,
+                         ::testing::Values(0, 1));
+
+}  // namespace
+}  // namespace tetri::serving
