@@ -21,6 +21,12 @@
  * through tetri::chaos, and reports the recovery accounting (a
  * "chaos" block in the JSON when `--json=` is active). CI's
  * bench-smoke job uses this to exercise the recovery path end to end.
+ *
+ * The chaos cycle always runs fully traced (tetri::trace): the JSON
+ * gains a "trace" block of virtual-time percentiles (step latency,
+ * pack utilization, admission slack) that is bit-identical across
+ * identical runs, and `--trace-out=PATH` additionally writes the
+ * cycle's Perfetto/Chrome timeline JSON for inspection.
  */
 #include <benchmark/benchmark.h>
 
@@ -34,6 +40,9 @@
 
 #include "chaos/chaos.h"
 #include "serving/system.h"
+#include "trace/perfetto.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
 
 #include "core/allocation.h"
 #include "core/dp_packer.h"
@@ -196,13 +205,18 @@ struct ChaosCycle {
   int cancelled = 0;
   double lost_gpu_us = 0.0;
   std::size_t trace_events = 0;
+  /** Virtual-time percentile summary of the cycle's decision trace. */
+  trace::TraceSummary summary;
 };
 
 /** One deterministic failure/recovery serving cycle through
  * tetri::chaos: seeded GPU failures against a short FLUX trace on the
- * fixture node, with the recovery accounting surfaced for CI. */
+ * fixture node, with the recovery accounting surfaced for CI. The
+ * cycle runs fully traced; @p trace_out, when non-empty, receives the
+ * Perfetto timeline JSON. */
 ChaosCycle
-RunChaosCycle(std::uint64_t seed, int fail_gpus)
+RunChaosCycle(std::uint64_t seed, int fail_gpus,
+              const std::string& trace_out)
 {
   chaos::ChaosConfig config;
   config.seed = seed;
@@ -210,8 +224,13 @@ RunChaosCycle(std::uint64_t seed, int fail_gpus)
   config.mean_time_to_recover_sec = 1.0;
   chaos::ChaosController controller(config);
 
+  trace::Tracer tracer;
+  trace::PerfettoSink perfetto;
+  tracer.AddSink(&perfetto);
+
   serving::ServingConfig sc;
   sc.on_run_setup = controller.Hook();
+  sc.trace = &tracer;
   serving::ServingSystem system(&F().topo, &F().model, sc);
   core::TetriScheduler scheduler(&system.table());
 
@@ -221,7 +240,18 @@ RunChaosCycle(std::uint64_t seed, int fail_gpus)
   spec.seed = seed + 1;
   const auto result = system.Run(&scheduler, workload::BuildTrace(spec));
 
+  const auto events = perfetto.events();
+  if (!trace_out.empty()) {
+    TETRI_CHECK_MSG(trace::WritePerfettoFile(events,
+                                             F().topo.num_gpus(),
+                                             trace_out),
+                    "cannot write trace JSON to " << trace_out);
+    std::printf("chaos cycle trace: %zu events -> %s\n", events.size(),
+                trace_out.c_str());
+  }
+
   ChaosCycle cycle;
+  cycle.summary = trace::Summarize(events);
   cycle.seed = seed;
   cycle.fail_gpus = fail_gpus;
   cycle.gpu_failures = result.recovery.gpu_failures;
@@ -394,12 +424,30 @@ RunRegression(const std::string& json_path, bool smoke,
                  "\"gpu_failures\": %d, \"gpu_recoveries\": %d, "
                  "\"aborted\": %d, \"requeues\": %d, \"dropped\": %d, "
                  "\"cancelled\": %d, \"lost_gpu_us\": %.1f, "
-                 "\"trace_events\": %zu}\n",
+                 "\"trace_events\": %zu},\n",
                  static_cast<unsigned long long>(chaos->seed),
                  chaos->fail_gpus, chaos->gpu_failures,
                  chaos->gpu_recoveries, chaos->aborted, chaos->requeues,
                  chaos->dropped, chaos->cancelled, chaos->lost_gpu_us,
                  chaos->trace_events);
+    // Every field below is derived from virtual-time trace events, so
+    // this block is bit-identical across identical runs — a regression
+    // test pins that stability.
+    const trace::TraceSummary& s = chaos->summary;
+    std::fprintf(
+        out,
+        "  \"trace\": {\"events\": %llu, \"rounds\": %d, "
+        "\"dispatches\": %d, \"steps\": %d, \"drops\": %d, "
+        "\"step_p50_us\": %.3f, \"step_p90_us\": %.3f, "
+        "\"step_p99_us\": %.3f, \"pack_util_p50\": %.6f, "
+        "\"admission_slack_p50_us\": %.3f}\n",
+        static_cast<unsigned long long>(s.num_events), s.rounds,
+        s.dispatches, s.steps, s.drops,
+        s.step_latency_us.Percentile(50),
+        s.step_latency_us.Percentile(90),
+        s.step_latency_us.Percentile(99),
+        s.pack_utilization.Percentile(50),
+        s.admission_slack_us.Percentile(50));
     std::fprintf(out, "}\n");
   } else {
     std::fprintf(out, "  ]\n}\n");
@@ -416,6 +464,7 @@ int
 main(int argc, char** argv)
 {
   std::string json_path;
+  std::string trace_out;
   bool smoke = false;
   bool chaos = false;
   std::uint64_t chaos_seed = 1;
@@ -431,10 +480,14 @@ main(int argc, char** argv)
     } else if (std::strncmp(argv[i], "--fail-gpus=", 12) == 0) {
       chaos = true;
       fail_gpus = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     }
   }
   tetri::ChaosCycle cycle;
-  if (chaos) cycle = tetri::RunChaosCycle(chaos_seed, fail_gpus);
+  if (chaos) {
+    cycle = tetri::RunChaosCycle(chaos_seed, fail_gpus, trace_out);
+  }
   if (!json_path.empty()) {
     return tetri::RunRegression(json_path, smoke,
                                 chaos ? &cycle : nullptr);

@@ -13,15 +13,22 @@
  * a tetri::chaos controller so K seeded GPU failures (default 1) hit
  * mid-run and the recovery accounting is printed alongside the
  * metrics. Same seed, same run — byte for byte.
+ *
+ * Optional tracing: `--trace-out=FILE` records every scheduler
+ * decision and execution span and writes a Chrome/Perfetto JSON
+ * timeline — open it at https://ui.perfetto.dev.
  */
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "chaos/chaos.h"
 #include "core/tetri_scheduler.h"
 #include "metrics/metrics.h"
 #include "serving/system.h"
+#include "trace/perfetto.h"
+#include "trace/trace.h"
 
 int
 main(int argc, char** argv)
@@ -29,12 +36,15 @@ main(int argc, char** argv)
   using namespace tetri;
 
   chaos::ChaosConfig chaos_config;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
       chaos_config.seed = std::strtoull(argv[i] + 13, nullptr, 10);
       if (chaos_config.gpu_failures == 0) chaos_config.gpu_failures = 1;
     } else if (std::strncmp(argv[i], "--fail-gpus=", 12) == 0) {
       chaos_config.gpu_failures = std::atoi(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
     }
   }
   chaos::ChaosController controller(chaos_config);
@@ -48,6 +58,12 @@ main(int argc, char** argv)
   serving::ServingConfig serving_config;
   if (chaos_config.Enabled()) {
     serving_config.on_run_setup = controller.Hook();
+  }
+  trace::Tracer tracer;
+  trace::PerfettoSink perfetto;
+  if (!trace_out.empty()) {
+    tracer.AddSink(&perfetto);
+    serving_config.trace = &tracer;
   }
   serving::ServingSystem system(&topology, &model, serving_config);
 
@@ -89,6 +105,18 @@ main(int argc, char** argv)
                 result.recovery.gpu_recoveries,
                 result.recovery.aborted_assignments,
                 result.recovery.requeues, result.recovery.lost_gpu_us);
+  }
+  if (!trace_out.empty()) {
+    const auto events = perfetto.events();
+    if (!trace::WritePerfettoFile(events, topology.num_gpus(),
+                                  trace_out)) {
+      std::fprintf(stderr, "cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace: %zu events written to %s "
+                "(open at https://ui.perfetto.dev)\n",
+                events.size(), trace_out.c_str());
   }
   return 0;
 }

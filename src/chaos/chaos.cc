@@ -11,6 +11,7 @@
 #include "serving/latent_manager.h"
 #include "serving/request_tracker.h"
 #include "sim/simulator.h"
+#include "trace/sink.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "workload/trace.h"
@@ -230,6 +231,20 @@ ChaosController::OnAbort(const serving::AbortReport& report)
   Record(report.now, RecoveryEventKind::kAbort, kInvalidRequest,
          report.mask);
   const RetryPolicy& policy = config_.retry;
+  // Retry-policy decisions below also emit trace events (the engine
+  // already traced the abort itself and the GPU failure).
+  trace::TraceSink* tracer = ctx_.trace_sink;
+  auto trace_drop = [&](RequestId id, trace::TraceReason why,
+                        TimeUs deadline_us) {
+    if (tracer == nullptr) return;
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kDrop;
+    ev.reason = why;
+    ev.time_us = report.now;
+    ev.request = id;
+    ev.value = static_cast<double>(deadline_us);
+    tracer->OnEvent(ev);
+  };
   for (RequestId id : report.requests) {
     serving::Request& req = ctx_.tracker->Get(id);
     // The abort already resolved members with a pending cancellation.
@@ -238,6 +253,8 @@ ChaosController::OnAbort(const serving::AbortReport& report)
     ++req.failure_retries;
     if (req.failure_retries > policy.max_retries) {
       req.drop_reason = metrics::DropReason::kRetryBudget;
+      trace_drop(id, trace::TraceReason::kRetryBudget,
+                 req.meta.deadline_us);
       ctx_.tracker->Transition(req, serving::RequestState::kDropped,
                                report.now);
       ctx_.latents->Forget(id, report.now);
@@ -259,6 +276,8 @@ ChaosController::OnAbort(const serving::AbortReport& report)
                              ctx_.drop_timeout_factor * budget;
       if (static_cast<double>(report.now) + fastest > drop_at) {
         req.drop_reason = metrics::DropReason::kInfeasible;
+        trace_drop(id, trace::TraceReason::kDeadlineInfeasible,
+                   req.meta.deadline_us);
         ctx_.tracker->Transition(req, serving::RequestState::kDropped,
                                  report.now);
         ctx_.latents->Forget(id, report.now);
@@ -271,6 +290,18 @@ ChaosController::OnAbort(const serving::AbortReport& report)
       const int cap = std::max(1, report.degree / 2);
       req.degree_cap =
           req.degree_cap > 0 ? std::min(req.degree_cap, cap) : cap;
+      if (tracer != nullptr) {
+        // The degraded-SP retry decision: from here on the scheduler
+        // plans this request against the capped degree set.
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kDegrade;
+        ev.reason = trace::TraceReason::kDegreeCap;
+        ev.time_us = report.now;
+        ev.request = id;
+        ev.mask = report.mask;
+        ev.degree = req.degree_cap;
+        tracer->OnEvent(ev);
+      }
     }
     Record(report.now, RecoveryEventKind::kRequeue, id, report.mask);
   }

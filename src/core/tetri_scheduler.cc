@@ -101,6 +101,25 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
   serving::RoundPlan plan;
   if (capacity == 0 || ctx.schedulable->empty()) return plan;
 
+  // Decision trace (§trace): every emission site below is behind this
+  // one pointer test, so an untraced Plan() pays nothing. The round
+  // ordinal advances per planned round either way, keeping numbering
+  // stable when a sink attaches mid-run.
+  ++round_seq_;
+  auto emit = [&](trace::TraceEvent ev) {
+    ev.time_us = ctx.now;
+    ev.round = round_seq_;
+    trace_->OnEvent(ev);
+  };
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kRoundBegin;
+    ev.dur_us = ctx.round_end - ctx.now;
+    ev.mask = ctx.free_gpus;
+    ev.value = static_cast<double>(capacity);
+    emit(ev);
+  }
+
   // One shared planning logic, two data paths. The fast path plans out
   // of the PlanScratch arena (prebuilt per-resolution degree info,
   // epoch-stamped memo caches, flat DP scratch, incremental GPU
@@ -216,6 +235,26 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
                                    std::max(entry.slack_us, 0.0), tau);
     }
     entry.late = !entry.alloc.feasible;
+    if (trace_ != nullptr) {
+      if (req->degree_cap > 0) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kDegrade;
+        ev.reason = trace::TraceReason::kDegreeCap;
+        ev.request = req->meta.id;
+        ev.degree = req->degree_cap;
+        ev.value = entry.slack_us;
+        emit(ev);
+      }
+      for (const AllocationSegment& seg : entry.alloc.segments) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kPlanCandidate;
+        ev.request = req->meta.id;
+        ev.degree = seg.degree;
+        ev.steps = seg.steps;
+        ev.value = entry.slack_us;
+        emit(ev);
+      }
+    }
   }
 
   // ---- Stage 1.5: EDF overload control ----
@@ -259,6 +298,14 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
             [](const Entry* a, const Entry* b) {
               return a->alloc.gpu_time_us < b->alloc.gpu_time_us;
             });
+        if (trace_ != nullptr) {
+          trace::TraceEvent ev;
+          ev.kind = trace::TraceEventKind::kShed;
+          ev.reason = trace::TraceReason::kDeadlineInfeasible;
+          ev.request = (*victim)->request->meta.id;
+          ev.value = (*victim)->slack_us;
+          emit(ev);
+        }
         (*victim)->late = true;
         work_us -= (*victim)->alloc.gpu_time_us;
         scratch_.admitted.erase(victim);
@@ -335,6 +382,17 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     Entry& entry = scratch_.entries[scratch_.group_entry[gi]];
     entry.chosen_degree = opt.degree;
     entry.chosen_steps = opt.steps;
+    if (trace_ != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kPlanChoice;
+      ev.reason = trace::TraceReason::kPacked;
+      ev.request = entry.request->meta.id;
+      ev.degree = opt.degree;
+      ev.steps = opt.steps;
+      ev.batch = 1;
+      ev.value = entry.slack_us;
+      emit(ev);
+    }
   }
 
   // Working assignments before placement, in reusable slots.
@@ -385,6 +443,17 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     append_pending(entry.request, 1, steps, /*best_effort=*/true);
     entry.chosen_degree = 1;
     entry.chosen_steps = steps;
+    if (trace_ != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kPlanChoice;
+      ev.reason = trace::TraceReason::kBestEffort;
+      ev.request = entry.request->meta.id;
+      ev.degree = 1;
+      ev.steps = steps;
+      ev.batch = 1;
+      ev.value = entry.slack_us;
+      emit(ev);
+    }
   }
 
   // ---- Stage 5a/5b: work-conserving admission + selective
@@ -441,6 +510,17 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
       host.steps = q;
       entry.chosen_degree = host.degree;
       entry.chosen_steps = q;
+      if (trace_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kPlanChoice;
+        ev.reason = trace::TraceReason::kBatchJoin;
+        ev.request = guest->meta.id;
+        ev.degree = host.degree;
+        ev.steps = q;
+        ev.batch = new_bs;
+        ev.value = entry.slack_us;
+        emit(ev);
+      }
       return true;
     }
     return false;
@@ -466,6 +546,17 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
           entry.chosen_degree = seg.degree;
           entry.chosen_steps = q;
           admitted = true;
+          if (trace_ != nullptr) {
+            trace::TraceEvent ev;
+            ev.kind = trace::TraceEventKind::kPlanChoice;
+            ev.reason = trace::TraceReason::kElastic;
+            ev.request = entry.request->meta.id;
+            ev.degree = seg.degree;
+            ev.steps = q;
+            ev.batch = 1;
+            ev.value = entry.slack_us;
+            emit(ev);
+          }
           break;
         }
       }
@@ -513,6 +604,16 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
       used_gpus += best->degree;
       best->degree *= 2;
       best->steps = best_new_steps;
+      if (trace_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kPlanChoice;
+        ev.reason = trace::TraceReason::kScaleUp;
+        ev.request = best->members.front()->meta.id;
+        ev.degree = best->degree;
+        ev.steps = best->steps;
+        ev.batch = static_cast<std::int32_t>(best->members.size());
+        emit(ev);
+      }
     }
   }
 
@@ -572,9 +673,28 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
         }
         p.steps = std::max(q, 1);
       }
+      if (trace_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kPlanChoice;
+        ev.reason = trace::TraceReason::kRollback;
+        ev.request = p.members.front()->meta.id;
+        ev.degree = p.degree;
+        ev.steps = p.steps;
+        ev.batch = static_cast<std::int32_t>(p.members.size());
+        emit(ev);
+      }
       mask = allocator.Allocate(p.degree, prefer);
     }
     if (!mask.has_value()) {
+      if (trace_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kShed;
+        ev.reason = trace::TraceReason::kFragmented;
+        ev.request = p.members.front()->meta.id;
+        ev.degree = p.degree;
+        ev.batch = static_cast<std::int32_t>(p.members.size());
+        emit(ev);
+      }
       continue;  // dropped: masks[pi] stays 0 and Emit skips it
     }
     scratch_.masks[pi] = *mask;
@@ -593,6 +713,19 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     assignment.mask = scratch_.masks[pi];
     assignment.max_steps = p.steps;
     plan.assignments.push_back(std::move(assignment));
+  }
+  if (trace_ != nullptr) {
+    GpuMask placed = 0;
+    for (const serving::Assignment& a : plan.assignments) {
+      placed |= a.mask;
+    }
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kRoundEnd;
+    ev.mask = placed;
+    ev.steps = static_cast<std::int32_t>(plan.assignments.size());
+    ev.value = static_cast<double>(cluster::Popcount(placed)) /
+               static_cast<double>(capacity);
+    emit(ev);
   }
   return plan;
 }

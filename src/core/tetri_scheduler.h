@@ -95,6 +95,18 @@ class TetriScheduler : public serving::Scheduler {
 
   serving::RoundPlan Plan(const serving::ScheduleContext& ctx) override;
 
+  /**
+   * Attach the decision-trace sink (§trace): every Plan() then emits
+   * the round span, per-request allocation candidates, stage-tagged
+   * plan choices, overload sheds, and degrade events. All emission is
+   * behind one pointer test, off the hot path when unset, and purely
+   * observational — plans are bit-identical with tracing on or off.
+   */
+  void set_trace(trace::TraceSink* sink) override { trace_ = sink; }
+
+  /** Rounds planned so far (the `round` field of emitted events). */
+  std::int32_t rounds_planned() const { return round_seq_ + 1; }
+
   const TetriOptions& options() const { return options_; }
 
   /**
@@ -197,6 +209,9 @@ class TetriScheduler : public serving::Scheduler {
   TetriOptions options_;
   TimeUs round_us_;
   PlanScratch scratch_;
+  trace::TraceSink* trace_ = nullptr;
+  /** Ordinal of the round being planned; -1 before the first. */
+  std::int32_t round_seq_ = -1;
 };
 
 }  // namespace tetri::core

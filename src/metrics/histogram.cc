@@ -1,0 +1,101 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri::metrics {
+
+Histogram
+Histogram::Linear(double lo, double hi, int buckets)
+{
+  TETRI_CHECK(lo < hi);
+  TETRI_CHECK(buckets >= 1);
+  Histogram h;
+  h.edges_.reserve(static_cast<std::size_t>(buckets) + 1);
+  const double width = (hi - lo) / buckets;
+  for (int i = 0; i < buckets; ++i) h.edges_.push_back(lo + i * width);
+  // The last edge is hi exactly, not lo + buckets*width, so the span
+  // is closed regardless of rounding in the increment.
+  h.edges_.push_back(hi);
+  h.counts_.assign(static_cast<std::size_t>(buckets), 0);
+  return h;
+}
+
+Histogram
+Histogram::LogSpaced(double lo, double hi, int buckets)
+{
+  TETRI_CHECK(lo > 0.0);
+  TETRI_CHECK(lo < hi);
+  TETRI_CHECK(buckets >= 1);
+  Histogram h;
+  h.edges_.reserve(static_cast<std::size_t>(buckets) + 1);
+  const double ratio = hi / lo;
+  for (int i = 0; i < buckets; ++i) {
+    h.edges_.push_back(
+        lo * std::pow(ratio, static_cast<double>(i) / buckets));
+  }
+  h.edges_.push_back(hi);
+  h.counts_.assign(static_cast<std::size_t>(buckets), 0);
+  return h;
+}
+
+void
+Histogram::Add(double x)
+{
+  AddN(x, 1);
+}
+
+void
+Histogram::AddN(double x, std::uint64_t n)
+{
+  TETRI_CHECK_MSG(valid(), "Add on an unconfigured histogram");
+  TETRI_CHECK_MSG(!std::isnan(x), "histogram sample is NaN");
+  // Bucket b covers [edges[b], edges[b+1]); out-of-range samples clamp
+  // into the first/last bucket.
+  auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  auto idx = (it - edges_.begin()) - 1;
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += n;
+  count_ += n;
+}
+
+void
+Histogram::Merge(const Histogram& other)
+{
+  TETRI_CHECK_MSG(SameLayout(other),
+                  "merging histograms with different bucket layouts");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+}
+
+double
+Histogram::Percentile(double p) const
+{
+  TETRI_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0.0;
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::uint64_t next = cum + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      // Rank `target` falls in this bucket; interpolate within it.
+      // target <= cum (p=0, or boundary ranks) pins to the lower edge.
+      const double frac = std::clamp(
+          (target - static_cast<double>(cum)) /
+              static_cast<double>(counts_[b]),
+          0.0, 1.0);
+      return edges_[b] + frac * (edges_[b + 1] - edges_[b]);
+    }
+    cum = next;
+  }
+  // Unreachable with count_ > 0, but keep a defined answer.
+  return edges_.back();
+}
+
+}  // namespace tetri::metrics

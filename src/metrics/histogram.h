@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Fixed-bucket percentile histograms.
+ *
+ * SampleSet (util/stats.h) gives exact percentiles but costs O(n)
+ * memory and a sort; the trace layer needs percentiles over event
+ * streams of unbounded size whose output must be deterministic across
+ * platforms and stable across identical runs. A Histogram fixes the
+ * bucket layout up front — Linear or LogSpaced edges — and counts
+ * integer occupancy, so Add is O(log buckets), memory is O(buckets),
+ * Merge is exact integer addition (and therefore associative), and
+ * Percentile depends only on the counts, never on accumulation order
+ * or floating-point summation.
+ *
+ * Out-of-range samples clamp into the edge buckets rather than being
+ * dropped, so count() always equals the number of Add calls and the
+ * p0/p100 endpoints stay meaningful.
+ */
+#ifndef TETRI_METRICS_HISTOGRAM_H
+#define TETRI_METRICS_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace tetri::metrics {
+
+/** Fixed-layout counting histogram with interpolated percentiles. */
+class Histogram {
+ public:
+  /** An empty layout; Add/Percentile require a factory-built one. */
+  Histogram() = default;
+
+  /** @p buckets equal-width buckets spanning [lo, hi), lo < hi. */
+  static Histogram Linear(double lo, double hi, int buckets);
+
+  /**
+   * @p buckets geometrically-spaced buckets spanning [lo, hi),
+   * 0 < lo < hi: constant relative resolution, the right shape for
+   * latencies spanning orders of magnitude.
+   */
+  static Histogram LogSpaced(double lo, double hi, int buckets);
+
+  bool valid() const { return !edges_.empty(); }
+
+  /** Count @p x, clamping into the edge buckets outside [lo, hi). */
+  void Add(double x);
+
+  /** Count @p x with weight @p n. */
+  void AddN(double x, std::uint64_t n);
+
+  /** Add @p other's counts; layouts must match exactly. */
+  void Merge(const Histogram& other);
+
+  /** True iff bucket edges are identical. */
+  bool SameLayout(const Histogram& other) const {
+    return edges_ == other.edges_;
+  }
+
+  /**
+   * Interpolated percentile, @p p in [0, 100]. Walks the cumulative
+   * counts to the bucket holding the target rank and interpolates
+   * linearly within it; returns 0 when empty. Exact on inputs placed
+   * at known bucket positions (see metrics_test).
+   */
+  double Percentile(double p) const;
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  int num_buckets() const {
+    return static_cast<int>(counts_.size());
+  }
+  /** Bucket edges, size num_buckets()+1, strictly increasing. */
+  const std::vector<double>& edges() const { return edges_; }
+  /** Per-bucket occupancy, size num_buckets(). */
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  bool operator==(const Histogram&) const = default;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace tetri::metrics
+
+#endif  // TETRI_METRICS_HISTOGRAM_H

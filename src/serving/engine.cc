@@ -124,8 +124,18 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   const double cv =
       cost_->JitterCv(res, degree);
   double exec_us = 0.0;
+  // Per-step boundaries are only materialized when tracing; the rng
+  // draws are identical either way, so enabling a trace sink cannot
+  // perturb the simulated schedule.
+  std::vector<TimeUs> step_ends;
+  if (trace_ != nullptr) {
+    step_ends.reserve(static_cast<std::size_t>(steps));
+  }
   for (int s = 0; s < steps; ++s) {
     exec_us += mean_us * std::max(0.5, rng_.NextGaussian(1.0, cv));
+    if (trace_ != nullptr) {
+      step_ends.push_back(static_cast<TimeUs>(std::llround(exec_us)));
+    }
   }
 
   // One rounding rule for the assignment's wall-clock span: exec time
@@ -144,6 +154,49 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
       static_cast<double>(exec_span_us + transfer_us);
 
   const TimeUs end = now + transfer_us + exec_span_us;
+
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kDispatch;
+    ev.time_us = now;
+    ev.dur_us = end - now;
+    ev.mask = assignment.mask;
+    ev.degree = degree;
+    ev.steps = steps;
+    ev.batch = batch;
+    ev.value = static_cast<double>(transfer_us);
+    trace_->OnEvent(ev);
+    for (RequestId id : assignment.requests) {
+      trace::TraceEvent member;
+      member.kind = trace::TraceEventKind::kMember;
+      member.time_us = now;
+      member.request = id;
+      member.mask = assignment.mask;
+      member.degree = degree;
+      member.steps = tracker_->Get(id).RemainingSteps();
+      member.batch = batch;
+      trace_->OnEvent(member);
+    }
+    // Step spans tile [now + transfer, end] exactly: boundaries are
+    // llround'ed prefix sums of the same per-step draws, so the last
+    // boundary IS exec_span_us (one-rounding-rule) and the dispatch
+    // span encloses every step span — the nesting invariant
+    // trace_test pins.
+    TimeUs prev = 0;
+    for (int s = 0; s < steps; ++s) {
+      trace::TraceEvent step;
+      step.kind = trace::TraceEventKind::kStep;
+      step.time_us = now + transfer_us + prev;
+      step.dur_us = step_ends[static_cast<std::size_t>(s)] - prev;
+      step.mask = assignment.mask;
+      step.degree = degree;
+      step.steps = s;
+      step.batch = batch;
+      trace_->OnEvent(step);
+      prev = step_ends[static_cast<std::size_t>(s)];
+    }
+  }
+
   std::ptrdiff_t timeline_index = -1;
   if (timeline_ != nullptr) {
     timeline_index = static_cast<std::ptrdiff_t>(timeline_->size());
@@ -202,6 +255,16 @@ ExecutionEngine::Complete(Assignment assignment, int steps,
     ca.requests = assignment.requests;
     audit_->OnAssignmentComplete(ca);
   }
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kComplete;
+    ev.time_us = simulator_->Now();
+    ev.mask = assignment.mask;
+    ev.degree = degree;
+    ev.steps = steps;
+    ev.batch = batch;
+    trace_->OnEvent(ev);
+  }
 
   for (RequestId id : assignment.requests) {
     Request& req = tracker_->Get(id);
@@ -238,6 +301,13 @@ ExecutionEngine::FailGpus(GpuMask mask)
   // communicator it participates in; survivors re-warm on demand.
   pg_cache_.Invalidate(mask);
   if (audit_ != nullptr) audit_->OnGpuFailed(mask, now);
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kGpuFail;
+    ev.time_us = now;
+    ev.mask = mask;
+    trace_->OnEvent(ev);
+  }
 
   bool aborted_any = false;
   for (auto it = in_flight_.begin(); it != in_flight_.end();) {
@@ -265,6 +335,13 @@ ExecutionEngine::RecoverGpus(GpuMask mask)
   ++num_gpu_recoveries_;
   const TimeUs now = simulator_->Now();
   if (audit_ != nullptr) audit_->OnGpuRecovered(mask, now);
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kGpuRecover;
+    ev.time_us = now;
+    ev.mask = mask;
+    trace_->OnEvent(ev);
+  }
   // Capacity came back: let an event-driven serving loop replan.
   if (on_assignment_done_) on_assignment_done_(now);
 }
@@ -298,6 +375,21 @@ ExecutionEngine::Abort(const InFlight& flight, GpuMask failed_now)
     aa.steps = flight.steps;
     aa.requests = assignment.requests;
     audit_->OnAssignmentAborted(aa);
+  }
+  if (trace_ != nullptr) {
+    // The planned dispatch/step spans stay in the trace at their full
+    // extents; this instant marks where execution really stopped.
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kAbort;
+    ev.reason = trace::TraceReason::kGpuFailure;
+    ev.time_us = now;
+    ev.mask = assignment.mask;
+    ev.degree = degree;
+    ev.steps = flight.steps;
+    ev.batch = static_cast<std::int32_t>(assignment.requests.size());
+    ev.value = static_cast<double>(degree) *
+               static_cast<double>(now - flight.start_us);
+    trace_->OnEvent(ev);
   }
 
   for (RequestId id : assignment.requests) {
@@ -344,6 +436,13 @@ ExecutionEngine::CancelNow(Request& request)
   tracker_->Transition(request, RequestState::kCancelled,
                        simulator_->Now());
   latents_->Forget(request.meta.id, simulator_->Now());
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kCancel;
+    ev.time_us = simulator_->Now();
+    ev.request = request.meta.id;
+    trace_->OnEvent(ev);
+  }
   if (on_request_cancelled_) on_request_cancelled_(request);
 }
 
@@ -353,6 +452,15 @@ ExecutionEngine::SetStragglerFactor(int gpu, double factor)
   TETRI_CHECK(gpu >= 0 && gpu < cost_->topology().num_gpus());
   TETRI_CHECK(factor > 0.0);
   straggler_[static_cast<std::size_t>(gpu)] = factor;
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = factor > 1.0 ? trace::TraceEventKind::kStragglerStart
+                           : trace::TraceEventKind::kStragglerEnd;
+    ev.time_us = simulator_->Now();
+    ev.mask = GpuMask{1} << gpu;
+    ev.value = factor;
+    trace_->OnEvent(ev);
+  }
 }
 
 double
@@ -376,6 +484,14 @@ ExecutionEngine::FinishRequest(Request& request)
                        simulator_->Now());
   request.completion_us = simulator_->Now() + vae_us;
   latents_->Forget(request.meta.id, simulator_->Now());
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kFinish;
+    ev.time_us = simulator_->Now();
+    ev.request = request.meta.id;
+    ev.value = static_cast<double>(request.completion_us);
+    trace_->OnEvent(ev);
+  }
   if (on_request_done_) on_request_done_(request);
 }
 

@@ -62,6 +62,14 @@ class ExecutionEngine {
    */
   void set_audit(audit::AuditSink* sink) { audit_ = sink; }
 
+  /**
+   * Attach a trace sink recording execution spans — dispatch, member,
+   * per-step, complete, abort — plus fault instants (nullptr
+   * disables). Does not take ownership. Tracing is a pure observer:
+   * enabling it draws no extra randomness and changes no behaviour.
+   */
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
   /** Called when an assignment's GPUs are released. */
   void set_on_assignment_done(std::function<void(TimeUs)> cb) {
     on_assignment_done_ = std::move(cb);
@@ -195,6 +203,7 @@ class ExecutionEngine {
   std::uint64_t next_flight_id_ = 0;
   Timeline* timeline_ = nullptr;
   audit::AuditSink* audit_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
   std::function<void(TimeUs)> on_assignment_done_;
   std::function<void(Request&)> on_request_done_;
   std::function<void(const AbortReport&)> on_assignment_aborted_;

@@ -15,6 +15,7 @@
 #include "cluster/topology.h"
 #include "costmodel/latency_table.h"
 #include "serving/request.h"
+#include "trace/sink.h"
 
 namespace tetri::serving {
 
@@ -72,6 +73,15 @@ class Scheduler {
 
   /** Decide what to run now. Must only use GPUs in ctx.free_gpus. */
   virtual RoundPlan Plan(const ScheduleContext& ctx) = 0;
+
+  /**
+   * Attach a decision-trace sink (nullable, not owned). Policies that
+   * emit per-round decision events (see trace/sink.h) override this;
+   * the default ignores it, so baselines stay trace-free. The serving
+   * loop installs the run's sink before the first Plan() call and
+   * clears it when the run ends.
+   */
+  virtual void set_trace(trace::TraceSink* sink) { (void)sink; }
 };
 
 }  // namespace tetri::serving

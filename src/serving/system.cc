@@ -63,9 +63,19 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
     latents.set_audit(auditor);
   }
 
+  // Trace wiring: one nullable sink threads through every component.
+  // The scheduler's sink is cleared before returning — the scheduler
+  // outlives the run, the sink usually does not.
+  trace::TraceSink* tracer = config_.trace;
+  if (tracer != nullptr) {
+    simulator.set_trace(tracer);
+    scheduler->set_trace(tracer);
+  }
+
   ExecutionEngine engine(&simulator, &cost_, &tracker, &latents,
                          config_.seed ^ 0xE7E7E7E7ULL);
   if (auditor != nullptr) engine.set_audit(auditor);
+  if (tracer != nullptr) engine.set_trace(tracer);
   ServingResult result;
   if (config_.record_timeline) engine.set_timeline(&result.timeline);
 
@@ -85,6 +95,15 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
                               static_cast<double>(budget));
       if (now >= drop_at) {
         req->drop_reason = metrics::DropReason::kTimeout;
+        if (tracer != nullptr) {
+          trace::TraceEvent ev;
+          ev.kind = trace::TraceEventKind::kDrop;
+          ev.reason = trace::TraceReason::kTimeout;
+          ev.time_us = now;
+          ev.request = req->meta.id;
+          ev.value = static_cast<double>(req->meta.deadline_us);
+          tracer->OnEvent(ev);
+        }
         tracker.Transition(*req, RequestState::kDropped, now);
         latents.Forget(req->meta.id, now);
       }
@@ -148,8 +167,18 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
 
   // Arrival events.
   for (const workload::TraceRequest& req : trace.requests) {
-    simulator.ScheduleAt(req.arrival_us,
-                         [&tracker, &req]() { tracker.Admit(req); });
+    simulator.ScheduleAt(req.arrival_us, [&tracker, &req, tracer]() {
+      tracker.Admit(req);
+      if (tracer != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kAdmit;
+        ev.time_us = req.arrival_us;
+        ev.request = req.id;
+        ev.steps = req.num_steps;
+        ev.value = static_cast<double>(req.deadline_us - req.arrival_us);
+        tracer->OnEvent(ev);
+      }
+    });
   }
 
   std::function<void()> round_tick;
@@ -197,6 +226,7 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
     rc.topology = topology_;
     rc.table = &table_;
     rc.auditor = auditor;
+    rc.trace_sink = tracer;
     rc.drop_timeout_factor = config_.drop_timeout_factor;
     config_.on_run_setup(rc);
   }
@@ -209,10 +239,26 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
   // drop it with a recorded reason rather than lose it silently.
   for (Request* req : tracker.Schedulable(simulator.Now())) {
     req->drop_reason = metrics::DropReason::kInfeasible;
+    if (tracer != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kDrop;
+      ev.reason = trace::TraceReason::kDeadlineInfeasible;
+      ev.time_us = simulator.Now();
+      ev.request = req->meta.id;
+      ev.value = static_cast<double>(req->meta.deadline_us);
+      tracer->OnEvent(ev);
+    }
     tracker.Transition(*req, RequestState::kDropped, simulator.Now());
     latents.Forget(req->meta.id, simulator.Now());
   }
   if (auditor != nullptr) auditor->OnRunEnd(simulator.Now());
+  if (tracer != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kRunEnd;
+    ev.time_us = simulator.Now();
+    tracer->OnEvent(ev);
+    scheduler->set_trace(nullptr);
+  }
 
   result.records = tracker.Records();
   for (const metrics::RequestRecord& rec : result.records) {

@@ -22,6 +22,7 @@
 #include "metrics/metrics.h"
 #include "serving/scheduler.h"
 #include "serving/timeline.h"
+#include "trace/sink.h"
 #include "workload/trace.h"
 
 namespace tetri::sim {
@@ -51,6 +52,9 @@ struct RunContext {
   const costmodel::LatencyTable* table = nullptr;
   /** The run's auditor; null when unaudited. */
   audit::Auditor* auditor = nullptr;
+  /** The run's trace sink; null when untraced. Chaos emits its
+   * degrade/drop decision events here. */
+  trace::TraceSink* trace_sink = nullptr;
   /** Serving-loop drop policy, for deadline-aware retry decisions. */
   double drop_timeout_factor = 10.0;
 };
@@ -80,6 +84,17 @@ struct ServingConfig {
    * violation, making every serving run self-verifying.
    */
   audit::Auditor* auditor = nullptr;
+  /**
+   * External trace sink wired into every component of the run
+   * (nullable, not owned): the simulator's event queue, the engine's
+   * execution spans, the scheduler's decision events, the serving
+   * loop's request lifecycle, and chaos fault/recovery events all
+   * emit here. Tracing is a pure observer — enabling it never changes
+   * the simulated schedule — and costs one pointer test per emission
+   * site when null (the default). Use a trace::Tracer to fan out to
+   * ring-buffer / Perfetto sinks.
+   */
+  trace::TraceSink* trace = nullptr;
   /**
    * Invoked once per Run() after every component is wired but before
    * the event loop starts; fault injectors attach here. Chaos events

@@ -10,6 +10,14 @@ void
 Simulator::ScheduleAt(TimeUs at, EventFn fn)
 {
   if (audit_ != nullptr) audit_->OnEventScheduled(now_, at);
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kEventScheduled;
+    ev.time_us = now_;
+    ev.dur_us = at - now_;
+    ev.value = static_cast<double>(at);
+    trace_->OnEvent(ev);
+  }
   TETRI_CHECK_MSG(at >= now_, "event scheduled in the past: " << at
                               << " < " << now_);
   queue_.Push(at, std::move(fn));
@@ -30,6 +38,13 @@ Simulator::Step()
   if (queue_.empty()) return false;
   auto [time, fn] = queue_.Pop();
   if (audit_ != nullptr) audit_->OnEventFired(now_, time);
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kEventFired;
+    ev.time_us = time;
+    ev.value = static_cast<double>(now_);
+    trace_->OnEvent(ev);
+  }
   TETRI_CHECK(time >= now_);
   now_ = time;
   ++events_fired_;

@@ -14,6 +14,7 @@
 
 #include "audit/sink.h"
 #include "sim/event_queue.h"
+#include "trace/sink.h"
 #include "util/types.h"
 
 namespace tetri::sim {
@@ -33,6 +34,13 @@ class Simulator {
    */
   void set_audit(audit::AuditSink* sink) { audit_ = sink; }
   audit::AuditSink* audit() const { return audit_; }
+
+  /**
+   * Attach a trace sink recording event-queue spans (kEventScheduled
+   * / kEventFired). Nullable, not owned; zero overhead when unset.
+   */
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+  trace::TraceSink* trace() const { return trace_; }
 
   /** Current virtual time. */
   TimeUs Now() const { return now_; }
@@ -65,6 +73,7 @@ class Simulator {
   TimeUs now_ = 0;
   std::uint64_t events_fired_ = 0;
   audit::AuditSink* audit_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace tetri::sim

@@ -23,6 +23,9 @@
 #include "baselines/rssp.h"
 #include "core/tetri_scheduler.h"
 #include "serving/system.h"
+#include "trace/perfetto.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
 #include "util/table.h"
 #include "workload/trace_io.h"
 
@@ -47,6 +50,7 @@ struct Options {
   std::string records_csv;
   std::string save_trace;
   std::string load_trace;
+  std::string trace_out;
 };
 
 void
@@ -70,7 +74,8 @@ PrintUsage()
       "  --no-batching            disable selective batching\n"
       "  --records FILE           dump per-request records as CSV\n"
       "  --save-trace FILE        write the generated trace and exit\n"
-      "  --load-trace FILE        replay a saved trace\n");
+      "  --load-trace FILE        replay a saved trace\n"
+      "  --trace-out FILE         write a Perfetto/Chrome trace JSON\n");
 }
 
 bool
@@ -148,6 +153,10 @@ ParseArgs(int argc, char** argv, Options* opts)
       const char* v = next();
       if (!v) return false;
       opts->load_trace = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->trace_out = v;
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
       PrintUsage();
@@ -253,7 +262,15 @@ Run(const Options& opts)
     return 0;
   }
 
-  serving::ServingSystem system(&topology, &model);
+  trace::Tracer tracer;
+  trace::PerfettoSink perfetto;
+  serving::ServingConfig config;
+  if (!opts.trace_out.empty()) {
+    tracer.AddSink(&perfetto);
+    config.trace = &tracer;
+  }
+
+  serving::ServingSystem system(&topology, &model, config);
   auto policy = MakePolicy(opts, system);
   auto result = system.Run(policy.get(), trace);
   auto sar = result.Sar();
@@ -291,6 +308,20 @@ Run(const Options& opts)
     DumpRecords(result, opts.records_csv);
     std::printf("per-request records written to %s\n",
                 opts.records_csv.c_str());
+  }
+  if (!opts.trace_out.empty()) {
+    const auto events = perfetto.events();
+    if (!trace::WritePerfettoFile(events, topology.num_gpus(),
+                                  opts.trace_out)) {
+      TETRI_FATAL("cannot write trace to '" << opts.trace_out << "'");
+    }
+    const trace::TraceSummary summary = trace::Summarize(events);
+    std::printf(
+        "trace: %zu events (%d rounds, %d dispatches, %d steps) "
+        "step p50/p99 %.0f/%.0f us -> %s\n",
+        events.size(), summary.rounds, summary.dispatches, summary.steps,
+        summary.step_latency_us.Percentile(50),
+        summary.step_latency_us.Percentile(99), opts.trace_out.c_str());
   }
   return 0;
 }

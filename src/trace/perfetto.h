@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Chrome/Perfetto `trace_event` JSON export.
+ *
+ * Renders a trace-event stream as the legacy Chrome tracing JSON that
+ * Perfetto (https://ui.perfetto.dev) and chrome://tracing load
+ * directly: one timeline track per GPU carrying dispatch and step
+ * spans plus fault instants, one track for scheduler rounds and
+ * decisions, and one for the request lifecycle. Timestamps are virtual
+ * microseconds straight from the simulator, so the rendered timeline
+ * is the simulated schedule, not host wall time — and the file is
+ * byte-identical across replays of the same seed, which is what lets
+ * a golden test pin it.
+ *
+ * High-volume bookkeeping kinds (kEventScheduled, kEventFired,
+ * kMember, kRunEnd) are deliberately not rendered; query them from the
+ * RingBufferSink instead.
+ */
+#ifndef TETRI_TRACE_PERFETTO_H
+#define TETRI_TRACE_PERFETTO_H
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace tetri::trace {
+
+/**
+ * Accumulating sink for offline export: buffers every event (no
+ * eviction), to be rendered with PerfettoJson/WritePerfettoFile after
+ * the run. Thread-safe.
+ */
+class PerfettoSink : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& event) override;
+
+  /** Buffered events in emission order. */
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/**
+ * Render @p events as Chrome trace_event JSON. @p num_gpus bounds the
+ * per-GPU track metadata (GPUs beyond it still render if events name
+ * them). One JSON object per line; deterministic formatting.
+ */
+void WritePerfettoJson(const std::vector<TraceEvent>& events,
+                       int num_gpus, std::ostream& out);
+
+/** WritePerfettoJson into a string. */
+std::string PerfettoJson(const std::vector<TraceEvent>& events,
+                         int num_gpus);
+
+/** WritePerfettoJson into @p path. @return false on I/O failure. */
+bool WritePerfettoFile(const std::vector<TraceEvent>& events,
+                       int num_gpus, const std::string& path);
+
+}  // namespace tetri::trace
+
+#endif  // TETRI_TRACE_PERFETTO_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Percentile summaries over a trace-event stream.
+ *
+ * Distils the three distributions the paper's evaluation leans on —
+ * per-step latency, per-round pack utilization, and slack at admission
+ * — into fixed-bucket histograms (metrics/histogram.h). Everything is
+ * derived from virtual-time events, so two identical runs produce
+ * bit-identical summaries; the bench harness prints them as stable
+ * JSON fields and a regression test pins that stability.
+ */
+#ifndef TETRI_TRACE_SUMMARY_H
+#define TETRI_TRACE_SUMMARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "trace/sink.h"
+
+namespace tetri::trace {
+
+/** Histograms + counters distilled from one event stream. */
+struct TraceSummary {
+  /** kStep span lengths (transfer excluded). */
+  metrics::Histogram step_latency_us;
+  /** kRoundEnd pack utilization in [0, 1]. */
+  metrics::Histogram pack_utilization;
+  /** kAdmit slack (deadline - arrival) in microseconds. */
+  metrics::Histogram admission_slack_us;
+  std::uint64_t num_events = 0;
+  int rounds = 0;
+  int dispatches = 0;
+  int steps = 0;
+  int drops = 0;
+};
+
+/** Empty summary with the canonical bucket layouts installed. */
+TraceSummary MakeTraceSummary();
+
+/** Fold @p events into a fresh summary. */
+TraceSummary Summarize(const std::vector<TraceEvent>& events);
+
+/** Fold @p events into @p summary (for merging multiple streams). */
+void SummarizeInto(const std::vector<TraceEvent>& events,
+                   TraceSummary* summary);
+
+}  // namespace tetri::trace
+
+#endif  // TETRI_TRACE_SUMMARY_H

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The trace library proper: a fan-out Tracer that stamps the global
+ * sequence number, and an in-memory ring-buffer sink with a query API
+ * for tests and tools.
+ *
+ * Threading contract: the simulator is single-threaded, but emission
+ * sites can sit inside RunWorkers-parallel code (and stress tests do
+ * exactly that), so both Tracer and RingBufferSink are thread-safe.
+ * The Tracer stamps `seq` and delivers to every sink under one lock,
+ * making stamp+fan-out atomic: sinks observe events in seq order, with
+ * no interleaving-dependent reordering. A sink that throws never loses
+ * the event for other sinks and never corrupts the sequence — the
+ * exception is swallowed and counted in sink_errors().
+ *
+ * Determinism contract (DESIGN.md §10): for a fixed seed, a serving
+ * run emits a byte-identical event stream — ToString() of two replays
+ * compares equal — because every field is virtual-time or seeded and
+ * seq stamping is a pure function of emission order.
+ */
+#ifndef TETRI_TRACE_TRACE_H
+#define TETRI_TRACE_TRACE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "trace/sink.h"
+
+namespace tetri::trace {
+
+/** Human-readable kind name ("Dispatch", "RoundBegin", ...). */
+const char* TraceEventKindName(TraceEventKind kind);
+
+/** Human-readable reason name ("timeout", "degree_cap", ...). */
+const char* TraceReasonName(TraceReason reason);
+
+/**
+ * One event per line, default fields omitted:
+ * "seq=12 t=3500 dur=900 Dispatch mask=0x3 deg=2 steps=5 batch=1".
+ * The determinism tests compare these strings byte-for-byte.
+ */
+std::string ToString(const TraceEvent& event);
+std::string ToString(const std::vector<TraceEvent>& events);
+
+/**
+ * Fans one emission stream out to any number of sinks, stamping each
+ * event with a strictly increasing sequence number (starting at 1; a
+ * seq of 0 marks an unstamped event). This is the object components
+ * are wired to; concrete sinks register with AddSink.
+ */
+class Tracer : public TraceSink {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /** Register @p sink (not owned). No-op when already registered. */
+  void AddSink(TraceSink* sink);
+
+  /** Unregister @p sink. No-op when not registered. */
+  void RemoveSink(TraceSink* sink);
+
+  std::size_t num_sinks() const;
+
+  /** Stamp seq and deliver to every sink, atomically. */
+  void OnEvent(const TraceEvent& event) override;
+
+  /** Events stamped so far. */
+  std::uint64_t events_seen() const;
+
+  /** Exceptions swallowed from throwing sinks. */
+  std::uint64_t sink_errors() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceSink*> sinks_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t sink_errors_ = 0;
+};
+
+/** Filter for RingBufferSink::Query; unset fields match everything. */
+struct TraceQuery {
+  /** Match events tagged with this request id. */
+  RequestId request = kInvalidRequest;
+  /** Match events whose GPU mask intersects this set. */
+  GpuMask mask = 0;
+  /** Match events of this scheduler round. */
+  std::int32_t round = -1;
+  /** Half-open virtual-time window [begin_us, end_us). */
+  TimeUs begin_us = std::numeric_limits<TimeUs>::min();
+  TimeUs end_us = std::numeric_limits<TimeUs>::max();
+  /** Match events of this kind (guarded by has_kind). */
+  bool has_kind = false;
+  TraceEventKind kind = TraceEventKind::kRoundBegin;
+
+  TraceQuery& WithRequest(RequestId id) {
+    request = id;
+    return *this;
+  }
+  TraceQuery& WithMask(GpuMask m) {
+    mask = m;
+    return *this;
+  }
+  TraceQuery& WithRound(std::int32_t r) {
+    round = r;
+    return *this;
+  }
+  TraceQuery& WithWindow(TimeUs begin, TimeUs end) {
+    begin_us = begin;
+    end_us = end;
+    return *this;
+  }
+  TraceQuery& WithKind(TraceEventKind k) {
+    has_kind = true;
+    kind = k;
+    return *this;
+  }
+
+  bool Matches(const TraceEvent& event) const;
+};
+
+/**
+ * Bounded in-memory sink: keeps the newest `capacity` events in
+ * emission order, evicting the oldest and counting evictions in
+ * dropped(). Thread-safe; tests consume it through events() and
+ * Query().
+ */
+class RingBufferSink : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 65536);
+
+  void OnEvent(const TraceEvent& event) override;
+
+  /** Buffered events, oldest first. */
+  std::vector<TraceEvent> events() const;
+
+  /** Buffered events matching @p query, oldest first. */
+  std::vector<TraceEvent> Query(const TraceQuery& query) const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /** Events evicted to make room (total, monotone). */
+  std::uint64_t dropped() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  /** Next write slot once the ring has wrapped. */
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace tetri::trace
+
+#endif  // TETRI_TRACE_TRACE_H

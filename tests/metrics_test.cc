@@ -1,10 +1,14 @@
 /**
  * @file
  * Metrics tests: SAR computation, latency distributions over completed
- * requests only (Fig. 9 semantics), windowed time series, GPU hours.
+ * requests only (Fig. 9 semantics), windowed time series, GPU hours,
+ * and the fixed-bucket percentile histograms the trace layer summarizes
+ * with (exact percentiles on known inputs, associative merges, edge
+ * clamping).
  */
 #include <gtest/gtest.h>
 
+#include "metrics/histogram.h"
 #include "metrics/metrics.h"
 
 namespace tetri::metrics {
@@ -119,6 +123,109 @@ TEST(GpuHoursTest, SumsAcrossRecords)
   RequestRecord b;
   b.gpu_time_us = 1800.0 * 1e6;
   EXPECT_DOUBLE_EQ(TotalGpuHours({a, b}), 1.5);
+}
+
+TEST(HistogramTest, LayoutsAndValidity)
+{
+  Histogram none;
+  EXPECT_FALSE(none.valid());
+
+  auto lin = Histogram::Linear(0.0, 100.0, 10);
+  EXPECT_TRUE(lin.valid());
+  EXPECT_EQ(lin.num_buckets(), 10);
+  ASSERT_EQ(lin.edges().size(), 11u);
+  EXPECT_DOUBLE_EQ(lin.edges().front(), 0.0);
+  EXPECT_DOUBLE_EQ(lin.edges().back(), 100.0);
+  EXPECT_DOUBLE_EQ(lin.edges()[3], 30.0);
+
+  auto log = Histogram::LogSpaced(1.0, 1000.0, 3);
+  ASSERT_EQ(log.edges().size(), 4u);
+  EXPECT_DOUBLE_EQ(log.edges().front(), 1.0);
+  EXPECT_NEAR(log.edges()[1], 10.0, 1e-9);
+  EXPECT_NEAR(log.edges()[2], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(log.edges().back(), 1000.0);
+}
+
+TEST(HistogramTest, ExactPercentilesOnKnownInputs)
+{
+  // One sample per unit-width bucket: every percentile is exactly the
+  // interpolated rank, so the arithmetic is pinned, not approximated.
+  auto h = Histogram::Linear(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(HistogramTest, InterpolatesWithinOneBucket)
+{
+  auto h = Histogram::Linear(0.0, 10.0, 1);
+  h.AddN(5.0, 4);
+  EXPECT_DOUBLE_EQ(h.Percentile(25), 2.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRangeIntoEdgeBuckets)
+{
+  auto h = Histogram::Linear(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(99.0);
+  EXPECT_EQ(h.count(), 2u);  // nothing silently dropped
+  EXPECT_EQ(h.counts().front(), 1u);
+  EXPECT_EQ(h.counts().back(), 1u);
+}
+
+TEST(HistogramTest, MergeIsExactAndAssociative)
+{
+  auto make = [](std::uint64_t fill) {
+    auto h = Histogram::Linear(0.0, 64.0, 16);
+    for (std::uint64_t i = 0; i < fill; ++i) {
+      h.Add(static_cast<double>((i * 7 + fill) % 64));
+    }
+    return h;
+  };
+  const auto a = make(11);
+  const auto b = make(23);
+  const auto c = make(5);
+
+  auto left = a;        // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  auto bc = b;          // a + (b + c)
+  bc.Merge(c);
+  auto right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left, right);  // integer counts: exactly associative
+  EXPECT_EQ(left.count(), a.count() + b.count() + c.count());
+  EXPECT_DOUBLE_EQ(left.Percentile(50), right.Percentile(50));
+}
+
+TEST(HistogramTest, MergeRejectsLayoutMismatch)
+{
+  auto a = Histogram::Linear(0.0, 10.0, 10);
+  auto b = Histogram::Linear(0.0, 20.0, 10);
+  EXPECT_DEATH(a.Merge(b), "layout");
+}
+
+TEST(HistogramTest, EmptyHistogramEdgeCases)
+{
+  auto h = Histogram::Linear(0.0, 10.0, 10);
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.0);
+}
+
+TEST(HistogramTest, AddOnUnconfiguredHistogramDies)
+{
+  Histogram h;
+  EXPECT_DEATH(h.Add(1.0), "unconfigured");
 }
 
 }  // namespace

@@ -4,7 +4,8 @@
  * cluster capacity must terminate without deadlock, serve what it can,
  * and shed the rest via timeout drops in effective-deadline order —
  * the first request dropped is the one whose drop deadline expired
- * first, never an arbitrary victim.
+ * first, never an arbitrary victim. The decision trace must agree:
+ * the run's kDrop events mirror the audited drop order exactly.
  */
 #include <gtest/gtest.h>
 
@@ -16,6 +17,7 @@
 #include "core/tetri_scheduler.h"
 #include "serving/request.h"
 #include "serving/system.h"
+#include "trace/trace.h"
 
 namespace tetri::serving {
 namespace {
@@ -92,9 +94,14 @@ TEST_P(OverloadSweep, ShedsLoadInEffectiveDeadlineOrder)
   auto& recorder = static_cast<DropOrderRecorder&>(
       auditor.AddChecker(std::make_unique<DropOrderRecorder>()));
 
+  trace::Tracer tracer;
+  trace::RingBufferSink ring;
+  tracer.AddSink(&ring);
+
   serving::ServingConfig sc;
   sc.auditor = &auditor;
   sc.drop_timeout_factor = 3.0;
+  sc.trace = &tracer;
   serving::ServingSystem system(&topo, &model, sc);
 
   std::unique_ptr<Scheduler> scheduler;
@@ -135,6 +142,23 @@ TEST_P(OverloadSweep, ShedsLoadInEffectiveDeadlineOrder)
     EXPECT_GE(drops[i].deadline_us, drops[i - 1].deadline_us)
         << "request " << drops[i].id << " shed before "
         << drops[i - 1].id << " despite a later effective deadline";
+  }
+
+  // The decision trace tells the same story: one kDrop per shed
+  // request, tagged kTimeout, in exactly the audited order, with the
+  // deadline (the event's value) never decreasing.
+  const auto traced = ring.Query(
+      trace::TraceQuery{}.WithKind(trace::TraceEventKind::kDrop));
+  ASSERT_EQ(traced.size(), drops.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].request, drops[i].id);
+    EXPECT_EQ(traced[i].reason, trace::TraceReason::kTimeout);
+    EXPECT_EQ(traced[i].time_us, drops[i].dropped_at_us);
+    EXPECT_DOUBLE_EQ(traced[i].value,
+                     static_cast<double>(drops[i].deadline_us));
+    if (i > 0) {
+      EXPECT_GE(traced[i].value, traced[i - 1].value);
+    }
   }
 }
 

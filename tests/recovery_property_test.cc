@@ -11,7 +11,8 @@
  *  - accounting: goodput degradation is bounded by the lost GPU time
  *    the engine booked for aborted partial rounds;
  *  - determinism: re-running the identical configuration replays a
- *    bit-identical chaos trace and identical per-request outcomes.
+ *    bit-identical chaos trace, identical per-request outcomes, and a
+ *    byte-identical tetri::trace event stream (DESIGN.md §10).
  *
  * Reproducing a failure: every sweep is a pure function of its seed.
  * Set TETRI_CHAOS_SEED=<n> to run only that seed; on assertion failure
@@ -31,6 +32,7 @@
 #include "chaos/chaos.h"
 #include "core/tetri_scheduler.h"
 #include "serving/system.h"
+#include "trace/trace.h"
 
 namespace tetri::chaos {
 namespace {
@@ -79,9 +81,13 @@ TEST_P(RecoveryPropertySweep, InvariantsHoldUnderRandomKillSchedule)
 
   audit::Auditor auditor;
   audit::InstallStandardCheckers(auditor);
+  trace::Tracer tracer;
+  trace::RingBufferSink ring;
+  tracer.AddSink(&ring);
   serving::ServingConfig sc;
   sc.on_run_setup = controller.Hook();
   sc.auditor = &auditor;
+  sc.trace = &tracer;
   serving::ServingSystem system(&topo, &model, sc);
 
   workload::TraceSpec spec;
@@ -147,11 +153,17 @@ TEST_P(RecoveryPropertySweep, InvariantsHoldUnderRandomKillSchedule)
   // deterministic per seed.
   const ChaosTrace first_trace = controller.trace();
   const auto first_digest = OutcomeDigest(result.records);
+  const std::string first_events = trace::ToString(ring.events());
+  ASSERT_EQ(ring.dropped(), 0u) << "ring too small for the sweep";
   audit::Auditor auditor2;
   audit::InstallStandardCheckers(auditor2);
+  trace::Tracer tracer2;
+  trace::RingBufferSink ring2;
+  tracer2.AddSink(&ring2);
   serving::ServingConfig sc2;
   sc2.on_run_setup = controller.Hook();
   sc2.auditor = &auditor2;
+  sc2.trace = &tracer2;
   serving::ServingSystem system2(&topo, &model, sc2);
   core::TetriScheduler scheduler2(&system2.table());
   const auto result2 = system2.Run(&scheduler2, trace);
@@ -159,6 +171,12 @@ TEST_P(RecoveryPropertySweep, InvariantsHoldUnderRandomKillSchedule)
       << "chaos trace diverged on replay";
   EXPECT_EQ(OutcomeDigest(result2.records), first_digest);
   EXPECT_EQ(result2.makespan_us, result.makespan_us);
+  // Byte-identical event stream: every field of every trace event —
+  // including the Tracer's seq stamps — replays exactly.
+  EXPECT_EQ(trace::ToString(ring2.events()), first_events)
+      << "tetri::trace event stream diverged on replay";
+  EXPECT_EQ(tracer2.events_seen(), tracer.events_seen());
+  EXPECT_EQ(tracer.sink_errors(), 0u);
 
   if (::testing::Test::HasFailure()) {
     const std::string path =

@@ -2,7 +2,9 @@
  * @file
  * TetriScheduler behaviour tests: plan validity invariants over many
  * contexts (property sweep), placement preservation, elastic
- * scale-up, selective batching, best-effort lane, round duration.
+ * scale-up, selective batching, best-effort lane, round duration, and
+ * the decision trace (round spans, candidates, stage-tagged choices,
+ * overload sheds, degrade events — all purely observational).
  */
 #include <gtest/gtest.h>
 
@@ -14,6 +16,7 @@
 #include "core/tetri_scheduler.h"
 #include "costmodel/model_config.h"
 #include "serving/request_tracker.h"
+#include "trace/trace.h"
 
 namespace tetri::core {
 namespace {
@@ -318,6 +321,153 @@ TEST_F(TetriSchedulerTest, FragmentedFreeMasksNeverAbort)
         EXPECT_LE(a.max_steps, tracker.Get(id).RemainingSteps());
       }
     }
+  }
+}
+
+TEST_F(TetriSchedulerTest, DecisionTraceCoversEveryRound)
+{
+  TetriScheduler sched(&table_);
+  trace::RingBufferSink ring;
+  sched.set_trace(&ring);
+
+  Admit(0, Resolution::k1024, 0);
+  Admit(1, Resolution::k512, 0);
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+  ASSERT_FALSE(plan.assignments.empty());
+  EXPECT_EQ(sched.rounds_planned(), 1);
+
+  // Round 0 is bracketed by exactly one begin/end pair carrying the
+  // free mask, the planning window, and the final pack utilization.
+  const auto begins = ring.Query(
+      trace::TraceQuery{}.WithKind(trace::TraceEventKind::kRoundBegin));
+  ASSERT_EQ(begins.size(), 1u);
+  EXPECT_EQ(begins[0].round, 0);
+  EXPECT_EQ(begins[0].mask, ctx.free_gpus);
+  EXPECT_EQ(begins[0].dur_us, ctx.round_end - ctx.now);
+  const auto ends = ring.Query(
+      trace::TraceQuery{}.WithKind(trace::TraceEventKind::kRoundEnd));
+  ASSERT_EQ(ends.size(), 1u);
+  GpuMask placed = 0;
+  for (const auto& a : plan.assignments) placed |= a.mask;
+  EXPECT_EQ(ends[0].mask, placed);
+  EXPECT_EQ(ends[0].steps,
+            static_cast<std::int32_t>(plan.assignments.size()));
+  EXPECT_GT(ends[0].value, 0.0);
+  EXPECT_LE(ends[0].value, 1.0);
+
+  // Every schedulable request produced at least one allocation
+  // candidate, and every planned request exactly one stage-tagged
+  // choice this round.
+  for (RequestId id : {RequestId{0}, RequestId{1}}) {
+    EXPECT_FALSE(ring.Query(trace::TraceQuery{}
+                                .WithRequest(id)
+                                .WithKind(
+                                    trace::TraceEventKind::kPlanCandidate))
+                     .empty())
+        << "request " << id;
+  }
+  // Every planned request carries at least one stage-tagged choice
+  // (scale-up/rollback may re-decide it); the last word matches the
+  // emitted assignment.
+  for (const auto& a : plan.assignments) {
+    for (RequestId id : a.requests) {
+      const auto choices = ring.Query(
+          trace::TraceQuery{}.WithRequest(id).WithKind(
+              trace::TraceEventKind::kPlanChoice));
+      ASSERT_GE(choices.size(), 1u) << "request " << id;
+      EXPECT_NE(choices.front().reason, trace::TraceReason::kNone);
+      EXPECT_EQ(choices.back().degree, cluster::Popcount(a.mask));
+    }
+  }
+
+  // The next Plan() lands in round 1; per-round queries separate them.
+  sched.Plan(MakeContext(ctx.round_end, sched.RoundDurationUs()));
+  EXPECT_EQ(sched.rounds_planned(), 2);
+  EXPECT_EQ(ring.Query(trace::TraceQuery{}.WithRound(0).WithKind(
+                           trace::TraceEventKind::kRoundBegin))
+                .size(),
+            1u);
+  EXPECT_EQ(ring.Query(trace::TraceQuery{}.WithRound(1).WithKind(
+                           trace::TraceEventKind::kRoundBegin))
+                .size(),
+            1u);
+}
+
+TEST_F(TetriSchedulerTest, DecisionTraceDegradeForCappedRequest)
+{
+  TetriScheduler sched(&table_);
+  trace::RingBufferSink ring;
+  sched.set_trace(&ring);
+
+  // A degraded-SP failure retry: chaos halved this request's degree
+  // cap after an abort; the scheduler must plan against the cap and
+  // say so in the trace.
+  serving::Request& req = Admit(0, Resolution::k2048, 0, 1.5);
+  req.degree_cap = 2;
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  auto plan = sched.Plan(ctx);
+
+  const auto degrades = ring.Query(
+      trace::TraceQuery{}.WithKind(trace::TraceEventKind::kDegrade));
+  ASSERT_EQ(degrades.size(), 1u);
+  EXPECT_EQ(degrades[0].request, 0);
+  EXPECT_EQ(degrades[0].reason, trace::TraceReason::kDegreeCap);
+  EXPECT_EQ(degrades[0].degree, 2);
+  for (const auto& a : plan.assignments) {
+    EXPECT_LE(cluster::Popcount(a.mask), 2);
+  }
+}
+
+TEST_F(TetriSchedulerTest, DecisionTraceShedsUnderOverload)
+{
+  TetriScheduler sched(&table_);
+  trace::RingBufferSink ring;
+  sched.set_trace(&ring);
+
+  // Each request is feasible alone but the aggregate GPU-work provably
+  // overruns capacity x horizon: Stage 1.5 must shed, and each shed is
+  // a traced decision. (A tighter SLO would mark every entry late
+  // individually and bypass the EDF scan entirely.)
+  for (RequestId id = 0; id < 24; ++id) {
+    Admit(id, Resolution::k2048, 0, /*slo_scale=*/1.2);
+  }
+  auto ctx = MakeContext(0, sched.RoundDurationUs());
+  sched.Plan(ctx);
+
+  const auto sheds = ring.Query(
+      trace::TraceQuery{}.WithKind(trace::TraceEventKind::kShed));
+  ASSERT_FALSE(sheds.empty());
+  for (const auto& shed : sheds) {
+    EXPECT_EQ(shed.reason, trace::TraceReason::kDeadlineInfeasible);
+    EXPECT_NE(shed.request, kInvalidRequest);
+    EXPECT_EQ(shed.round, 0);
+  }
+}
+
+TEST_F(TetriSchedulerTest, PlanIsBitIdenticalWithTracingEnabled)
+{
+  // Tracing is a pure observer: the same queue planned with and
+  // without a sink yields identical assignments.
+  TetriScheduler traced(&table_), untraced(&table_);
+  trace::RingBufferSink ring;
+  traced.set_trace(&ring);
+
+  const Resolution mix[] = {Resolution::k2048, Resolution::k1024,
+                            Resolution::k512, Resolution::k256};
+  for (RequestId id = 0; id < 12; ++id) {
+    Admit(id, mix[id % 4], 0, id % 3 == 0 ? 0.9 : 1.4);
+  }
+  auto ctx = MakeContext(0, traced.RoundDurationUs());
+  const auto a = traced.Plan(ctx);
+  const auto b = untraced.Plan(ctx);
+
+  ASSERT_GT(ring.size(), 0u);
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].requests, b.assignments[i].requests);
+    EXPECT_EQ(a.assignments[i].mask, b.assignments[i].mask);
+    EXPECT_EQ(a.assignments[i].max_steps, b.assignments[i].max_steps);
   }
 }
 

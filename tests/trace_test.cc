@@ -1,0 +1,751 @@
+/**
+ * @file
+ * tetri::trace tests: sink installation and fan-out, ring-buffer
+ * eviction, the query API, ToString formatting, span nesting over a
+ * real serving run (every dispatch encloses its step spans exactly),
+ * summary percentile stability, Perfetto JSON export pinned against
+ * committed goldens, and TSan-targeted TraceStress tests of concurrent
+ * emission (seq stamping must stay contiguous and in delivery order
+ * even with throwing sinks in the fan-out).
+ *
+ * Regenerating the goldens after an intentional behaviour change:
+ *   TETRI_REGEN_GOLDEN=1 ./trace_test
+ * then review and commit tests/golden/trace_*.golden.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.h"
+#include "core/tetri_scheduler.h"
+#include "dit/parallel_for.h"
+#include "serving/system.h"
+#include "sim/simulator.h"
+#include "trace/perfetto.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
+
+namespace tetri::trace {
+namespace {
+
+using costmodel::ModelConfig;
+using cluster::Topology;
+
+TraceEvent
+Ev(TraceEventKind kind, TimeUs time, RequestId request = kInvalidRequest,
+   GpuMask mask = 0, std::int32_t round = -1)
+{
+  TraceEvent ev;
+  ev.kind = kind;
+  ev.time_us = time;
+  ev.request = request;
+  ev.mask = mask;
+  ev.round = round;
+  return ev;
+}
+
+/** Sink that throws on every event (exception-safety fixture). */
+class ThrowingSink final : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent&) override
+  {
+    throw std::runtime_error("sink failure");
+  }
+};
+
+// ---------------------------------------------------------------
+// Tracer: sink management, seq stamping, exception safety
+// ---------------------------------------------------------------
+
+TEST(TracerTest, StampsStrictlyIncreasingSeqFromOne)
+{
+  Tracer tracer;
+  RingBufferSink ring;
+  tracer.AddSink(&ring);
+  for (int i = 0; i < 3; ++i) {
+    tracer.OnEvent(Ev(TraceEventKind::kAdmit, 10 * i, i));
+  }
+  EXPECT_EQ(tracer.events_seen(), 3u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);  // 1-based; 0 marks unstamped
+    EXPECT_EQ(events[i].request, static_cast<RequestId>(i));
+  }
+}
+
+TEST(TracerTest, AddSinkIsIdempotentAndRemoveDetaches)
+{
+  Tracer tracer;
+  RingBufferSink ring;
+  tracer.AddSink(&ring);
+  tracer.AddSink(&ring);  // duplicate registration collapses
+  EXPECT_EQ(tracer.num_sinks(), 1u);
+  tracer.OnEvent(Ev(TraceEventKind::kAdmit, 1));
+  EXPECT_EQ(ring.size(), 1u);
+
+  tracer.RemoveSink(&ring);
+  EXPECT_EQ(tracer.num_sinks(), 0u);
+  tracer.OnEvent(Ev(TraceEventKind::kAdmit, 2));
+  EXPECT_EQ(ring.size(), 1u);  // detached sink no longer receives
+  EXPECT_EQ(tracer.events_seen(), 2u);  // but seq still advances
+
+  tracer.RemoveSink(&ring);  // removing twice is a no-op
+  EXPECT_EQ(tracer.num_sinks(), 0u);
+}
+
+TEST(TracerTest, FansOutIdenticalStreamsToEverySink)
+{
+  Tracer tracer;
+  RingBufferSink a, b;
+  tracer.AddSink(&a);
+  tracer.AddSink(&b);
+  for (int i = 0; i < 5; ++i) {
+    tracer.OnEvent(Ev(TraceEventKind::kDispatch, i, i, GpuMask{1} << i));
+  }
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST(TracerTest, ThrowingSinkNeverDisruptsOtherSinksOrSeq)
+{
+  Tracer tracer;
+  RingBufferSink before, after;
+  ThrowingSink bomb;
+  tracer.AddSink(&before);
+  tracer.AddSink(&bomb);  // registered between the two rings
+  tracer.AddSink(&after);
+  for (int i = 0; i < 4; ++i) {
+    tracer.OnEvent(Ev(TraceEventKind::kStep, i));  // must not throw out
+  }
+  EXPECT_EQ(tracer.sink_errors(), 4u);
+  EXPECT_EQ(tracer.events_seen(), 4u);
+  // Both healthy sinks saw every event with unbroken stamps.
+  EXPECT_EQ(before.events(), after.events());
+  const auto events = before.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+  }
+}
+
+// ---------------------------------------------------------------
+// RingBufferSink: bounded retention, eviction order
+// ---------------------------------------------------------------
+
+TEST(RingBufferTest, KeepsNewestEventsOldestFirst)
+{
+  RingBufferSink ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.OnEvent(Ev(TraceEventKind::kAdmit, i, i));
+  }
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].time_us, 6 + i);
+  }
+}
+
+TEST(RingBufferTest, CapacityOneHoldsOnlyTheLatest)
+{
+  RingBufferSink ring(1);
+  ring.OnEvent(Ev(TraceEventKind::kAdmit, 1));
+  ring.OnEvent(Ev(TraceEventKind::kDrop, 2));
+  ASSERT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.events()[0].kind, TraceEventKind::kDrop);
+  EXPECT_EQ(ring.dropped(), 1u);
+}
+
+TEST(RingBufferTest, ClearResetsContentsButNotDropCounter)
+{
+  RingBufferSink ring(2);
+  for (int i = 0; i < 5; ++i) {
+    ring.OnEvent(Ev(TraceEventKind::kAdmit, i));
+  }
+  EXPECT_EQ(ring.dropped(), 3u);
+  ring.Clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_TRUE(ring.events().empty());
+  EXPECT_EQ(ring.dropped(), 3u);  // monotone lifetime counter
+  ring.OnEvent(Ev(TraceEventKind::kAdmit, 9));
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+// ---------------------------------------------------------------
+// TraceQuery filters
+// ---------------------------------------------------------------
+
+class TraceQueryTest : public ::testing::Test {
+ protected:
+  TraceQueryTest()
+  {
+    ring_.OnEvent(Ev(TraceEventKind::kAdmit, 100, 1));
+    ring_.OnEvent(Ev(TraceEventKind::kDispatch, 200, 1, 0b0011, 0));
+    ring_.OnEvent(Ev(TraceEventKind::kDispatch, 300, 2, 0b1100, 0));
+    ring_.OnEvent(Ev(TraceEventKind::kComplete, 400, 2, 0b1100, 1));
+    ring_.OnEvent(Ev(TraceEventKind::kDrop, 500, 3));
+  }
+  RingBufferSink ring_;
+};
+
+TEST_F(TraceQueryTest, FiltersByRequest)
+{
+  const auto hits = ring_.Query(TraceQuery{}.WithRequest(2));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].kind, TraceEventKind::kDispatch);
+  EXPECT_EQ(hits[1].kind, TraceEventKind::kComplete);
+}
+
+TEST_F(TraceQueryTest, FiltersByGpuMaskIntersection)
+{
+  // Mask matching is intersection, not equality: GPU 2 belongs to the
+  // 0b1100 placement only.
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithMask(0b0100)).size(), 2u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithMask(0b0001)).size(), 1u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithMask(0b10000)).size(), 0u);
+}
+
+TEST_F(TraceQueryTest, FiltersByRoundAndKind)
+{
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithRound(0)).size(), 2u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithKind(TraceEventKind::kDispatch))
+                .size(),
+            2u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}
+                            .WithRound(0)
+                            .WithKind(TraceEventKind::kDispatch)
+                            .WithRequest(1))
+                .size(),
+            1u);
+}
+
+TEST_F(TraceQueryTest, TimeWindowIsHalfOpen)
+{
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithWindow(200, 400)).size(), 2u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithWindow(200, 401)).size(), 3u);
+  EXPECT_EQ(ring_.Query(TraceQuery{}.WithWindow(0, 100)).size(), 0u);
+}
+
+TEST_F(TraceQueryTest, DefaultQueryMatchesEverything)
+{
+  EXPECT_EQ(ring_.Query(TraceQuery{}).size(), ring_.size());
+}
+
+// ---------------------------------------------------------------
+// ToString formatting (the determinism comparison format)
+// ---------------------------------------------------------------
+
+TEST(ToStringTest, RendersSetFieldsAndOmitsDefaults)
+{
+  TraceEvent ev;
+  ev.seq = 12;
+  ev.time_us = 3500;
+  ev.dur_us = 900;
+  ev.kind = TraceEventKind::kDispatch;
+  ev.mask = 0b0011;
+  ev.degree = 2;
+  ev.steps = 5;
+  ev.batch = 1;
+  EXPECT_EQ(ToString(ev),
+            "seq=12 t=3500 dur=900 Dispatch mask=0x3 deg=2 steps=5 "
+            "batch=1");
+
+  TraceEvent drop;
+  drop.seq = 3;
+  drop.time_us = 70;
+  drop.kind = TraceEventKind::kDrop;
+  drop.reason = TraceReason::kTimeout;
+  drop.request = 9;
+  EXPECT_EQ(ToString(drop), "seq=3 t=70 Drop reason=timeout req=9");
+}
+
+TEST(ToStringTest, VectorJoinsOneEventPerLine)
+{
+  std::vector<TraceEvent> events = {Ev(TraceEventKind::kAdmit, 1, 0),
+                                    Ev(TraceEventKind::kRunEnd, 2)};
+  const std::string joined = ToString(events);
+  EXPECT_EQ(joined, ToString(events[0]) + "\n" + ToString(events[1]) +
+                        "\n");
+}
+
+// ---------------------------------------------------------------
+// Serving-run integration: lifecycle, span nesting, determinism
+// ---------------------------------------------------------------
+
+/** One traced serving run of @p n mixed requests on 8xH100 FLUX. */
+struct TracedRun {
+  std::vector<TraceEvent> events;
+  serving::ServingResult result;
+  std::uint64_t events_seen = 0;
+};
+
+TracedRun
+RunTraced(int n, bool with_trace = true, std::uint64_t seed = 5)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+
+  Tracer tracer;
+  RingBufferSink ring(1 << 18);
+  tracer.AddSink(&ring);
+  serving::ServingConfig sc;
+  if (with_trace) sc.trace = &tracer;
+  serving::ServingSystem system(&topo, &model, sc);
+  core::TetriScheduler scheduler(&system.table());
+
+  workload::TraceSpec spec;
+  spec.num_requests = n;
+  spec.slo_scale = 1.3;
+  spec.seed = seed;
+  TracedRun out;
+  out.result = system.Run(&scheduler, workload::BuildTrace(spec));
+  out.events = ring.events();
+  out.events_seen = tracer.events_seen();
+  EXPECT_EQ(ring.dropped(), 0u);
+  return out;
+}
+
+int
+Count(const std::vector<TraceEvent>& events, TraceEventKind kind)
+{
+  int n = 0;
+  for (const TraceEvent& ev : events) {
+    if (ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(TracedRunTest, LifecycleEventsAccountForEveryRequest)
+{
+  const int n = 16;
+  const TracedRun run = RunTraced(n);
+  ASSERT_FALSE(run.events.empty());
+
+  // seq is contiguous 1..N in delivery order and the stream ends with
+  // the run terminator.
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    EXPECT_EQ(run.events[i].seq, i + 1);
+  }
+  EXPECT_EQ(run.events_seen, run.events.size());
+  EXPECT_EQ(run.events.back().kind, TraceEventKind::kRunEnd);
+
+  EXPECT_EQ(Count(run.events, TraceEventKind::kAdmit), n);
+  const int terminal = Count(run.events, TraceEventKind::kFinish) +
+                       Count(run.events, TraceEventKind::kDrop) +
+                       Count(run.events, TraceEventKind::kCancel);
+  EXPECT_EQ(terminal, n);
+
+  // Scheduler rounds bracket: every round that began also ended.
+  EXPECT_EQ(Count(run.events, TraceEventKind::kRoundBegin),
+            Count(run.events, TraceEventKind::kRoundEnd));
+  EXPECT_EQ(Count(run.events, TraceEventKind::kRoundBegin),
+            run.result.num_scheduler_calls);
+  EXPECT_EQ(Count(run.events, TraceEventKind::kDispatch),
+            run.result.num_assignments);
+}
+
+TEST(TracedRunTest, DispatchSpansEncloseTheirStepSpansExactly)
+{
+  const TracedRun run = RunTraced(12);
+  int dispatches = 0;
+  for (std::size_t i = 0; i < run.events.size(); ++i) {
+    const TraceEvent& d = run.events[i];
+    if (d.kind != TraceEventKind::kDispatch) continue;
+    ++dispatches;
+    const TimeUs span_end = d.time_us + d.dur_us;
+    const auto transfer = static_cast<TimeUs>(d.value);
+
+    // The engine emits kMember x batch then kStep x steps immediately
+    // after each dispatch, all under the same virtual timestamp.
+    std::size_t j = i + 1;
+    for (std::int32_t m = 0; m < d.batch; ++m, ++j) {
+      ASSERT_LT(j, run.events.size());
+      ASSERT_EQ(run.events[j].kind, TraceEventKind::kMember);
+      EXPECT_EQ(run.events[j].mask, d.mask);
+    }
+    TimeUs cursor = d.time_us + transfer;
+    for (std::int32_t s = 0; s < d.steps; ++s, ++j) {
+      ASSERT_LT(j, run.events.size());
+      const TraceEvent& step = run.events[j];
+      ASSERT_EQ(step.kind, TraceEventKind::kStep);
+      EXPECT_EQ(step.mask, d.mask);
+      EXPECT_EQ(step.steps, s);
+      // Steps tile the execution span: each begins where the previous
+      // ended, inside the dispatch span.
+      EXPECT_EQ(step.time_us, cursor);
+      EXPECT_GE(step.dur_us, 0);
+      cursor = step.time_us + step.dur_us;
+      EXPECT_LE(cursor, span_end);
+    }
+    // The last step ends exactly at the dispatch span's end — the
+    // one-rounding-rule nesting invariant.
+    EXPECT_EQ(cursor, span_end);
+  }
+  EXPECT_GT(dispatches, 0);
+}
+
+TEST(TracedRunTest, TracingIsAPureObserver)
+{
+  // The identical workload with tracing off produces the identical
+  // serving outcome: same completions, same makespan, same GPU time.
+  const TracedRun traced = RunTraced(12, /*with_trace=*/true);
+  const TracedRun untraced = RunTraced(12, /*with_trace=*/false);
+  EXPECT_TRUE(untraced.events.empty());
+  ASSERT_EQ(traced.result.records.size(),
+            untraced.result.records.size());
+  for (std::size_t i = 0; i < traced.result.records.size(); ++i) {
+    const auto& a = traced.result.records[i];
+    const auto& b = untraced.result.records[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.completion_us, b.completion_us);
+    EXPECT_EQ(a.steps_executed, b.steps_executed);
+    EXPECT_DOUBLE_EQ(a.gpu_time_us, b.gpu_time_us);
+  }
+  EXPECT_EQ(traced.result.makespan_us, untraced.result.makespan_us);
+  EXPECT_DOUBLE_EQ(traced.result.busy_gpu_us,
+                   untraced.result.busy_gpu_us);
+}
+
+TEST(TracedRunTest, ByteIdenticalAcrossIdenticalRuns)
+{
+  const TracedRun a = RunTraced(10);
+  const TracedRun b = RunTraced(10);
+  EXPECT_EQ(ToString(a.events), ToString(b.events));
+}
+
+TEST(SimulatorTraceTest, EventQueueSpans)
+{
+  sim::Simulator simulator;
+  RingBufferSink ring;
+  simulator.set_trace(&ring);
+  int fired = 0;
+  simulator.ScheduleAt(100, [&]() { ++fired; });
+  simulator.ScheduleAt(250, [&]() { ++fired; });
+  simulator.RunAll();
+  EXPECT_EQ(fired, 2);
+
+  const auto scheduled =
+      ring.Query(TraceQuery{}.WithKind(TraceEventKind::kEventScheduled));
+  ASSERT_EQ(scheduled.size(), 2u);
+  EXPECT_EQ(scheduled[0].time_us, 0);
+  EXPECT_EQ(scheduled[0].dur_us, 100);  // lead time to the fire point
+  const auto firedEvents =
+      ring.Query(TraceQuery{}.WithKind(TraceEventKind::kEventFired));
+  ASSERT_EQ(firedEvents.size(), 2u);
+  EXPECT_EQ(firedEvents[0].time_us, 100);
+  EXPECT_EQ(firedEvents[1].time_us, 250);
+  EXPECT_DOUBLE_EQ(firedEvents[1].value, 100.0);  // clock before firing
+}
+
+// ---------------------------------------------------------------
+// Chaos integration: fault events in the unified stream
+// ---------------------------------------------------------------
+
+TEST(ChaosTraceTest, FaultAndRecoveryEventsAreTraced)
+{
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+
+  workload::TraceSpec spec;
+  spec.num_requests = 20;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  chaos::ChaosConfig config;
+  chaos::ScriptedFailure failure;
+  failure.at_us = trace.requests[trace.requests.size() / 2].arrival_us;
+  failure.gpu = 2;
+  failure.recover_after_us = UsFromSec(2.0);
+  config.scripted.push_back(failure);
+  chaos::ChaosController controller(config);
+
+  Tracer tracer;
+  RingBufferSink ring(1 << 18);
+  tracer.AddSink(&ring);
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  sc.trace = &tracer;
+  serving::ServingSystem system(&topo, &model, sc);
+  core::TetriScheduler scheduler(&system.table());
+  const auto result = system.Run(&scheduler, trace);
+
+  const auto fails =
+      ring.Query(TraceQuery{}.WithKind(TraceEventKind::kGpuFail));
+  ASSERT_EQ(static_cast<int>(fails.size()),
+            result.recovery.gpu_failures);
+  EXPECT_EQ(fails[0].mask, GpuMask{1} << 2);
+  EXPECT_EQ(fails[0].time_us, failure.at_us);
+  EXPECT_EQ(
+      static_cast<int>(
+          ring.Query(TraceQuery{}.WithKind(TraceEventKind::kGpuRecover))
+              .size()),
+      result.recovery.gpu_recoveries);
+
+  const auto aborts =
+      ring.Query(TraceQuery{}.WithKind(TraceEventKind::kAbort));
+  ASSERT_EQ(static_cast<int>(aborts.size()),
+            result.recovery.aborted_assignments);
+  for (const TraceEvent& ev : aborts) {
+    EXPECT_EQ(ev.reason, TraceReason::kGpuFailure);
+    EXPECT_NE(ev.mask & fails[0].mask, 0u);
+    EXPECT_GE(ev.value, 0.0);  // lost GPU-us
+  }
+}
+
+// ---------------------------------------------------------------
+// Summary percentiles
+// ---------------------------------------------------------------
+
+TEST(SummaryTest, LayoutsAreInstalledAndEmpty)
+{
+  const TraceSummary s = MakeTraceSummary();
+  EXPECT_TRUE(s.step_latency_us.valid());
+  EXPECT_TRUE(s.pack_utilization.valid());
+  EXPECT_TRUE(s.admission_slack_us.valid());
+  EXPECT_TRUE(s.step_latency_us.empty());
+  EXPECT_EQ(s.num_events, 0u);
+}
+
+TEST(SummaryTest, CountsMatchTheEventStream)
+{
+  const TracedRun run = RunTraced(14);
+  const TraceSummary s = Summarize(run.events);
+  EXPECT_EQ(s.num_events, run.events.size());
+  EXPECT_EQ(s.rounds, Count(run.events, TraceEventKind::kRoundEnd));
+  EXPECT_EQ(s.dispatches, Count(run.events, TraceEventKind::kDispatch));
+  EXPECT_EQ(s.steps, Count(run.events, TraceEventKind::kStep));
+  EXPECT_EQ(s.drops, Count(run.events, TraceEventKind::kDrop));
+  EXPECT_EQ(s.step_latency_us.count(),
+            static_cast<std::uint64_t>(s.steps));
+  EXPECT_GT(s.steps, 0);
+  EXPECT_GT(s.step_latency_us.Percentile(50), 0.0);
+  EXPECT_GE(s.step_latency_us.Percentile(99),
+            s.step_latency_us.Percentile(50));
+}
+
+TEST(SummaryTest, PercentilesStableAcrossIdenticalRuns)
+{
+  // The bench harness prints these as regression-tracked JSON fields;
+  // two identical runs must agree to the last bit.
+  const TraceSummary a = Summarize(RunTraced(10).events);
+  const TraceSummary b = Summarize(RunTraced(10).events);
+  EXPECT_TRUE(a.step_latency_us == b.step_latency_us);
+  EXPECT_TRUE(a.pack_utilization == b.pack_utilization);
+  EXPECT_TRUE(a.admission_slack_us == b.admission_slack_us);
+  EXPECT_DOUBLE_EQ(a.step_latency_us.Percentile(99),
+                   b.step_latency_us.Percentile(99));
+  EXPECT_DOUBLE_EQ(a.admission_slack_us.Percentile(50),
+                   b.admission_slack_us.Percentile(50));
+}
+
+// ---------------------------------------------------------------
+// Perfetto export
+// ---------------------------------------------------------------
+
+TEST(PerfettoTest, SinkAccumulatesWithoutEviction)
+{
+  PerfettoSink sink;
+  for (int i = 0; i < 100; ++i) {
+    sink.OnEvent(Ev(TraceEventKind::kAdmit, i));
+  }
+  EXPECT_EQ(sink.size(), 100u);
+  EXPECT_EQ(sink.events().size(), 100u);
+}
+
+TEST(PerfettoTest, RendersWellFormedTraceEventJson)
+{
+  std::vector<TraceEvent> events;
+  TraceEvent dispatch = Ev(TraceEventKind::kDispatch, 1000,
+                           kInvalidRequest, 0b0011, 0);
+  dispatch.dur_us = 500;
+  dispatch.degree = 2;
+  dispatch.steps = 5;
+  dispatch.batch = 1;
+  events.push_back(dispatch);
+  events.push_back(Ev(TraceEventKind::kAdmit, 900, 7));
+
+  const std::string json = PerfettoJson(events, 4);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // span
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // instant
+  EXPECT_NE(json.find("\"dur\":500"), std::string::npos);
+  EXPECT_NE(json.find("scheduler"), std::string::npos);
+  EXPECT_NE(json.find("gpu0"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+TEST(PerfettoTest, WriteFileFailsOnBadPath)
+{
+  EXPECT_FALSE(WritePerfettoFile({}, 1, "/nonexistent-dir/x/t.json"));
+}
+
+/** Golden Perfetto export of one traced mixed run with a scripted
+ * mid-run failure; pins the full exporter output byte for byte. */
+std::string
+GoldenSection(const ModelConfig& model, const Topology& topo, int gpu)
+{
+  workload::TraceSpec spec;
+  spec.num_requests = 12;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  chaos::ChaosConfig config;
+  chaos::ScriptedFailure failure;
+  failure.at_us = trace.requests[trace.requests.size() / 2].arrival_us;
+  failure.gpu = gpu;
+  failure.recover_after_us = UsFromSec(1.0);
+  config.scripted.push_back(failure);
+  chaos::ChaosController controller(config);
+
+  Tracer tracer;
+  PerfettoSink sink;
+  tracer.AddSink(&sink);
+  serving::ServingConfig sc;
+  sc.on_run_setup = controller.Hook();
+  sc.trace = &tracer;
+  serving::ServingSystem system(&topo, &model, sc);
+  core::TetriScheduler scheduler(&system.table());
+  system.Run(&scheduler, trace);
+
+  const auto events = sink.events();
+  EXPECT_GT(events.size(), 100u);  // a real run, not a stub
+  return PerfettoJson(events, topo.num_gpus());
+}
+
+void
+CheckGolden(const std::string& actual, const std::string& name)
+{
+  const std::string golden_path =
+      std::string(TETRI_SOURCE_DIR) + "/tests/golden/" + name;
+
+  const char* regen = std::getenv("TETRI_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0') {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path
+      << " (regenerate with TETRI_REGEN_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "Perfetto export changed; if intentional, regenerate with "
+         "TETRI_REGEN_GOLDEN=1 and commit the diff";
+}
+
+TEST(PerfettoGoldenTest, FluxH100ExportMatchesCommittedGolden)
+{
+  CheckGolden(GoldenSection(ModelConfig::FluxDev(),
+                            Topology::H100Node(), 1),
+              "trace_flux_h100.golden");
+}
+
+TEST(PerfettoGoldenTest, Sd3A40ExportMatchesCommittedGolden)
+{
+  CheckGolden(GoldenSection(ModelConfig::Sd3Medium(), Topology::A40Node(),
+                            0),
+              "trace_sd3_a40.golden");
+}
+
+// ---------------------------------------------------------------
+// TraceStress: concurrent emission under RunWorkers (TSan-targeted)
+// ---------------------------------------------------------------
+
+TEST(TraceStressTest, ConcurrentEmissionKeepsSeqContiguousAndOrdered)
+{
+  constexpr int kWorkers = 8;
+  constexpr int kPerWorker = 1000;
+  Tracer tracer;
+  RingBufferSink ring(kWorkers * kPerWorker);
+  tracer.AddSink(&ring);
+
+  dit::RunWorkers(kWorkers, /*threads=*/true, [&](int w) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      // request identifies the worker, time_us its local order.
+      tracer.OnEvent(Ev(TraceEventKind::kStep, i, w));
+    }
+  });
+
+  EXPECT_EQ(tracer.events_seen(),
+            static_cast<std::uint64_t>(kWorkers) * kPerWorker);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(kWorkers) * kPerWorker);
+
+  // The stamp+fan-out critical section makes delivery order equal
+  // stamped order: the buffered stream is exactly seq 1..N with no
+  // gap, duplicate, or inversion (the RunWorkers reordering fix).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, i + 1);
+  }
+  // Each worker's events retain their program order.
+  std::map<RequestId, TimeUs> last;
+  for (const TraceEvent& ev : events) {
+    auto it = last.find(ev.request);
+    if (it != last.end()) {
+      ASSERT_LT(it->second, ev.time_us)
+          << "worker " << ev.request << " events reordered";
+    }
+    last[ev.request] = ev.time_us;
+  }
+  ASSERT_EQ(last.size(), static_cast<std::size_t>(kWorkers));
+}
+
+TEST(TraceStressTest, ThrowingSinkUnderConcurrentEmission)
+{
+  constexpr int kWorkers = 8;
+  constexpr int kPerWorker = 500;
+  Tracer tracer;
+  RingBufferSink ring(kWorkers * kPerWorker);
+  ThrowingSink bomb;
+  tracer.AddSink(&bomb);
+  tracer.AddSink(&ring);
+
+  dit::RunWorkers(kWorkers, true, [&](int w) {
+    for (int i = 0; i < kPerWorker; ++i) {
+      tracer.OnEvent(Ev(TraceEventKind::kStep, i, w));
+    }
+  });
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kWorkers) * kPerWorker;
+  EXPECT_EQ(tracer.sink_errors(), total);
+  EXPECT_EQ(tracer.events_seen(), total);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(total));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(events[i].seq, i + 1);
+  }
+}
+
+TEST(TraceStressTest, MultipleSinksSeeTheSameConcurrentStream)
+{
+  Tracer tracer;
+  RingBufferSink a(1 << 13), b(1 << 13);
+  tracer.AddSink(&a);
+  tracer.AddSink(&b);
+  dit::RunWorkers(4, true, [&](int w) {
+    for (int i = 0; i < 512; ++i) {
+      tracer.OnEvent(Ev(TraceEventKind::kAdmit, i, w));
+    }
+  });
+  EXPECT_EQ(a.events(), b.events());
+  EXPECT_EQ(a.size(), 4u * 512u);
+}
+
+}  // namespace
+}  // namespace tetri::trace
