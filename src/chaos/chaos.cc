@@ -7,6 +7,7 @@
 
 #include "cluster/topology.h"
 #include "costmodel/latency_table.h"
+#include "util/rounding.h"
 #include "serving/engine.h"
 #include "serving/latent_manager.h"
 #include "serving/request_tracker.h"
@@ -45,7 +46,7 @@ TraceWindow(const workload::Trace& trace)
 TimeUs
 UsFromSecAtLeastOne(double sec)
 {
-  return std::max<TimeUs>(1, std::llround(sec * 1e6));
+  return util::RoundUsAtLeast(sec * 1e6, 1);
 }
 
 }  // namespace
@@ -70,6 +71,7 @@ RecoveryEventKindName(RecoveryEventKind kind)
 int
 ChaosTrace::Count(RecoveryEventKind kind) const
 {
+  const util::MutexLock lock(mu_);
   int n = 0;
   for (const RecoveryEvent& ev : events_) {
     if (ev.kind == kind) ++n;
@@ -80,6 +82,7 @@ ChaosTrace::Count(RecoveryEventKind kind) const
 std::string
 ChaosTrace::ToString() const
 {
+  const util::MutexLock lock(mu_);
   std::ostringstream out;
   for (const RecoveryEvent& ev : events_) {
     out << "t=" << ev.time_us << ' ' << RecoveryEventKindName(ev.kind);
@@ -156,8 +159,8 @@ ChaosController::Attach(const serving::RunContext& ctx)
       const double budget =
           static_cast<double>(req.deadline_us - req.arrival_us);
       const double jitter = rng.NextRange(0.5, 1.5);
-      const TimeUs after = std::max<TimeUs>(
-          1, std::llround(config_.cancel_after_frac * jitter * budget));
+      const TimeUs after = util::RoundUsAtLeast(
+          config_.cancel_after_frac * jitter * budget, 1);
       ScheduleCancel(req.arrival_us + after, req.id);
     }
   }

@@ -28,6 +28,8 @@
 
 #include "metrics/metrics.h"
 #include "serving/system.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "util/types.h"
 
 namespace tetri::serving {
@@ -89,31 +91,65 @@ const char* RecoveryEventKindName(metrics::RecoveryEventKind kind);
  * Bit-comparable log of injected faults and recovery actions, in the
  * exact order they fired. Two runs replay identically iff their
  * traces compare equal.
+ *
+ * Internally synchronized: recovery actions fire from engine abort
+ * callbacks, which the concurrent serving runtime will invoke from
+ * worker threads, so appends and reads take the trace's own mutex.
+ * Readers get snapshot copies — events() no longer hands out a
+ * reference into guarded state.
  */
 class ChaosTrace {
  public:
+  ChaosTrace() = default;
+  /** Copyable so tests can pin a run's trace (snapshots @p other). */
+  ChaosTrace(const ChaosTrace& other)
+      : events_(other.events())
+  {
+  }
+  ChaosTrace& operator=(const ChaosTrace& other) {
+    if (this != &other) {
+      std::vector<metrics::RecoveryEvent> snap = other.events();
+      const util::MutexLock lock(mu_);
+      events_ = std::move(snap);
+    }
+    return *this;
+  }
+
   void Add(metrics::RecoveryEvent event) {
+    const util::MutexLock lock(mu_);
     events_.push_back(event);
   }
-  void Clear() { events_.clear(); }
+  void Clear() {
+    const util::MutexLock lock(mu_);
+    events_.clear();
+  }
 
-  const std::vector<metrics::RecoveryEvent>& events() const {
+  /** Snapshot of the log, oldest first. */
+  std::vector<metrics::RecoveryEvent> events() const {
+    const util::MutexLock lock(mu_);
     return events_;
   }
-  std::size_t size() const { return events_.size(); }
-  bool empty() const { return events_.empty(); }
+  std::size_t size() const {
+    const util::MutexLock lock(mu_);
+    return events_.size();
+  }
+  bool empty() const {
+    const util::MutexLock lock(mu_);
+    return events_.empty();
+  }
 
   int Count(metrics::RecoveryEventKind kind) const;
 
   bool operator==(const ChaosTrace& other) const {
-    return events_ == other.events_;
+    return events() == other.events();
   }
 
   /** One line per event: "t=<us> <kind> req=<id> mask=<gpus>". */
   std::string ToString() const;
 
  private:
-  std::vector<metrics::RecoveryEvent> events_;
+  mutable util::Mutex mu_;
+  std::vector<metrics::RecoveryEvent> events_ TETRI_GUARDED_BY(mu_);
 };
 
 /**

@@ -27,7 +27,7 @@ ProcessGroupCache::WarmupCost(GpuMask mask) const
 }
 
 TimeUs
-ProcessGroupCache::EnsureWarm(GpuMask mask)
+ProcessGroupCache::EnsureWarmLocked(GpuMask mask)
 {
   TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
   if (Popcount(mask) <= 1) return 0;
@@ -43,10 +43,18 @@ ProcessGroupCache::EnsureWarm(GpuMask mask)
 }
 
 TimeUs
+ProcessGroupCache::EnsureWarm(GpuMask mask)
+{
+  const util::MutexLock lock(mu_);
+  return EnsureWarmLocked(mask);
+}
+
+TimeUs
 ProcessGroupCache::WarmAll(const std::vector<GpuMask>& groups)
 {
+  const util::MutexLock lock(mu_);
   TimeUs total = 0;
-  for (GpuMask g : groups) total += EnsureWarm(g);
+  for (GpuMask g : groups) total += EnsureWarmLocked(g);
   return total;
 }
 
@@ -54,6 +62,7 @@ int
 ProcessGroupCache::Invalidate(GpuMask mask)
 {
   TETRI_CHECK((mask & ~topology_->all_gpus()) == 0);
+  const util::MutexLock lock(mu_);
   int evicted = 0;
   for (auto it = warm_.begin(); it != warm_.end();) {
     if ((it->first & mask) == 0) {
@@ -73,6 +82,7 @@ bool
 ProcessGroupCache::IsWarm(GpuMask mask) const
 {
   if (Popcount(mask) <= 1) return true;
+  const util::MutexLock lock(mu_);
   return warm_.contains(mask);
 }
 
@@ -80,6 +90,7 @@ double
 ProcessGroupCache::BufferMibOnGpu(int gpu) const
 {
   TETRI_CHECK(gpu >= 0 && gpu < topology_->num_gpus());
+  const util::MutexLock lock(mu_);
   return buffer_mib_[gpu];
 }
 

@@ -1,11 +1,11 @@
 #include "dit/parallel_for.h"
 
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/check.h"
+#include "util/mutex.h"
 
 namespace tetri::dit {
 
@@ -18,13 +18,13 @@ RunWorkers(int count, bool threads, const std::function<void(int)>& fn)
     return;
   }
 
-  std::mutex mu;
+  util::Mutex mu;
   std::exception_ptr first_error;
   auto body = [&](int w) {
     try {
       fn(w);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       if (!first_error) first_error = std::current_exception();
     }
   };

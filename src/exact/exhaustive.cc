@@ -1,23 +1,21 @@
 #include "exact/exhaustive.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "cluster/gpu_set.h"
 #include "util/check.h"
+#include "util/wallclock.h"
 
 namespace tetri::exact {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 struct SearchState {
   const costmodel::LatencyTable* table;
   int num_gpus;
   const std::vector<ExactRequest>* requests;
   double timeout_seconds;
-  Clock::time_point start;
+  util::WallTimer timer;
 
   std::vector<double> gpu_free;     // per-GPU next free time (us)
   std::vector<int> steps_done;      // per-request progress
@@ -36,8 +34,7 @@ struct SearchState {
     if (timed_out) return true;
     // Check the clock every few thousand nodes to keep overhead low.
     if ((nodes & 0xFFF) == 0) {
-      const double elapsed =
-          std::chrono::duration<double>(Clock::now() - start).count();
+      const double elapsed = timer.ElapsedSec();
       if (elapsed > timeout_seconds) timed_out = true;
     }
     return timed_out;
@@ -156,7 +153,7 @@ SolveExhaustive(const costmodel::LatencyTable& table, int num_gpus,
   st.num_gpus = num_gpus;
   st.requests = &requests;
   st.timeout_seconds = timeout_seconds;
-  st.start = Clock::now();
+  st.timer.Restart();
   st.gpu_free.assign(num_gpus, 0.0);
   st.steps_done.assign(requests.size(), 0);
   st.missed.assign(requests.size(), false);
@@ -175,8 +172,7 @@ SolveExhaustive(const costmodel::LatencyTable& table, int num_gpus,
   result.met = std::max(st.best_met, 0);
   result.gpu_seconds = st.best_gpu_us / 1e6;
   result.timed_out = st.timed_out;
-  result.wall_seconds =
-      std::chrono::duration<double>(Clock::now() - st.start).count();
+  result.wall_seconds = st.timer.ElapsedSec();
   result.nodes = st.nodes;
   return result;
 }

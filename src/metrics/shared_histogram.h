@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Mutex-protected Histogram for cross-thread aggregation.
+ *
+ * Histogram itself is a plain value type (copyable, comparable) and
+ * deliberately stays lock-free for the single-threaded sim paths.
+ * SharedHistogram is the concurrent aggregation point the serving
+ * runtime's worker threads record into: Add/Merge take the internal
+ * mutex, and readers take a Snapshot — an ordinary Histogram — so all
+ * percentile math happens outside the lock. Because bucket counting is
+ * integer and Merge is associative, a SharedHistogram filled by N
+ * racing writers equals the serial merge of their private histograms
+ * (pinned by metrics_test's RunWorkers stress).
+ */
+#ifndef TETRI_METRICS_SHARED_HISTOGRAM_H
+#define TETRI_METRICS_SHARED_HISTOGRAM_H
+
+#include <cstdint>
+#include <utility>
+
+#include "metrics/histogram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace tetri::metrics {
+
+/** Thread-safe wrapper owning one Histogram. */
+class SharedHistogram {
+ public:
+  SharedHistogram() = default;
+
+  /** Adopt @p layout (typically Histogram::Linear / LogSpaced). */
+  explicit SharedHistogram(Histogram layout)
+      : hist_(std::move(layout))
+  {
+  }
+
+  void Add(double x) {
+    const util::MutexLock lock(mu_);
+    hist_.Add(x);
+  }
+
+  void AddN(double x, std::uint64_t n) {
+    const util::MutexLock lock(mu_);
+    hist_.AddN(x, n);
+  }
+
+  /** Merge a privately accumulated histogram; layouts must match. */
+  void Merge(const Histogram& other) {
+    const util::MutexLock lock(mu_);
+    hist_.Merge(other);
+  }
+
+  /** Value-copy of the current state for lock-free reading. */
+  Histogram Snapshot() const {
+    const util::MutexLock lock(mu_);
+    return hist_;
+  }
+
+  std::uint64_t count() const {
+    const util::MutexLock lock(mu_);
+    return hist_.count();
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  Histogram hist_ TETRI_GUARDED_BY(mu_);
+};
+
+}  // namespace tetri::metrics
+
+#endif  // TETRI_METRICS_SHARED_HISTOGRAM_H

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/rounding.h"
 
 namespace tetri::serving {
 
@@ -134,7 +135,7 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   for (int s = 0; s < steps; ++s) {
     exec_us += mean_us * std::max(0.5, rng_.NextGaussian(1.0, cv));
     if (trace_ != nullptr) {
-      step_ends.push_back(static_cast<TimeUs>(std::llround(exec_us)));
+      step_ends.push_back(util::RoundUs(exec_us));
     }
   }
 
@@ -145,8 +146,7 @@ ExecutionEngine::Dispatch(const Assignment& assignment)
   // value. Truncating here while accumulating the raw double into
   // busy_gpu_us_ would let utilization's numerator drift from the sum
   // of timeline spans by up to a microsecond per dispatch.
-  const TimeUs exec_span_us =
-      static_cast<TimeUs>(std::llround(exec_us));
+  const TimeUs exec_span_us = util::RoundUs(exec_us);
   busy_ |= assignment.mask;
   ++num_assignments_;
   busy_gpu_us_ +=

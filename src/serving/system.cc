@@ -1,7 +1,6 @@
 #include "serving/system.h"
 
 #include <algorithm>
-#include <chrono>
 #include <functional>
 #include <limits>
 
@@ -11,6 +10,7 @@
 #include "serving/request_tracker.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/wallclock.h"
 
 namespace tetri::serving {
 
@@ -125,12 +125,9 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
     ctx.topology = topology_;
     ctx.table = &table_;
 
-    const auto wall_start = std::chrono::steady_clock::now();
+    const util::WallTimer wall;
     RoundPlan plan = scheduler->Plan(ctx);
-    const double wall_us =
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - wall_start)
-            .count();
+    const double wall_us = wall.ElapsedUs();
     ++result.num_scheduler_calls;
     result.scheduler_wall_us_total += wall_us;
     result.scheduler_wall_us_max =

@@ -108,21 +108,21 @@ CommonArgs(const TraceEvent& event)
 void
 PerfettoSink::OnEvent(const TraceEvent& event)
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   events_.push_back(event);
 }
 
 std::vector<TraceEvent>
 PerfettoSink::events() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return events_;
 }
 
 std::size_t
 PerfettoSink::size() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return events_.size();
 }
 

@@ -21,11 +21,12 @@
 
 #include <cstddef>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "trace/sink.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tetri::trace {
 
@@ -43,8 +44,8 @@ class PerfettoSink : public TraceSink {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> events_ TETRI_GUARDED_BY(mu_);
 };
 
 /**

@@ -102,7 +102,7 @@ void
 Tracer::AddSink(TraceSink* sink)
 {
   TETRI_CHECK(sink != nullptr);
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (std::find(sinks_.begin(), sinks_.end(), sink) != sinks_.end()) {
     return;
   }
@@ -112,7 +112,7 @@ Tracer::AddSink(TraceSink* sink)
 void
 Tracer::RemoveSink(TraceSink* sink)
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), sink),
                sinks_.end());
 }
@@ -120,7 +120,7 @@ Tracer::RemoveSink(TraceSink* sink)
 std::size_t
 Tracer::num_sinks() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return sinks_.size();
 }
 
@@ -130,7 +130,7 @@ Tracer::OnEvent(const TraceEvent& event)
   // Stamp and deliver under one lock: concurrent emitters cannot
   // interleave between the stamp and the fan-out, so every sink sees
   // the stream in stamped order (the RunWorkers ordering fix).
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   TraceEvent stamped = event;
   stamped.seq = next_seq_++;
   for (TraceSink* sink : sinks_) {
@@ -147,14 +147,14 @@ Tracer::OnEvent(const TraceEvent& event)
 std::uint64_t
 Tracer::events_seen() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return next_seq_ - 1;
 }
 
 std::uint64_t
 Tracer::sink_errors() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return sink_errors_;
 }
 
@@ -181,7 +181,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity)
 void
 RingBufferSink::OnEvent(const TraceEvent& event)
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   if (size_ < capacity_) {
     ring_.push_back(event);
     ++size_;
@@ -196,7 +196,7 @@ RingBufferSink::OnEvent(const TraceEvent& event)
 std::vector<TraceEvent>
 RingBufferSink::events() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(size_);
   for (std::size_t i = 0; i < size_; ++i) {
@@ -208,7 +208,7 @@ RingBufferSink::events() const
 std::vector<TraceEvent>
 RingBufferSink::Query(const TraceQuery& query) const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   for (std::size_t i = 0; i < size_; ++i) {
     const TraceEvent& event = ring_[(head_ + i) % size_];
@@ -220,21 +220,21 @@ RingBufferSink::Query(const TraceQuery& query) const
 std::size_t
 RingBufferSink::size() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return size_;
 }
 
 std::uint64_t
 RingBufferSink::dropped() const
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return dropped_;
 }
 
 void
 RingBufferSink::Clear()
 {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   size_ = 0;

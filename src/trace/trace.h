@@ -24,11 +24,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "trace/sink.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace tetri::trace {
 
@@ -76,10 +77,10 @@ class Tracer : public TraceSink {
   std::uint64_t sink_errors() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSink*> sinks_;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t sink_errors_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<TraceSink*> sinks_ TETRI_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ TETRI_GUARDED_BY(mu_) = 1;
+  std::uint64_t sink_errors_ TETRI_GUARDED_BY(mu_) = 0;
 };
 
 /** Filter for RingBufferSink::Query; unset fields match everything. */
@@ -150,13 +151,13 @@ class RingBufferSink : public TraceSink {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
+  mutable util::Mutex mu_;
+  std::vector<TraceEvent> ring_ TETRI_GUARDED_BY(mu_);
   std::size_t capacity_;
   /** Next write slot once the ring has wrapped. */
-  std::size_t head_ = 0;
-  std::size_t size_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::size_t head_ TETRI_GUARDED_BY(mu_) = 0;
+  std::size_t size_ TETRI_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ TETRI_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace tetri::trace

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Annotated mutex primitives: the only lock types used in src/.
+ *
+ * util::Mutex wraps std::mutex and carries the Clang thread-safety
+ * `capability` attribute; util::MutexLock is the scoped acquisition;
+ * util::CondVar pairs with Mutex for waiting. Together they make every
+ * lock site visible to -Wthread-safety (thread_annotations.h), which
+ * is why tetri_lint's `mutex-annotation` rule bans raw std::mutex /
+ * std::condition_variable / std::lock_guard outside this header: a
+ * lock the analysis cannot see is a lock it cannot check.
+ *
+ * Style: members protected by a Mutex `mu_` are declared with
+ * TETRI_GUARDED_BY(mu_); private helpers called under the lock are
+ * declared with TETRI_REQUIRES(mu_) instead of re-locking.
+ */
+#ifndef TETRI_UTIL_MUTEX_H
+#define TETRI_UTIL_MUTEX_H
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace tetri::util {
+
+/** Exclusive lock; the capability the annotations name. */
+class TETRI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() TETRI_ACQUIRE() { mu_.lock(); }
+  void Unlock() TETRI_RELEASE() { mu_.unlock(); }
+  bool TryLock() TETRI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/** RAII acquisition of a Mutex for one scope. */
+class TETRI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) TETRI_ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~MutexLock() TETRI_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/**
+ * Condition variable bound to util::Mutex. Wait atomically releases
+ * the mutex and reacquires it before returning, so TETRI_REQUIRES is
+ * the honest contract on both edges.
+ */
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) TETRI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) TETRI_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, pred);
+    lock.release();
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace tetri::util
+
+#endif  // TETRI_UTIL_MUTEX_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clang thread-safety-analysis attribute macros (TETRI_GUARDED_BY and
+ * friends), compiled away under every other compiler.
+ *
+ * The analysis (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html)
+ * proves lock discipline at compile time: every member annotated
+ * TETRI_GUARDED_BY(mu) is only touched while `mu` is held, every
+ * function annotated TETRI_REQUIRES(mu) is only called with `mu` held,
+ * and scoped lock objects cannot leak or double-acquire. The CI job
+ * `clang-thread-safety` builds with -Wthread-safety
+ * -Werror=thread-safety (CMake: -DTETRI_THREAD_SAFETY=ON), so a
+ * locking hole is a build break, not a TSan roll of the dice.
+ *
+ * Raw std::mutex is invisible to the analysis; code takes locks
+ * through the annotated util::Mutex / util::MutexLock wrappers
+ * (util/mutex.h) instead — tetri_lint's `mutex-annotation` rule
+ * enforces this tree-wide. Conventions are documented in DESIGN.md
+ * §11.
+ */
+#ifndef TETRI_UTIL_THREAD_ANNOTATIONS_H
+#define TETRI_UTIL_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TETRI_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define TETRI_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TETRI_CAPABILITY(x) TETRI_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type whose lifetime holds a capability. */
+#define TETRI_SCOPED_CAPABILITY TETRI_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be accessed while holding the given mutex(es). */
+#define TETRI_GUARDED_BY(x) TETRI_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be accessed while holding the given mutex(es). */
+#define TETRI_PT_GUARDED_BY(x) TETRI_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Caller must hold the given mutex(es) (exclusively). */
+#define TETRI_REQUIRES(...) \
+  TETRI_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the mutex(es) and holds them on return. */
+#define TETRI_ACQUIRE(...) \
+  TETRI_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the mutex(es) the caller held. */
+#define TETRI_RELEASE(...) \
+  TETRI_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the mutex iff it returns the given value. */
+#define TETRI_TRY_ACQUIRE(...) \
+  TETRI_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the given mutex(es) (deadlock guard). */
+#define TETRI_EXCLUDES(...) \
+  TETRI_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Asserts at runtime that the capability is held (analysis trusts it). */
+#define TETRI_ASSERT_CAPABILITY(x) \
+  TETRI_THREAD_ANNOTATION(assert_capability(x))
+
+/** Function returns a reference to the given mutex. */
+#define TETRI_RETURN_CAPABILITY(x) TETRI_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables the analysis for one function. */
+#define TETRI_NO_THREAD_SAFETY_ANALYSIS \
+  TETRI_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // TETRI_UTIL_THREAD_ANNOTATIONS_H

@@ -1,0 +1,42 @@
+#include "util/wallclock.h"
+
+#include <chrono>
+
+namespace tetri::util {
+
+namespace {
+
+std::int64_t
+NowNs()
+{
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+WallTimer::WallTimer()
+    : start_ns_(NowNs())
+{
+}
+
+void
+WallTimer::Restart()
+{
+  start_ns_ = NowNs();
+}
+
+double
+WallTimer::ElapsedUs() const
+{
+  return static_cast<double>(NowNs() - start_ns_) * 1e-3;
+}
+
+double
+WallTimer::ElapsedSec() const
+{
+  return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+}
+
+}  // namespace tetri::util

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The only doorway to the host wall clock.
+ *
+ * Virtual time (TimeUs off the simulator) drives every scheduling and
+ * serving decision; host time is legitimate only for *measuring* the
+ * planner itself (plan-latency accounting, search timeouts). WallTimer
+ * wraps std::chrono::steady_clock for exactly that, and tetri_lint's
+ * `wallclock` rule bans std::chrono clock calls outside src/util and
+ * src/sim so a wall-clock read can never leak into replayable logic
+ * and break the byte-identical-replay contract (DESIGN.md §10).
+ */
+#ifndef TETRI_UTIL_WALLCLOCK_H
+#define TETRI_UTIL_WALLCLOCK_H
+
+#include <cstdint>
+
+namespace tetri::util {
+
+/** Monotonic stopwatch; starts running at construction. */
+class WallTimer {
+ public:
+  WallTimer();
+
+  /** Reset the start point to now. */
+  void Restart();
+
+  /** Host microseconds since construction/Restart. */
+  double ElapsedUs() const;
+
+  /** Host seconds since construction/Restart. */
+  double ElapsedSec() const;
+
+ private:
+  /** steady_clock ticks at the start point (opaque unit). */
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace tetri::util
+
+#endif  // TETRI_UTIL_WALLCLOCK_H

@@ -8,8 +8,10 @@
  */
 #include <gtest/gtest.h>
 
+#include "dit/parallel_for.h"
 #include "metrics/histogram.h"
 #include "metrics/metrics.h"
+#include "metrics/shared_histogram.h"
 
 namespace tetri::metrics {
 namespace {
@@ -226,6 +228,48 @@ TEST(HistogramTest, AddOnUnconfiguredHistogramDies)
 {
   Histogram h;
   EXPECT_DEATH(h.Add(1.0), "unconfigured");
+}
+
+TEST(SharedHistogramTest, ConcurrentRunWorkersAddsEqualSerialMerge)
+{
+  // N racing writers into one SharedHistogram must equal the serial
+  // merge of their private histograms: bucket counting is integer and
+  // Merge is associative, so any interleaving yields the same totals.
+  // Runs under the TSan CI job (test name matches the RunWorkers
+  // regex) to pin the annotated-mutex wrapper's correctness.
+  constexpr int kWorkers = 8;
+  constexpr int kAddsPerWorker = 2000;
+
+  SharedHistogram shared(Histogram::Linear(0.0, 100.0, 50));
+  dit::RunWorkers(kWorkers, /*threads=*/true, [&](int w) {
+    for (int i = 0; i < kAddsPerWorker; ++i) {
+      shared.Add(static_cast<double>((w * kAddsPerWorker + i) % 100));
+    }
+  });
+
+  Histogram serial = Histogram::Linear(0.0, 100.0, 50);
+  for (int w = 0; w < kWorkers; ++w) {
+    Histogram mine = Histogram::Linear(0.0, 100.0, 50);
+    for (int i = 0; i < kAddsPerWorker; ++i) {
+      mine.Add(static_cast<double>((w * kAddsPerWorker + i) % 100));
+    }
+    serial.Merge(mine);
+  }
+
+  EXPECT_EQ(shared.Snapshot(), serial);
+  EXPECT_EQ(shared.count(),
+            static_cast<std::uint64_t>(kWorkers) * kAddsPerWorker);
+}
+
+TEST(SharedHistogramTest, ConcurrentRunWorkersMergeMatchesAddN)
+{
+  SharedHistogram shared(Histogram::LogSpaced(1.0, 1e6, 30));
+  dit::RunWorkers(4, /*threads=*/true, [&](int w) {
+    Histogram mine = Histogram::LogSpaced(1.0, 1e6, 30);
+    mine.AddN(10.0 * (w + 1), 100);
+    shared.Merge(mine);
+  });
+  EXPECT_EQ(shared.count(), 400u);
 }
 
 }  // namespace

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Benchmark regression gate for the scheduler fast path.
+ *
+ * Compares a fresh `bench_micro_scheduler --json` report against the
+ * committed baseline (BENCH_scheduler.json at the repo root), matching
+ * configs by (queue_depth, num_gpus). The gate fails when the geometric
+ * mean of the per-config fast_p50_us ratios (current / baseline)
+ * exceeds the threshold — the geomean absorbs per-cell CI noise while
+ * still catching an across-the-board slowdown.
+ *
+ * Usage:
+ *   bench_gate <baseline.json> <current.json>
+ *              [--threshold=1.20]
+ *              [--append-trajectory=<path> --label=<text>]
+ *
+ * --append-trajectory appends one JSONL record per invocation to the
+ * tracked trajectory file so per-PR plan latency is an auditable
+ * series, not a single overwritten number.
+ *
+ * Exit codes: 0 within threshold, 1 regression, 2 usage/parse error.
+ */
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Config {
+  int queue_depth = 0;
+  int num_gpus = 0;
+  double fast_p50_us = 0.0;
+  double fast_p99_us = 0.0;
+};
+
+struct Report {
+  std::string mode;
+  std::vector<Config> configs;
+};
+
+/** Extract the number following "<key>": in @p obj, or NAN. */
+double
+NumberField(const std::string& obj, const std::string& key)
+{
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = obj.find(needle);
+  if (pos == std::string::npos) return NAN;
+  return std::strtod(obj.c_str() + pos + needle.size(), nullptr);
+}
+
+/**
+ * Minimal parse of the bench_micro_scheduler JSON shape: pull the
+ * "mode" string and every {...} object inside the "configs" array.
+ * Deliberately not a general JSON parser — the producer is ours and
+ * writes flat objects with no nested braces inside configs.
+ */
+bool
+ParseReport(const std::string& path, Report* out)
+{
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_gate: cannot read '" << path << "'\n";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  const auto mode_pos = text.find("\"mode\": \"");
+  if (mode_pos != std::string::npos) {
+    const auto start = mode_pos + 9;
+    const auto end = text.find('"', start);
+    if (end != std::string::npos) {
+      out->mode = text.substr(start, end - start);
+    }
+  }
+
+  const auto configs_pos = text.find("\"configs\"");
+  if (configs_pos == std::string::npos) {
+    std::cerr << "bench_gate: no \"configs\" array in '" << path
+              << "'\n";
+    return false;
+  }
+  const auto open = text.find('[', configs_pos);
+  const auto close = text.find(']', configs_pos);
+  if (open == std::string::npos || close == std::string::npos) {
+    std::cerr << "bench_gate: malformed \"configs\" array in '" << path
+              << "'\n";
+    return false;
+  }
+  std::size_t pos = open;
+  while (true) {
+    const auto obj_open = text.find('{', pos);
+    if (obj_open == std::string::npos || obj_open > close) break;
+    const auto obj_close = text.find('}', obj_open);
+    if (obj_close == std::string::npos) break;
+    const std::string obj =
+        text.substr(obj_open, obj_close - obj_open + 1);
+    Config c;
+    c.queue_depth = static_cast<int>(NumberField(obj, "queue_depth"));
+    c.num_gpus = static_cast<int>(NumberField(obj, "num_gpus"));
+    c.fast_p50_us = NumberField(obj, "fast_p50_us");
+    c.fast_p99_us = NumberField(obj, "fast_p99_us");
+    if (c.queue_depth > 0 && c.num_gpus > 0 &&
+        std::isfinite(c.fast_p50_us)) {
+      out->configs.push_back(c);
+    }
+    pos = obj_close + 1;
+  }
+  if (out->configs.empty()) {
+    std::cerr << "bench_gate: no configs parsed from '" << path
+              << "'\n";
+    return false;
+  }
+  return true;
+}
+
+int
+Usage()
+{
+  std::cerr << "usage: bench_gate <baseline.json> <current.json> "
+               "[--threshold=R] [--append-trajectory=PATH "
+               "--label=TEXT]\n";
+  return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+  std::string baseline_path;
+  std::string current_path;
+  std::string trajectory_path;
+  std::string label;
+  double threshold = 1.20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::strtod(arg.c_str() + 12, nullptr);
+      if (!(threshold > 0)) return Usage();
+    } else if (arg.rfind("--append-trajectory=", 0) == 0) {
+      trajectory_path = arg.substr(20);
+    } else if (arg.rfind("--label=", 0) == 0) {
+      label = arg.substr(8);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (current_path.empty()) {
+      current_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) return Usage();
+  if (!trajectory_path.empty() && label.empty()) {
+    std::cerr << "bench_gate: --append-trajectory requires --label\n";
+    return Usage();
+  }
+
+  Report baseline;
+  Report current;
+  if (!ParseReport(baseline_path, &baseline) ||
+      !ParseReport(current_path, &current)) {
+    return 2;
+  }
+
+  std::map<std::pair<int, int>, Config> by_key;
+  for (const Config& c : baseline.configs) {
+    by_key[{c.queue_depth, c.num_gpus}] = c;
+  }
+
+  std::printf("%8s %6s %14s %14s %8s\n", "depth", "gpus",
+              "base_p50_us", "cur_p50_us", "ratio");
+  double log_sum = 0.0;
+  int matched = 0;
+  for (const Config& cur : current.configs) {
+    const auto it = by_key.find({cur.queue_depth, cur.num_gpus});
+    if (it == by_key.end()) continue;
+    const Config& base = it->second;
+    if (!(base.fast_p50_us > 0) || !(cur.fast_p50_us > 0)) continue;
+    const double ratio = cur.fast_p50_us / base.fast_p50_us;
+    std::printf("%8d %6d %14.3f %14.3f %7.2fx\n", cur.queue_depth,
+                cur.num_gpus, base.fast_p50_us, cur.fast_p50_us,
+                ratio);
+    log_sum += std::log(ratio);
+    ++matched;
+  }
+  if (matched == 0) {
+    std::cerr << "bench_gate: no configs matched between '"
+              << baseline_path << "' and '" << current_path << "'\n";
+    return 2;
+  }
+  const double geomean = std::exp(log_sum / matched);
+  std::printf(
+      "bench_gate: %d config(s), geomean fast_p50 ratio %.3f "
+      "(threshold %.2f, current mode '%s')\n",
+      matched, geomean, threshold, current.mode.c_str());
+
+  if (!trajectory_path.empty()) {
+    std::ofstream out(trajectory_path, std::ios::app);
+    if (!out) {
+      std::cerr << "bench_gate: cannot append to '" << trajectory_path
+                << "'\n";
+      return 2;
+    }
+    char line[512];
+    std::snprintf(line, sizeof(line),
+                  "{\"label\": \"%s\", \"mode\": \"%s\", "
+                  "\"configs\": %d, \"geomean_fast_p50_ratio\": %.4f, "
+                  "\"threshold\": %.2f, \"pass\": %s}",
+                  label.c_str(), current.mode.c_str(), matched,
+                  geomean, threshold,
+                  geomean <= threshold ? "true" : "false");
+    out << line << "\n";
+    std::printf("bench_gate: appended '%s' to %s\n", label.c_str(),
+                trajectory_path.c_str());
+  }
+
+  if (geomean > threshold) {
+    std::cerr << "bench_gate: FAIL — plan latency regressed "
+              << std::fixed << geomean << "x geomean vs baseline\n";
+    return 1;
+  }
+  std::printf("bench_gate: OK\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+namespace tetri::lint {
+
+Analyzer::Analyzer()
+{
+  RegisterDefaultRules(&rules_);
+}
+
+bool
+Analyzer::HasRule(const std::string& name) const
+{
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [&](const Rule& r) { return r.name == name; });
+}
+
+Analyzer::Report
+Analyzer::Run(const Options& options) const
+{
+  namespace fs = std::filesystem;
+  const fs::path src_root = options.repo_root / "src";
+
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension();
+    if (ext == ".h" || ext == ".cc") paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& path : paths) {
+    files.push_back(LexFile(src_root, path));
+  }
+  return RunOnFiles(std::move(files), options.only);
+}
+
+Analyzer::Report
+Analyzer::RunOnFiles(std::vector<SourceFile> files,
+                     const std::vector<std::string>& only) const
+{
+  Report report;
+  report.files_linted = files.size();
+
+  const bool run_all = only.empty();
+  auto selected = [&](const std::string& name) {
+    return run_all ||
+           std::find(only.begin(), only.end(), name) != only.end();
+  };
+
+  std::vector<Violation> found;
+  for (const Rule& rule : rules_) {
+    if (!selected(rule.name)) continue;
+    report.rules_run.push_back(rule.name);
+    rule.run(files, [&](const std::string& file, int line,
+                        std::string message) {
+      found.push_back({file, line, rule.name, std::move(message)});
+    });
+  }
+
+  // Apply suppressions: a violation on line L of file F is absorbed by
+  // a NOLINT on the same line naming its rule (or a bare NOLINT).
+  auto file_of = [&](const std::string& display) -> SourceFile* {
+    for (SourceFile& f : files) {
+      if (f.display == display) return &f;
+    }
+    return nullptr;
+  };
+  std::vector<Violation> surviving;
+  for (Violation& v : found) {
+    bool suppressed = false;
+    if (SourceFile* f = file_of(v.file)) {
+      for (Suppression& s : f->suppressions) {
+        if (s.line != v.line) continue;
+        if (s.rule != "*" && s.rule != v.rule) continue;
+        s.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) surviving.push_back(std::move(v));
+  }
+
+  // Unused (or unknown-rule) suppressions are violations themselves —
+  // but only for rules that actually ran, so --only passes do not
+  // misreport suppressions belonging to skipped rules.
+  for (const SourceFile& f : files) {
+    for (const Suppression& s : f.suppressions) {
+      if (s.used) continue;
+      if (s.rule == "*") {
+        if (!run_all) continue;
+        surviving.push_back(
+            {f.display, s.line, kUnusedNolintRule,
+             "bare NOLINT suppresses nothing on this line; delete it "
+             "(and prefer NOLINT(tetri-<rule>))"});
+        continue;
+      }
+      if (!HasRule(s.rule)) {
+        surviving.push_back(
+            {f.display, s.line, kUnusedNolintRule,
+             "NOLINT names unknown rule 'tetri-" + s.rule +
+                 "'; see --list-rules"});
+        continue;
+      }
+      if (!selected(s.rule)) continue;
+      surviving.push_back(
+          {f.display, s.line, kUnusedNolintRule,
+           "NOLINT(tetri-" + s.rule +
+               ") suppresses nothing on this line; delete it"});
+    }
+  }
+
+  std::sort(surviving.begin(), surviving.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  report.violations = std::move(surviving);
+  return report;
+}
+
+}  // namespace tetri::lint

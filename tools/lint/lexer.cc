@@ -1,0 +1,272 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace tetri::lint {
+
+namespace {
+
+/**
+ * Parse NOLINT markers out of one comment's text and append a
+ * Suppression per named rule. Accepted forms:
+ *   NOLINT                      -> rule "*" (suppress everything here)
+ *   NOLINT(tetri-a, tetri-b)    -> one suppression per rule, prefix
+ *                                  stripped
+ */
+void
+HarvestNolint(const std::string& comment, int line,
+              std::vector<Suppression>* out)
+{
+  std::size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    if (pos > 0 && IsIdentChar(comment[pos - 1])) {
+      pos += 6;
+      continue;
+    }
+    std::size_t i = pos + 6;
+    if (i >= comment.size() || comment[i] != '(') {
+      out->push_back({line, "*", false});
+      pos = i;
+      continue;
+    }
+    const std::size_t close = comment.find(')', i + 1);
+    if (close == std::string::npos) {
+      pos = i;
+      continue;
+    }
+    std::string names = comment.substr(i + 1, close - i - 1);
+    std::istringstream split(names);
+    std::string name;
+    while (std::getline(split, name, ',')) {
+      const auto b = name.find_first_not_of(" \t");
+      const auto e = name.find_last_not_of(" \t");
+      if (b == std::string::npos) continue;
+      name = name.substr(b, e - b + 1);
+      if (name.rfind("tetri-", 0) == 0) name = name.substr(6);
+      if (!name.empty()) out->push_back({line, name, false});
+    }
+    pos = close + 1;
+  }
+}
+
+/** True when text[i] opens a raw-string literal (the '"' position). */
+bool
+IsRawStringQuote(const std::string& text, std::size_t i)
+{
+  if (i == 0 || text[i - 1] != 'R') return false;
+  std::size_t prefix = i - 1;  // points at 'R'
+  if (prefix > 0) {
+    const char p = text[prefix - 1];
+    if (p == 'u' || p == 'U' || p == 'L') {
+      prefix -= 1;
+    } else if (p == '8' && prefix > 1 && text[prefix - 2] == 'u') {
+      prefix -= 2;
+    }
+  }
+  return prefix == 0 || !IsIdentChar(text[prefix - 1]);
+}
+
+/** True when the ' at text[i] is a digit separator (1'000), not a
+ * character literal. */
+bool
+IsDigitSeparator(const std::string& text, std::size_t i)
+{
+  if (i == 0 || i + 1 >= text.size()) return false;
+  const unsigned char prev = static_cast<unsigned char>(text[i - 1]);
+  const unsigned char next = static_cast<unsigned char>(text[i + 1]);
+  return std::isxdigit(prev) != 0 && std::isxdigit(next) != 0;
+}
+
+}  // namespace
+
+bool
+IsIdentChar(char c)
+{
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+int
+LineOf(const std::string& text, std::size_t pos)
+{
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + pos, '\n'));
+}
+
+std::vector<std::string>
+SplitLines(const std::string& text)
+{
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+void
+LexInto(const std::string& raw, SourceFile* out)
+{
+  out->raw = raw;
+  out->no_comments = raw;
+  out->code = raw;
+  out->suppressions.clear();
+
+  std::string& nc = out->no_comments;
+  std::string& code = out->code;
+  const std::size_t n = raw.size();
+
+  // Blanking keeps newlines so LineOf and per-line checks stay true.
+  auto blank_code = [&](std::size_t j) {
+    if (raw[j] != '\n') code[j] = ' ';
+  };
+  auto blank_both = [&](std::size_t j) {
+    if (raw[j] != '\n') {
+      nc[j] = ' ';
+      code[j] = ' ';
+    }
+  };
+
+  int line = 1;
+  std::size_t i = 0;
+  while (i < n) {
+    const char c = raw[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    const char next = i + 1 < n ? raw[i + 1] : '\0';
+
+    if (c == '/' && next == '/') {
+      // Line comment: blank to end of line, harvest NOLINT.
+      const std::size_t start = i;
+      while (i < n && raw[i] != '\n') {
+        blank_both(i);
+        ++i;
+      }
+      HarvestNolint(raw.substr(start, i - start), line,
+                    &out->suppressions);
+      continue;
+    }
+
+    if (c == '/' && next == '*') {
+      // Block comment: a NOLINT inside applies to its closing line.
+      const std::size_t start = i;
+      blank_both(i);
+      blank_both(i + 1);
+      i += 2;
+      while (i < n) {
+        if (raw[i] == '*' && i + 1 < n && raw[i + 1] == '/') {
+          blank_both(i);
+          blank_both(i + 1);
+          i += 2;
+          break;
+        }
+        if (raw[i] == '\n') ++line;
+        blank_both(i);
+        ++i;
+      }
+      HarvestNolint(raw.substr(start, i - start), line,
+                    &out->suppressions);
+      continue;
+    }
+
+    if (c == '"' && IsRawStringQuote(raw, i)) {
+      // Raw string: R"delim( ... )delim" — no escapes inside; the
+      // contents (which may contain quotes, comment markers, even
+      // fake #include lines) must not reach any scan, so blank them
+      // in BOTH views.
+      blank_both(i);
+      ++i;
+      std::string delim;
+      while (i < n && raw[i] != '(' && raw[i] != '\n' &&
+             delim.size() < 16) {
+        delim += raw[i];
+        blank_both(i);
+        ++i;
+      }
+      if (i < n && raw[i] == '(') {
+        blank_both(i);
+        ++i;
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t end = raw.find(closer, i);
+        const std::size_t stop =
+            end == std::string::npos ? n : end + closer.size();
+        while (i < stop) {
+          if (raw[i] == '\n') ++line;
+          blank_both(i);
+          ++i;
+        }
+      }
+      continue;
+    }
+
+    if (c == '"' || (c == '\'' && !IsDigitSeparator(raw, i))) {
+      // Ordinary string/char literal with backslash escapes. Content
+      // is kept in no_comments (message-discipline reads it) and
+      // blanked in code.
+      const char quote = c;
+      blank_code(i);
+      ++i;
+      while (i < n) {
+        if (raw[i] == '\\' && i + 1 < n) {
+          blank_code(i);
+          if (raw[i + 1] == '\n') {
+            ++line;
+          } else {
+            blank_code(i + 1);
+          }
+          i += 2;
+          continue;
+        }
+        if (raw[i] == quote) {
+          blank_code(i);
+          ++i;
+          break;
+        }
+        if (raw[i] == '\n') {
+          // Unterminated literal; stop at the line break so the rest
+          // of the file still lexes as code.
+          break;
+        }
+        blank_code(i);
+        ++i;
+      }
+      continue;
+    }
+
+    ++i;
+  }
+
+  out->lines = SplitLines(out->raw);
+  out->code_lines = SplitLines(out->no_comments);
+}
+
+SourceFile
+LexFile(const std::filesystem::path& src_root,
+        const std::filesystem::path& abs)
+{
+  SourceFile out;
+  out.abs = abs;
+  out.rel =
+      std::filesystem::relative(abs, src_root).generic_string();
+  out.display = "src/" + out.rel;
+  out.is_header = abs.extension() == ".h";
+
+  std::ifstream in(abs, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  LexInto(text.str(), &out);
+  return out;
+}
+
+}  // namespace tetri::lint

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared lexer for tetri_lint: one pass over each source file that
+ * strips comments, string/char literals, and raw-string literals
+ * (R"delim(...)delim", including encoding prefixes) for every rule,
+ * and harvests // NOLINT(tetri-<rule>) suppression comments.
+ *
+ * Two blanked views are produced, both with newlines preserved so line
+ * numbers survive:
+ *   - no_comments: comments and raw-string contents -> spaces,
+ *     ordinary string contents kept (for message-discipline, which
+ *     inspects literals, and include parsing, which reads the quoted
+ *     target);
+ *   - code: comments AND all literal contents -> spaces (for token
+ *     scans, so nothing inside any string can look like code).
+ *
+ * The v1 linter re-implemented stripping per check and did not know
+ * about raw strings, so a `"` inside R"(...)" flipped it into "code"
+ * mode mid-literal and leaked literal text into banned-token scans;
+ * lint_test pins the fixed behaviour with regression fixtures.
+ */
+#ifndef TETRI_TOOLS_LINT_LEXER_H
+#define TETRI_TOOLS_LINT_LEXER_H
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace tetri::lint {
+
+/** One // NOLINT(tetri-<rule>) marker. */
+struct Suppression {
+  /** Line the suppression applies to (the line the comment sits on). */
+  int line = 0;
+  /** Short rule name ("rounding"), or "*" for a bare NOLINT. */
+  std::string rule;
+  /** Set by the analyzer when the suppression absorbed a violation. */
+  bool used = false;
+};
+
+/** A lexed source file plus every derived view the rules consume. */
+struct SourceFile {
+  std::filesystem::path abs;
+  /** Path relative to src/, generic separators ("trace/trace.h"). */
+  std::string rel;
+  /** Display path from the repo root ("src/trace/trace.h"). */
+  std::string display;
+  bool is_header = false;
+
+  std::string raw;
+  std::string no_comments;
+  std::string code;
+  /** raw split at newlines. */
+  std::vector<std::string> lines;
+  /** no_comments split at newlines. */
+  std::vector<std::string> code_lines;
+  std::vector<Suppression> suppressions;
+};
+
+/** Lex @p raw into the blanked views + suppressions of @p out. */
+void LexInto(const std::string& raw, SourceFile* out);
+
+/** Read and lex one on-disk file under @p src_root. */
+SourceFile LexFile(const std::filesystem::path& src_root,
+                   const std::filesystem::path& abs);
+
+/** 1-based line number of offset @p pos in @p text. */
+int LineOf(const std::string& text, std::size_t pos);
+
+/** True for [A-Za-z0-9_]. */
+bool IsIdentChar(char c);
+
+/** Split at '\n' (terminator not included in the pieces). */
+std::vector<std::string> SplitLines(const std::string& text);
+
+}  // namespace tetri::lint
+
+#endif  // TETRI_TOOLS_LINT_LEXER_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * tetri_lint v2: a rule-registry semantic analyzer for the repository
+ * conventions the compiler cannot check.
+ *
+ * Architecture: every file under <root>/src is lexed once (lexer.h)
+ * into shared blanked views; each registered Rule then scans those
+ * views — or, for whole-tree rules like include-cycle, the full file
+ * list — and emits Violations tagged with its rule name. The analyzer
+ * applies // NOLINT(tetri-<rule>) suppressions afterwards, reports any
+ * suppression that absorbed nothing (rule "unused-nolint": a stale
+ * suppression is itself a violation, so the tree never accretes dead
+ * escape hatches), and can render the result as SARIF 2.1.0 for
+ * GitHub code scanning.
+ *
+ * Rule catalog, conventions, and how to add a rule: DESIGN.md §11.
+ */
+#ifndef TETRI_TOOLS_LINT_LINT_H
+#define TETRI_TOOLS_LINT_LINT_H
+
+#include <filesystem>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+
+namespace tetri::lint {
+
+/** One finding, tagged with the rule that produced it. */
+struct Violation {
+  std::string file;  ///< display path, e.g. "src/trace/trace.h"
+  int line = 0;
+  std::string rule;  ///< short rule name, e.g. "rounding"
+  std::string message;
+};
+
+/** Sink rules emit into: (file display path, line, message). */
+using Emit =
+    std::function<void(const std::string&, int, std::string)>;
+
+/** A registered check. */
+struct Rule {
+  /** Short name; the NOLINT/SARIF id is "tetri-" + name. */
+  std::string name;
+  /** One-line description (shown by --list-rules, SARIF metadata). */
+  std::string description;
+  /** Scan @p files and emit violations. */
+  std::function<void(const std::vector<SourceFile>& files,
+                     const Emit& emit)>
+      run;
+};
+
+/** Reserved rule name for unused-suppression reporting. */
+inline constexpr const char* kUnusedNolintRule = "unused-nolint";
+
+class Analyzer {
+ public:
+  /** Registers the default rule set (rules.cc). */
+  Analyzer();
+
+  struct Options {
+    /** Repo root; files are discovered under <repo_root>/src. */
+    std::filesystem::path repo_root;
+    /** Run only these rules (short names); empty = every rule.
+     * Unused-suppression reporting is limited to the rules run. */
+    std::vector<std::string> only;
+  };
+
+  struct Report {
+    /** Surviving violations, sorted by (file, line, rule). */
+    std::vector<Violation> violations;
+    std::size_t files_linted = 0;
+    /** Short names of the rules that ran. */
+    std::vector<std::string> rules_run;
+  };
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  bool HasRule(const std::string& name) const;
+
+  /** Discover + lex files under <repo_root>/src, then RunOnFiles. */
+  Report Run(const Options& options) const;
+
+  /** Run rules over pre-lexed files (the lint_test entry point). */
+  Report RunOnFiles(std::vector<SourceFile> files,
+                    const std::vector<std::string>& only) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/** Register the built-in rules into @p rules (called by Analyzer). */
+void RegisterDefaultRules(std::vector<Rule>* rules);
+
+/** Render @p report as SARIF 2.1.0 (one run, tool "tetri_lint"). */
+void WriteSarif(const Analyzer& analyzer,
+                const Analyzer::Report& report, std::ostream& out);
+
+}  // namespace tetri::lint
+
+#endif  // TETRI_TOOLS_LINT_LINT_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * SARIF 2.1.0 rendering of a lint report, shaped for GitHub code
+ * scanning: one run, tool.driver "tetri_lint", rule metadata from the
+ * registry, one result per violation at level "error".
+ */
+#include <ostream>
+#include <string>
+
+#include "lint/lint.h"
+
+namespace tetri::lint {
+
+namespace {
+
+std::string
+JsonEscape(const std::string& s)
+{
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void
+WriteSarif(const Analyzer& analyzer, const Analyzer::Report& report,
+           std::ostream& out)
+{
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+         "master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"tetri_lint\",\n"
+      << "          \"informationUri\": "
+         "\"https://github.com/tetriserve/tetriserve\",\n"
+      << "          \"rules\": [\n";
+  bool first = true;
+  auto write_rule = [&](const std::string& name,
+                        const std::string& description) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "            {\n"
+        << "              \"id\": \"tetri-" << JsonEscape(name)
+        << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << JsonEscape(description) << "\" },\n"
+        << "              \"defaultConfiguration\": { \"level\": "
+           "\"error\" }\n"
+        << "            }";
+  };
+  for (const Rule& rule : analyzer.rules()) {
+    write_rule(rule.name, rule.description);
+  }
+  write_rule(kUnusedNolintRule,
+             "every NOLINT(tetri-<rule>) suppression must absorb a "
+             "violation; stale suppressions are violations");
+  out << "\n          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (std::size_t i = 0; i < report.violations.size(); ++i) {
+    const Violation& v = report.violations[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"tetri-" << JsonEscape(v.rule)
+        << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \""
+        << JsonEscape(v.message) << "\" },\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": { \"uri\": \""
+        << JsonEscape(v.file) << "\" },\n"
+        << "                \"region\": { \"startLine\": " << v.line
+        << " }\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }" << (i + 1 < report.violations.size() ? "," : "")
+        << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+}
+
+}  // namespace tetri::lint

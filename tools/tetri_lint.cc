@@ -1,383 +1,48 @@
 /**
  * @file
- * Repository convention linter, run as part of the test suite.
+ * tetri_lint driver. The analysis itself lives in tools/lint/ so the
+ * same rules run under lint_test; this file only parses arguments and
+ * formats the report.
  *
- * Walks every .h/.cc under <root>/src and enforces the conventions the
- * codebase relies on but the compiler cannot check:
+ * Usage:
+ *   tetri_lint [--list-rules] [--only=<r1,r2>] [--sarif=<path>] <root>
  *
- *  - header guards follow TETRI_<DIR>_<FILE>_H and are closed with a
- *    matching `#endif  // MACRO` comment;
- *  - includes never climb out of src/ with "../", and every quoted
- *    include resolves to a file under src/;
- *  - no naked assert()/abort() outside util/check.h — invariants go
- *    through TETRI_CHECK so failures carry file/line context;
- *  - no hidden nondeterminism: rand(), srand(), time(nullptr) and
- *    std::random_device are banned; randomness flows through util/rng.h
- *    so runs stay reproducible from a seed;
- *  - TETRI_CHECK_MSG / TETRI_FATAL message literals are non-empty and
- *    do not end in '.' or '\n' (the macros add their own framing);
- *  - no tabs, no trailing whitespace, lines at most 100 columns.
- *
- * Usage: tetri_lint <repo-root>. Exits 0 when clean, 1 with a report
- * of every violation otherwise.
+ * Exit codes: 0 clean, 1 violations found, 2 usage error.
  */
-#include <algorithm>
-#include <cctype>
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
+#include "lint/lint.h"
 
 namespace {
 
-struct Violation {
-  std::string file;
-  int line = 0;
-  std::string message;
-};
-
-std::vector<Violation> g_violations;
-
-void
-Flag(const std::string& file, int line, std::string message)
-{
-  g_violations.push_back({file, line, std::move(message)});
-}
-
-std::string
-ReadFile(const fs::path& path)
-{
-  std::ifstream in(path, std::ios::binary);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-bool
-IsIdentChar(char c)
-{
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/**
- * Returns a copy of @p text with comments replaced by spaces (newlines
- * preserved so line numbers survive). String and character literals are
- * additionally blanked when @p keep_strings is false.
- */
-std::string
-Blank(const std::string& text, bool keep_strings)
-{
-  std::string out = text;
-  enum class Mode { kCode, kLineComment, kBlockComment, kString, kChar };
-  Mode mode = Mode::kCode;
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          mode = Mode::kString;
-          if (!keep_strings) out[i] = ' ';
-        } else if (c == '\'') {
-          mode = Mode::kChar;
-          if (!keep_strings) out[i] = ' ';
-        }
-        break;
-      case Mode::kLineComment:
-        if (c == '\n') {
-          mode = Mode::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kBlockComment:
-        if (c == '*' && next == '/') {
-          mode = Mode::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kString:
-      case Mode::kChar: {
-        const char quote = mode == Mode::kString ? '"' : '\'';
-        if (c == '\\') {
-          if (!keep_strings) {
-            out[i] = ' ';
-            if (i + 1 < out.size() && out[i + 1] != '\n') {
-              out[i + 1] = ' ';
-            }
-          }
-          ++i;
-        } else if (c == quote) {
-          mode = Mode::kCode;
-          if (!keep_strings) out[i] = ' ';
-        } else if (!keep_strings && c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
-
 int
-LineOf(const std::string& text, std::size_t pos)
+Usage()
 {
-  return 1 + static_cast<int>(
-                 std::count(text.begin(), text.begin() + pos, '\n'));
+  std::cerr
+      << "usage: tetri_lint [--list-rules] [--only=<rule,rule>] "
+         "[--sarif=<path>] <repo-root>\n"
+         "  --list-rules   print the rule catalog and exit\n"
+         "  --only=...     run only the named rules (short names,\n"
+         "                 comma separated; see --list-rules)\n"
+         "  --sarif=...    also write the report as SARIF 2.1.0\n";
+  return 2;
 }
 
 std::vector<std::string>
-SplitLines(const std::string& text)
+SplitCommas(const std::string& csv)
 {
-  std::vector<std::string> lines;
-  std::string::size_type start = 0;
-  while (start <= text.size()) {
-    const auto end = text.find('\n', start);
-    if (end == std::string::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
+  std::vector<std::string> out;
+  std::istringstream split(csv);
+  std::string piece;
+  while (std::getline(split, piece, ',')) {
+    if (!piece.empty()) out.push_back(piece);
   }
-  return lines;
-}
-
-std::string
-GuardMacroFor(const fs::path& rel)
-{
-  // src/audit/sink.h -> TETRI_AUDIT_SINK_H
-  std::string macro = "TETRI";
-  for (const auto& part : rel.parent_path()) {
-    macro += "_" + part.string();
-  }
-  macro += "_" + rel.stem().string() + "_H";
-  for (char& c : macro) {
-    c = c == '/' || c == '.' || c == '-'
-            ? '_'
-            : static_cast<char>(
-                  std::toupper(static_cast<unsigned char>(c)));
-  }
-  return macro;
-}
-
-void
-CheckHeaderGuard(const std::string& file, const fs::path& rel,
-                 const std::vector<std::string>& lines)
-{
-  const std::string macro = GuardMacroFor(rel);
-  const std::string ifndef = "#ifndef " + macro;
-  const std::string define = "#define " + macro;
-  const std::string endif = "#endif  // " + macro;
-  int ifndef_line = 0;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (lines[i].rfind("#ifndef", 0) == 0) {
-      ifndef_line = static_cast<int>(i) + 1;
-      if (lines[i] != ifndef) {
-        Flag(file, ifndef_line,
-             "header guard must be '" + ifndef + "', got '" + lines[i] +
-                 "'");
-        return;
-      }
-      if (i + 1 >= lines.size() || lines[i + 1] != define) {
-        Flag(file, ifndef_line + 1,
-             "'" + ifndef + "' must be followed by '" + define + "'");
-      }
-      break;
-    }
-  }
-  if (ifndef_line == 0) {
-    Flag(file, 1, "missing header guard '" + ifndef + "'");
-    return;
-  }
-  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
-    if (it->empty()) continue;
-    if (*it != endif) {
-      Flag(file, static_cast<int>(lines.size()),
-           "header must close with '" + endif + "'");
-    }
-    return;
-  }
-}
-
-void
-CheckIncludes(const std::string& file, const fs::path& src_root,
-              const std::vector<std::string>& lines)
-{
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    if (line.rfind("#include", 0) != 0) continue;
-    const int lineno = static_cast<int>(i) + 1;
-    const auto open = line.find_first_of("\"<", 8);
-    if (open == std::string::npos) continue;
-    const char close_ch = line[open] == '"' ? '"' : '>';
-    const auto close = line.find(close_ch, open + 1);
-    if (close == std::string::npos) continue;
-    const std::string target =
-        line.substr(open + 1, close - open - 1);
-    if (target.find("../") != std::string::npos) {
-      Flag(file, lineno,
-           "relative include '" + target +
-               "' climbs directories; include from the src/ root");
-      continue;
-    }
-    if (close_ch == '"' && !fs::exists(src_root / target)) {
-      Flag(file, lineno,
-           "quoted include '" + target +
-               "' does not resolve under src/");
-    }
-  }
-}
-
-void
-CheckBannedTokens(const std::string& file, bool is_check_header,
-                  const std::string& code)
-{
-  struct Ban {
-    const char* token;
-    const char* why;
-    bool allowed_in_check_header;
-  };
-  static const Ban kBans[] = {
-      {"assert(", "use TETRI_CHECK instead of naked assert()", true},
-      {"abort(", "use TETRI_CHECK/Panic instead of naked abort()", true},
-      {"rand(", "use util/rng.h for reproducible randomness", false},
-      {"srand(", "use util/rng.h for reproducible randomness", false},
-      {"random_device", "use util/rng.h with an explicit seed", false},
-      {"time(nullptr", "wall-clock seeds break reproducibility", false},
-      {"time(NULL", "wall-clock seeds break reproducibility", false},
-  };
-  for (const Ban& ban : kBans) {
-    if (ban.allowed_in_check_header && is_check_header) continue;
-    const std::string token = ban.token;
-    std::size_t pos = 0;
-    while ((pos = code.find(token, pos)) != std::string::npos) {
-      // Token must start an identifier: reject matches that are a
-      // suffix of a longer name such as static_assert or ASSERT_TRUE.
-      if (pos == 0 || !IsIdentChar(code[pos - 1])) {
-        Flag(file, LineOf(code, pos),
-             std::string("banned token '") + ban.token + "': " +
-                 ban.why);
-      }
-      pos += token.size();
-    }
-  }
-}
-
-void
-CheckMessageDiscipline(const std::string& file, const std::string& code)
-{
-  static const char* kMacros[] = {"TETRI_CHECK_MSG(", "TETRI_FATAL("};
-  for (const char* macro : kMacros) {
-    std::size_t pos = 0;
-    while ((pos = code.find(macro, pos)) != std::string::npos) {
-      if (pos > 0 && IsIdentChar(code[pos - 1])) {
-        ++pos;
-        continue;  // e.g. the #define of the macro itself
-      }
-      // Walk to the matching close paren, collecting string literals.
-      std::size_t i = pos + std::string(macro).size();
-      int depth = 1;
-      bool in_string = false;
-      std::string literal;
-      while (i < code.size() && depth > 0) {
-        const char c = code[i];
-        if (in_string) {
-          if (c == '\\' && i + 1 < code.size()) {
-            literal += c;
-            literal += code[i + 1];
-            ++i;
-          } else if (c == '"') {
-            in_string = false;
-            if (literal.empty()) {
-              Flag(file, LineOf(code, i),
-                   std::string(macro) + "...) has an empty message "
-                                        "literal");
-            } else if (literal.back() == '.' ||
-                       (literal.size() >= 2 &&
-                        literal.compare(literal.size() - 2, 2, "\\n") ==
-                            0)) {
-              Flag(file, LineOf(code, i),
-                   std::string(macro) +
-                       "...) message must not end in '.' or a newline "
-                       "(the macro adds its own framing)");
-            }
-          } else {
-            literal += c;
-          }
-        } else if (c == '"') {
-          in_string = true;
-          literal.clear();
-        } else if (c == '(') {
-          ++depth;
-        } else if (c == ')') {
-          --depth;
-        }
-        ++i;
-      }
-      pos = i;
-    }
-  }
-}
-
-void
-CheckWhitespace(const std::string& file,
-                const std::vector<std::string>& lines)
-{
-  constexpr std::size_t kMaxColumns = 100;
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::string& line = lines[i];
-    const int lineno = static_cast<int>(i) + 1;
-    if (line.find('\t') != std::string::npos) {
-      Flag(file, lineno, "tab character; indent with spaces");
-    }
-    if (!line.empty() &&
-        std::isspace(static_cast<unsigned char>(line.back())) != 0) {
-      Flag(file, lineno, "trailing whitespace");
-    }
-    if (line.size() > kMaxColumns) {
-      Flag(file, lineno, "line exceeds 100 columns");
-    }
-  }
-}
-
-void
-LintFile(const fs::path& src_root, const fs::path& path)
-{
-  const fs::path rel = fs::relative(path, src_root);
-  const std::string file = "src/" + rel.generic_string();
-  const bool is_check_header = rel.generic_string() == "util/check.h";
-  const std::string text = ReadFile(path);
-  const std::string no_comments = Blank(text, /*keep_strings=*/true);
-  const std::string code_only = Blank(text, /*keep_strings=*/false);
-  const std::vector<std::string> lines = SplitLines(text);
-  const std::vector<std::string> code_lines = SplitLines(no_comments);
-
-  if (path.extension() == ".h") {
-    CheckHeaderGuard(file, rel, lines);
-  }
-  CheckIncludes(file, src_root, code_lines);
-  CheckBannedTokens(file, is_check_header, code_only);
-  if (!is_check_header) {
-    CheckMessageDiscipline(file, no_comments);
-  }
-  CheckWhitespace(file, lines);
+  return out;
 }
 
 }  // namespace
@@ -385,37 +50,77 @@ LintFile(const fs::path& src_root, const fs::path& path)
 int
 main(int argc, char** argv)
 {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: tetri_lint <repo-root>\n");
-    return 2;
-  }
-  const fs::path src_root = fs::path(argv[1]) / "src";
-  if (!fs::is_directory(src_root)) {
-    std::fprintf(stderr, "tetri_lint: no src/ under %s\n", argv[1]);
-    return 2;
+  using tetri::lint::Analyzer;
+  const Analyzer analyzer;
+
+  bool list_rules = false;
+  std::string sarif_path;
+  Analyzer::Options options;
+  std::string root;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      options.only = SplitCommas(arg.substr(7));
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tetri_lint: unknown flag '" << arg << "'\n";
+      return Usage();
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      return Usage();
+    }
   }
 
-  std::vector<fs::path> files;
-  for (const auto& entry :
-       fs::recursive_directory_iterator(src_root)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension();
-    if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
-  for (const fs::path& path : files) {
-    LintFile(src_root, path);
-  }
-
-  if (g_violations.empty()) {
-    std::printf("tetri_lint: %zu files clean\n", files.size());
+  if (list_rules) {
+    for (const auto& rule : analyzer.rules()) {
+      std::cout << "tetri-" << rule.name << "\n    "
+                << rule.description << "\n";
+    }
+    std::cout << "tetri-" << tetri::lint::kUnusedNolintRule
+              << "\n    every NOLINT suppression must absorb a "
+                 "violation; stale ones are reported\n";
     return 0;
   }
-  for (const Violation& v : g_violations) {
-    std::printf("%s:%d: %s\n", v.file.c_str(), v.line,
-                v.message.c_str());
+
+  if (root.empty()) return Usage();
+  for (const std::string& name : options.only) {
+    if (!analyzer.HasRule(name)) {
+      std::cerr << "tetri_lint: --only names unknown rule '" << name
+                << "' (see --list-rules)\n";
+      return 2;
+    }
   }
-  std::printf("tetri_lint: %zu violation(s) in %zu files\n",
-              g_violations.size(), files.size());
-  return 1;
+  options.repo_root = root;
+  if (!std::filesystem::is_directory(options.repo_root / "src")) {
+    std::cerr << "tetri_lint: no src/ directory under '" << root
+              << "'\n";
+    return 2;
+  }
+
+  const Analyzer::Report report = analyzer.Run(options);
+
+  for (const auto& v : report.violations) {
+    std::cout << v.file << ":" << v.line << ": [tetri-" << v.rule
+              << "] " << v.message << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path);
+    if (!out) {
+      std::cerr << "tetri_lint: cannot write SARIF to '" << sarif_path
+                << "'\n";
+      return 2;
+    }
+    tetri::lint::WriteSarif(analyzer, report, out);
+  }
+
+  std::cout << "tetri_lint: " << report.files_linted << " files, "
+            << report.rules_run.size() << " rules, "
+            << report.violations.size() << " violation(s)\n";
+  return report.violations.empty() ? 0 : 1;
 }
