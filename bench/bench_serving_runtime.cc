@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Control-plane throughput benchmark for the concurrent serving
+ * runtime (src/runtime/): how many requests per second the
+ * Submit -> planner -> worker -> completion pipeline sustains when
+ * execution is instant (execution_time_scale = 0), so only scheduling
+ * work is on the clock.
+ *
+ * Load model: closed loop. Each cell keeps a fixed number of requests
+ * in flight (the window); a producer thread submits a new request the
+ * moment on_complete returns a slot. The window is therefore the
+ * backlog TetriScheduler sees each round, which makes the reported
+ * plan-latency percentiles directly comparable to the same-depth rows
+ * of BENCH_scheduler.json — and "admissions per second" the sustained
+ * end-to-end rate, not a front-door burst.
+ *
+ * JSON output is bench_gate-compatible: configs carry
+ * (queue_depth, num_gpus, fast_p50_us, fast_p99_us), where queue_depth
+ * is the closed-loop window and fast_* are Scheduler::Plan host-time
+ * percentiles from ServingRuntime::plan_latency_us().
+ *
+ * Usage:
+ *   bench_serving_runtime [--smoke] [--json=PATH]
+ *                         [--min-admissions=N]
+ *
+ * --min-admissions fails (exit 1) when the best cell's sustained
+ * admissions/sec lands below N — the CI floor for the 100k+ target.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "core/tetri_scheduler.h"
+#include "costmodel/latency_table.h"
+#include "costmodel/model_config.h"
+#include "costmodel/resolution.h"
+#include "costmodel/step_cost.h"
+#include "metrics/histogram.h"
+#include "runtime/runtime.h"
+#include "util/mutex.h"
+#include "util/wallclock.h"
+
+namespace tetri {
+namespace {
+
+using costmodel::Resolution;
+
+/** Generous SLO so the drop policy never fires: every admitted
+ * request completes and the conservation check is exact. */
+constexpr TimeUs kAmpleBudgetUs = 600'000'000;
+
+struct Fixture {
+  Fixture()
+      : model(costmodel::ModelConfig::FluxDev()),
+        cost_topo(cluster::Topology::H100Node()),
+        cost(&model, &cost_topo),
+        table(costmodel::LatencyTable::Profile(cost, 4, 20, 5))
+  {
+  }
+  costmodel::ModelConfig model;
+  cluster::Topology cost_topo;
+  costmodel::StepCostModel cost;
+  costmodel::LatencyTable table;
+};
+
+Fixture&
+F()
+{
+  static Fixture fixture;
+  return fixture;
+}
+
+/** Counting semaphore handing in-flight slots back to producers; the
+ * runtime's on_complete releases, producers acquire. */
+class Window {
+ public:
+  explicit Window(int slots) : available_(slots) {}
+
+  void Acquire()
+  {
+    util::MutexLock lock(mu_);
+    while (available_ == 0) cv_.Wait(mu_);
+    --available_;
+  }
+
+  void Release()
+  {
+    util::MutexLock lock(mu_);
+    ++available_;
+    cv_.Signal();
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int available_ TETRI_GUARDED_BY(mu_);
+};
+
+struct CellResult {
+  int window = 0;
+  int gpus = 0;
+  int producers = 0;
+  std::uint64_t requests = 0;
+  double elapsed_sec = 0.0;
+  double admissions_per_sec = 0.0;
+  int plan_samples = 0;
+  double plan_p50_us = 0.0;
+  double plan_p99_us = 0.0;
+  std::uint64_t rounds = 0;
+};
+
+CellResult
+RunCell(int window, int gpus, int producers, std::uint64_t requests)
+{
+  cluster::Topology topo = cluster::Topology::H100Node(gpus);
+  core::TetriScheduler scheduler(&F().table);
+
+  Window slots(window);
+  runtime::RuntimeOptions options;
+  options.queue_capacity = static_cast<std::size_t>(window) * 2;
+  options.overflow = runtime::OverflowPolicy::kBlock;
+  options.num_workers = 2;
+  options.on_complete = [&slots](const runtime::Completion&) {
+    slots.Release();
+  };
+
+  CellResult cell;
+  cell.window = window;
+  cell.gpus = gpus;
+  cell.producers = producers;
+  cell.requests = requests;
+
+  util::WallTimer timer;
+  {
+    runtime::ServingRuntime rt(&scheduler, &topo, &F().table, options);
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(producers));
+    for (int p = 0; p < producers; ++p) {
+      const std::uint64_t share =
+          requests / static_cast<std::uint64_t>(producers) +
+          (static_cast<std::uint64_t>(p) <
+                   requests % static_cast<std::uint64_t>(producers)
+               ? 1
+               : 0);
+      threads.emplace_back([&rt, &slots, p, share] {
+        for (std::uint64_t i = 0; i < share; ++i) {
+          // Mixed workload: cycle resolutions so the planner sees the
+          // heterogeneous shapes the scheduler is built for.
+          const Resolution res = costmodel::kAllResolutions
+              [(i + static_cast<std::uint64_t>(p)) %
+               costmodel::kAllResolutions.size()];
+          slots.Acquire();
+          rt.Submit(res, 4, kAmpleBudgetUs);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    rt.Drain();
+    cell.elapsed_sec = timer.ElapsedUs() / 1e6;
+
+    const runtime::RuntimeStats stats = rt.stats();
+    if (stats.admission.admitted != requests ||
+        stats.completed != requests) {
+      std::fprintf(stderr,
+                   "conservation violated: admitted=%llu "
+                   "completed=%llu dropped=%llu expected=%llu\n",
+                   static_cast<unsigned long long>(
+                       stats.admission.admitted),
+                   static_cast<unsigned long long>(stats.completed),
+                   static_cast<unsigned long long>(stats.dropped),
+                   static_cast<unsigned long long>(requests));
+      std::exit(2);
+    }
+    cell.rounds = stats.rounds;
+    const metrics::Histogram plan = rt.plan_latency_us().Snapshot();
+    cell.plan_samples = static_cast<int>(plan.count());
+    cell.plan_p50_us = plan.Percentile(50);
+    cell.plan_p99_us = plan.Percentile(99);
+  }
+  cell.admissions_per_sec =
+      static_cast<double>(requests) / cell.elapsed_sec;
+  return cell;
+}
+
+}  // namespace
+}  // namespace tetri
+
+int
+main(int argc, char** argv)
+{
+  bool smoke = false;
+  std::string json_path;
+  double min_admissions = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--min-admissions=", 17) == 0) {
+      min_admissions = std::strtod(argv[i] + 17, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--json=PATH] "
+                   "[--min-admissions=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const std::uint64_t requests = smoke ? 20'000 : 200'000;
+  const int producers = 4;
+  const int windows[] = {8, 32, 128};
+  const int gpu_counts[] = {4, 8};
+
+  std::vector<tetri::CellResult> cells;
+  std::printf("%8s %6s %10s %12s %12s %12s %8s\n", "window", "gpus",
+              "requests", "admit/sec", "plan_p50", "plan_p99",
+              "rounds");
+  double best = 0.0;
+  for (int gpus : gpu_counts) {
+    for (int window : windows) {
+      auto cell = tetri::RunCell(window, gpus, producers, requests);
+      std::printf("%8d %6d %10llu %12.0f %10.2fus %10.2fus %8llu\n",
+                  cell.window, cell.gpus,
+                  static_cast<unsigned long long>(cell.requests),
+                  cell.admissions_per_sec, cell.plan_p50_us,
+                  cell.plan_p99_us,
+                  static_cast<unsigned long long>(cell.rounds));
+      best = std::max(best, cell.admissions_per_sec);
+      cells.push_back(cell);
+    }
+  }
+  std::printf("best sustained admissions/sec: %.0f\n", best);
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "{\n  \"benchmark\": \"serving_runtime\",\n");
+    std::fprintf(out, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+    std::fprintf(out, "  \"producers\": %d,\n", producers);
+    std::fprintf(out, "  \"best_admissions_per_sec\": %.0f,\n", best);
+    std::fprintf(out, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto& c = cells[i];
+      std::fprintf(out,
+                   "    {\"queue_depth\": %d, \"num_gpus\": %d, "
+                   "\"samples\": %d, \"fast_p50_us\": %.3f, "
+                   "\"fast_p99_us\": %.3f, "
+                   "\"admissions_per_sec\": %.0f, \"rounds\": %llu}%s\n",
+                   c.window, c.gpus, c.plan_samples, c.plan_p50_us,
+                   c.plan_p99_us, c.admissions_per_sec,
+                   static_cast<unsigned long long>(c.rounds),
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (min_admissions > 0.0 && best < min_admissions) {
+    std::fprintf(stderr,
+                 "FAIL: best admissions/sec %.0f below floor %.0f\n",
+                 best, min_admissions);
+    return 1;
+  }
+  return 0;
+}

@@ -136,8 +136,11 @@ ChaosController::Attach(const serving::RunContext& ctx)
   Rng rng(config_.seed);
 
   for (int i = 0; i < config_.gpu_failures; ++i) {
+    // Truncation (not RoundUs) is part of the committed replay goldens:
+    // a random instant has no tiling contract with any other quantity.
     const TimeUs at =
-        w.begin + static_cast<TimeUs>(rng.NextDouble() * span);
+        w.begin +
+        static_cast<TimeUs>(rng.NextDouble() * span);  // NOLINT(tetri-rounding)
     const int gpu = static_cast<int>(
         rng.NextBelow(static_cast<std::uint64_t>(num_gpus)));
     const TimeUs recover_after = UsFromSecAtLeastOne(
@@ -146,8 +149,10 @@ ChaosController::Attach(const serving::RunContext& ctx)
   }
 
   for (int i = 0; i < config_.stragglers; ++i) {
+    // Same replay-golden truncation as the failure instants above.
     const TimeUs at =
-        w.begin + static_cast<TimeUs>(rng.NextDouble() * span);
+        w.begin +
+        static_cast<TimeUs>(rng.NextDouble() * span);  // NOLINT(tetri-rounding)
     const int gpu = static_cast<int>(
         rng.NextBelow(static_cast<std::uint64_t>(num_gpus)));
     ScheduleStraggler(at, gpu);

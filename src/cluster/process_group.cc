@@ -23,7 +23,9 @@ ProcessGroupCache::WarmupCost(GpuMask mask) const
   if (k <= 1) return 0;
   const double scale = std::log2(static_cast<double>(k)) + 1.0;
   const double pcie = topology_->IsNvLinkOnly(mask) ? 1.0 : 2.5;
-  return static_cast<TimeUs>(warmup_latency_us_ * scale * pcie);
+  // Truncation predates the one-rounding-rule lint; switching to
+  // RoundUs would shift every committed warmup golden by 1us.
+  return static_cast<TimeUs>(warmup_latency_us_ * scale * pcie);  // NOLINT(tetri-rounding)
 }
 
 TimeUs

@@ -1,0 +1,474 @@
+#include "runtime/runtime.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "cluster/gpu_set.h"
+#include "util/check.h"
+
+namespace tetri::runtime {
+
+namespace {
+
+/**
+ * Poll cadence while requests sit queued with nothing in flight — the
+ * one situation with no guaranteed wake signal (a completion or a
+ * Submit), yet where the drop policy must still get a chance to fire.
+ */
+constexpr double kQueuedPollUs = 200.0;
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(serving::Scheduler* scheduler,
+                               const cluster::Topology* topology,
+                               const costmodel::LatencyTable* table,
+                               RuntimeOptions options)
+    : scheduler_(scheduler),
+      topology_(topology),
+      table_(table),
+      options_(std::move(options)),
+      admissions_(options_.queue_capacity, options_.overflow),
+      plan_latency_us_(metrics::Histogram::LogSpaced(0.1, 1e7, 64))
+{
+  TETRI_CHECK(scheduler_ != nullptr);
+  TETRI_CHECK(topology_ != nullptr);
+  TETRI_CHECK(table_ != nullptr);
+  TETRI_CHECK(options_.num_workers > 0);
+  free_gpus_ = topology_->all_gpus();
+  if (options_.trace != nullptr) scheduler_->set_trace(options_.trace);
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  planner_ = std::thread([this] { PlannerLoop(); });
+}
+
+ServingRuntime::~ServingRuntime() { Drain(); }
+
+AdmitOutcome
+ServingRuntime::Submit(costmodel::Resolution resolution, int num_steps,
+                       TimeUs budget_us, RequestId* out_id)
+{
+  TETRI_CHECK(num_steps > 0);
+  workload::TraceRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.arrival_us = NowUs();
+  request.deadline_us = request.arrival_us + budget_us;
+  request.resolution = resolution;
+  request.num_steps = num_steps;
+  const RequestId id = request.id;
+  const AdmitOutcome outcome = admissions_.Push(std::move(request));
+  if (outcome == AdmitOutcome::kAdmitted) {
+    if (out_id != nullptr) *out_id = id;
+    const util::MutexLock lock(planner_mu_);
+    work_pending_ = true;
+    planner_cv_.Signal();
+  }
+  return outcome;
+}
+
+void
+ServingRuntime::Drain()
+{
+  const util::MutexLock drain_lock(drain_mu_);
+  if (drained_) return;
+
+  // Step 1: shut the front door. Every later Submit sees kClosed;
+  // already-queued submissions stay drainable. Close() must complete
+  // before the planner can observe draining_, so any Push that
+  // succeeded is visible to the planner's next TryDrain.
+  admissions_.Close();
+
+  // Step 2: let the planner run rounds until every admitted request is
+  // terminal and every in-flight assignment has reported back.
+  {
+    const util::MutexLock lock(planner_mu_);
+    draining_ = true;
+    planner_cv_.Signal();
+    while (!planner_done_) drained_cv_.Wait(planner_mu_);
+  }
+
+  // Step 3: no more dispatches can appear; close the dispatch queue so
+  // idle workers exit, then join everything.
+  {
+    const util::MutexLock lock(dispatch_mu_);
+    dispatch_closed_ = true;
+    dispatch_cv_.SignalAll();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  planner_.join();
+
+  if (options_.trace != nullptr) scheduler_->set_trace(nullptr);
+  drained_ = true;
+}
+
+RuntimeStats
+ServingRuntime::stats() const
+{
+  RuntimeStats snapshot;
+  {
+    const util::MutexLock lock(stats_mu_);
+    snapshot = stats_;
+  }
+  snapshot.admission = admissions_.counters();
+  return snapshot;
+}
+
+void
+ServingRuntime::PlannerLoop()
+{
+  for (;;) {
+    bool draining = false;
+    bool can_block = false;
+    {
+      // Blocking is safe only when a wake signal is guaranteed: a
+      // completion (something is running), a Submit, or Drain. Queued
+      // requests with nothing in flight have no such signal — their
+      // drop deadline must still fire — so that case polls instead.
+      bool any_running = false;
+      bool any_queued = false;
+      for (const auto& [id, request] : active_) {
+        if (request.state == serving::RequestState::kRunning) {
+          any_running = true;
+        } else {
+          any_queued = true;
+        }
+      }
+      can_block = any_running || !any_queued;
+      const util::MutexLock lock(planner_mu_);
+      if (can_block) {
+        while (mailbox_.empty() && !work_pending_ && !draining_) {
+          planner_cv_.Wait(planner_mu_);
+        }
+      }
+      std::swap(completions_, mailbox_);
+      work_pending_ = false;
+      draining = draining_;
+    }
+    if (!can_block && completions_.empty() && !draining) {
+      util::SleepForUs(std::max(options_.round_interval_us, kQueuedPollUs));
+    }
+
+    for (const CompletionMsg& msg : completions_) ApplyCompletion(msg);
+    completions_.clear();
+
+    pending_.clear();
+    admissions_.TryDrain(&pending_);
+    AdmitPending(&pending_);
+
+    PlanOnce(NowUs());
+
+    if (draining && active_.empty()) {
+      const util::MutexLock lock(planner_mu_);
+      if (mailbox_.empty()) {
+        // The admission queue is closed (Close() precedes draining_)
+        // and was drained above; the mailbox is empty and nothing is
+        // active, so no event can ever arrive again.
+        if (options_.trace != nullptr) {
+          trace::TraceEvent ev;
+          ev.kind = trace::TraceEventKind::kRunEnd;
+          ev.time_us = NowUs();
+          options_.trace->OnEvent(ev);
+        }
+        planner_done_ = true;
+        drained_cv_.SignalAll();
+        return;
+      }
+    }
+
+    // Pace the round grid on the monotonic clock.
+    if (options_.round_interval_us > 0.0) {
+      util::SleepForUs(options_.round_interval_us);
+    }
+  }
+}
+
+void
+ServingRuntime::WorkerLoop(int worker)
+{
+  (void)worker;
+  for (;;) {
+    DispatchTask task;
+    {
+      const util::MutexLock lock(dispatch_mu_);
+      while (dispatch_.empty() && !dispatch_closed_) {
+        dispatch_cv_.Wait(dispatch_mu_);
+      }
+      if (dispatch_.empty()) return;  // closed and fully consumed
+      task = std::move(dispatch_.front());
+      dispatch_.pop_front();
+    }
+
+    if (options_.trace != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kDispatch;
+      ev.time_us = NowUs();
+      ev.dur_us = task.span_us;
+      ev.mask = task.assignment.mask;
+      ev.degree = cluster::Popcount(task.assignment.mask);
+      ev.steps = task.assignment.max_steps;
+      ev.batch = static_cast<std::int32_t>(task.assignment.requests.size());
+      options_.trace->OnEvent(ev);
+    }
+
+    if (options_.execution_time_scale > 0.0) {
+      util::SleepForUs(static_cast<double>(task.span_us) *
+                       options_.execution_time_scale);
+    }
+
+    const bool aborted = options_.chaos_should_abort &&
+                         options_.chaos_should_abort(task.assignment);
+
+    if (options_.trace != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = aborted ? trace::TraceEventKind::kAbort
+                        : trace::TraceEventKind::kComplete;
+      if (aborted) ev.reason = trace::TraceReason::kGpuFailure;
+      ev.time_us = NowUs();
+      ev.mask = task.assignment.mask;
+      ev.steps = task.assignment.max_steps;
+      ev.batch = static_cast<std::int32_t>(task.assignment.requests.size());
+      options_.trace->OnEvent(ev);
+    }
+
+    {
+      const util::MutexLock lock(planner_mu_);
+      mailbox_.push_back(
+          CompletionMsg{std::move(task.assignment), task.span_us, aborted});
+      planner_cv_.Signal();
+    }
+  }
+}
+
+void
+ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
+{
+  free_gpus_ |= msg.assignment.mask;
+  const TimeUs now = NowUs();
+
+  if (msg.aborted) {
+    // Chaos abort: nothing is credited; every member goes back to the
+    // queue for replanning, mirroring the engine's GPU-failure path.
+    std::uint64_t requeued = 0;
+    for (const RequestId id : msg.assignment.requests) {
+      auto it = active_.find(id);
+      if (it == active_.end()) continue;
+      it->second.state = serving::RequestState::kQueued;
+      ++requeued;
+    }
+    const util::MutexLock lock(stats_mu_);
+    ++stats_.aborted_assignments;
+    stats_.requeues += requeued;
+    return;
+  }
+
+  const int degree = cluster::Popcount(msg.assignment.mask);
+  for (const RequestId id : msg.assignment.requests) {
+    auto it = active_.find(id);
+    if (it == active_.end()) continue;
+    serving::Request& request = it->second;
+    const int credited =
+        std::min(msg.assignment.max_steps, request.RemainingSteps());
+    request.steps_done += credited;
+    request.gpu_time_us += static_cast<double>(msg.span_us) * degree;
+    if (request.RemainingSteps() <= 0) {
+      FinishRequest(request, now);
+    } else {
+      request.state = serving::RequestState::kQueued;
+    }
+  }
+}
+
+void
+ServingRuntime::AdmitPending(std::vector<workload::TraceRequest>* pending)
+{
+  if (pending->empty()) return;
+  for (workload::TraceRequest& incoming : *pending) {
+    serving::Request request;
+    request.meta = std::move(incoming);
+    const RequestId id = request.meta.id;
+    if (options_.trace != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::TraceEventKind::kAdmit;
+      ev.time_us = request.meta.arrival_us;
+      ev.request = id;
+      ev.steps = request.meta.num_steps;
+      ev.value = static_cast<double>(request.meta.deadline_us -
+                                     request.meta.arrival_us);
+      options_.trace->OnEvent(ev);
+    }
+    active_.emplace(id, std::move(request));
+  }
+  pending->clear();
+  const util::MutexLock lock(stats_mu_);
+  stats_.active = active_.size();
+}
+
+void
+ServingRuntime::PlanOnce(TimeUs now)
+{
+  // ONE schedulable snapshot per round: the drop policy filters it and
+  // the scheduler sees the survivors (same shape as the serving tick).
+  snapshot_.clear();
+  for (auto& [id, request] : active_) {
+    if (request.state == serving::RequestState::kQueued) {
+      snapshot_.push_back(&request);
+    }
+  }
+  std::sort(snapshot_.begin(), snapshot_.end(),
+            [](const serving::Request* a, const serving::Request* b) {
+              if (a->meta.deadline_us != b->meta.deadline_us) {
+                return a->meta.deadline_us < b->meta.deadline_us;
+              }
+              return a->meta.id < b->meta.id;
+            });
+
+  // Drop policy: one rounding through util::RoundUs, clamped so a
+  // deadline before arrival (negative budget) drops at the first
+  // opportunity instead of computing a drop time in the past.
+  std::size_t kept = 0;
+  for (serving::Request* request : snapshot_) {
+    const TimeUs budget =
+        request->meta.deadline_us - request->meta.arrival_us;
+    const TimeUs drop_at =
+        request->meta.arrival_us +
+        std::max<TimeUs>(0, util::RoundUs(options_.drop_timeout_factor *
+                                          static_cast<double>(budget)));
+    if (now >= drop_at) {
+      DropRequest(*request, now, metrics::DropReason::kTimeout);
+    } else {
+      snapshot_[kept++] = request;
+    }
+  }
+  snapshot_.resize(kept);
+  if (snapshot_.empty()) return;
+
+  serving::ScheduleContext ctx;
+  ctx.now = now;
+  const bool round_based =
+      scheduler_->Mode() == serving::SchedulingMode::kRoundBased;
+  ctx.round_end = round_based
+                      ? now + scheduler_->RoundDurationUs()
+                      : std::numeric_limits<TimeUs>::max() / 4;
+  ctx.free_gpus = free_gpus_;
+  ctx.schedulable = &snapshot_;
+  ctx.topology = topology_;
+  ctx.table = table_;
+
+  ++round_seq_;
+  const util::WallTimer wall;
+  serving::RoundPlan plan = scheduler_->Plan(ctx);
+  plan_latency_us_.Add(wall.ElapsedUs());
+
+  GpuMask used = 0;
+  std::vector<DispatchTask> tasks;
+  tasks.reserve(plan.assignments.size());
+  for (serving::Assignment& assignment : plan.assignments) {
+    TETRI_CHECK_MSG((assignment.mask & used) == 0,
+                    "plan double-books GPUs "
+                        << cluster::MaskToString(assignment.mask & used));
+    TETRI_CHECK_MSG((assignment.mask & free_gpus_) == assignment.mask,
+                    "plan uses busy GPUs");
+    TETRI_CHECK(!assignment.requests.empty());
+    used |= assignment.mask;
+    free_gpus_ &= ~assignment.mask;
+
+    const int degree = cluster::Popcount(assignment.mask);
+    const auto first = active_.find(assignment.requests.front());
+    TETRI_CHECK(first != active_.end());
+    const costmodel::Resolution res = first->second.meta.resolution;
+    const int batch = static_cast<int>(assignment.requests.size());
+    const TimeUs span_us = util::RoundUsAtLeast(
+        table_->StepTimeUs(res, degree, batch) * assignment.max_steps, 1);
+
+    for (const RequestId id : assignment.requests) {
+      auto it = active_.find(id);
+      TETRI_CHECK(it != active_.end());
+      serving::Request& member = it->second;
+      member.state = serving::RequestState::kRunning;
+      member.last_mask = assignment.mask;
+      member.last_degree = degree;
+      member.degree_step_sum +=
+          static_cast<double>(degree) * assignment.max_steps;
+      if (member.first_start_us < 0) member.first_start_us = now;
+    }
+    tasks.push_back(DispatchTask{std::move(assignment), span_us});
+  }
+
+  const std::size_t dispatched = tasks.size();
+  if (dispatched > 0) {
+    const util::MutexLock lock(dispatch_mu_);
+    for (DispatchTask& task : tasks) {
+      dispatch_.push_back(std::move(task));
+    }
+    dispatch_cv_.SignalAll();
+  }
+
+  const util::MutexLock lock(stats_mu_);
+  ++stats_.rounds;
+  stats_.assignments += dispatched;
+}
+
+void
+ServingRuntime::FinishRequest(serving::Request& request, TimeUs now)
+{
+  request.state = serving::RequestState::kFinished;
+  request.completion_us = now;
+  if (options_.trace != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kFinish;
+    ev.time_us = now;
+    ev.request = request.meta.id;
+    ev.value = static_cast<double>(now);
+    options_.trace->OnEvent(ev);
+  }
+  RemoveRequest(request.meta.id, metrics::Outcome::kCompleted,
+                metrics::DropReason::kNone, now);
+}
+
+void
+ServingRuntime::DropRequest(serving::Request& request, TimeUs now,
+                            metrics::DropReason reason)
+{
+  request.state = serving::RequestState::kDropped;
+  request.drop_reason = reason;
+  if (options_.trace != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::TraceEventKind::kDrop;
+    ev.reason = trace::TraceReason::kTimeout;
+    ev.time_us = now;
+    ev.request = request.meta.id;
+    ev.value = static_cast<double>(request.meta.deadline_us);
+    options_.trace->OnEvent(ev);
+  }
+  RemoveRequest(request.meta.id, metrics::Outcome::kDropped, reason, now);
+}
+
+void
+ServingRuntime::RemoveRequest(RequestId id, metrics::Outcome outcome,
+                              metrics::DropReason reason, TimeUs now)
+{
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  if (options_.on_complete) {
+    Completion completion;
+    completion.id = id;
+    completion.outcome = outcome;
+    completion.drop_reason = reason;
+    completion.admitted_us = it->second.meta.arrival_us;
+    completion.finished_us = now;
+    completion.steps_done = it->second.steps_done;
+    options_.on_complete(completion);
+  }
+  active_.erase(it);
+  const util::MutexLock lock(stats_mu_);
+  if (outcome == metrics::Outcome::kCompleted) {
+    ++stats_.completed;
+  } else if (outcome == metrics::Outcome::kDropped) {
+    ++stats_.dropped;
+  }
+  stats_.active = active_.size();
+}
+
+}  // namespace tetri::runtime

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Stand-alone concurrent serving runtime (DESIGN.md §12): the
+ * scheduler as a service, outside the discrete-event simulator.
+ *
+ * Thread architecture:
+ *
+ *   producers --Push--> [AdmissionQueue] --drain--+
+ *                                                 v
+ *   workers  <--tasks-- [dispatch queue] <-- planner thread
+ *      |                                          ^
+ *      +---------- completion mailbox ------------+
+ *
+ * Exactly one planner thread owns all scheduling state (request
+ * store, free-GPU mask, the Scheduler itself), so TetriScheduler's
+ * single-threaded PlanScratch fast path runs unchanged and unlocked.
+ * Each planner round: drain completions, drain admissions, apply the
+ * drop policy to ONE schedulable snapshot, invoke Scheduler::Plan on
+ * the survivors against the monotonic clock (util::WallTimer), and
+ * hand the resulting assignments to the worker pool. Workers simulate
+ * each assignment's execution span (optionally dilated in host time),
+ * run the chaos fault hook, and post completions back to the planner's
+ * mailbox — workers never touch scheduling state.
+ *
+ * Graceful drain protocol (ordering matters and is pinned by tests):
+ *  1. Close the admission queue — later Submit calls return kClosed;
+ *     already-accepted submissions remain drainable.
+ *  2. The planner keeps planning until no request is active and no
+ *     assignment is in flight, then signals drained and exits.
+ *  3. The dispatch queue closes; workers finish their queued tasks
+ *     and exit; every thread is joined before Drain returns.
+ *
+ * All shared state goes through the annotated util::Mutex wrappers, so
+ * -Werror=thread-safety checks the lock discipline, and every queue
+ * transition emits tetri::trace events when a sink is attached.
+ */
+#ifndef TETRI_RUNTIME_RUNTIME_H
+#define TETRI_RUNTIME_RUNTIME_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "costmodel/latency_table.h"
+#include "metrics/metrics.h"
+#include "metrics/shared_histogram.h"
+#include "runtime/admission_queue.h"
+#include "serving/request.h"
+#include "serving/scheduler.h"
+#include "trace/sink.h"
+#include "util/mutex.h"
+#include "util/rounding.h"
+#include "util/thread_annotations.h"
+#include "util/wallclock.h"
+
+namespace tetri::runtime {
+
+/** Terminal record of one request, delivered via on_complete. */
+struct Completion {
+  RequestId id = kInvalidRequest;
+  metrics::Outcome outcome = metrics::Outcome::kUnfinished;
+  metrics::DropReason drop_reason = metrics::DropReason::kNone;
+  /** Runtime-clock microseconds at admission and at the terminal
+   * transition (monotonic, starts at runtime construction). */
+  TimeUs admitted_us = 0;
+  TimeUs finished_us = 0;
+  int steps_done = 0;
+};
+
+/** Runtime configuration. */
+struct RuntimeOptions {
+  /** Front-door buffer size; overload behaviour is `overflow`. */
+  std::size_t queue_capacity = 8192;
+  OverflowPolicy overflow = OverflowPolicy::kShed;
+  /** Worker threads consuming dispatch plans. */
+  int num_workers = 2;
+  /**
+   * Minimum host time between planner rounds. 0 plans as soon as work
+   * arrives; a positive value paces rounds on the monotonic clock the
+   * way the simulator's round grid paces virtual time.
+   */
+  double round_interval_us = 0.0;
+  /**
+   * Host-time dilation of simulated execution spans: a worker holds an
+   * assignment's GPUs for span_us * execution_time_scale host
+   * microseconds. 0 (default) completes instantly — the control-plane
+   * benchmarking mode, where only scheduling work is on the clock.
+   */
+  double execution_time_scale = 0.0;
+  /** Same drop policy as ServingConfig: abandon a queued request once
+   * its latency exceeds this multiple of its SLO budget. */
+  double drop_timeout_factor = 10.0;
+  /**
+   * Chaos hook (nullable): invoked by the worker before completing an
+   * assignment; returning true aborts it — no steps are credited and
+   * the members are requeued for replanning, mirroring the engine's
+   * GPU-failure abort path. Runs on worker threads; must be
+   * thread-safe.
+   */
+  std::function<bool(const serving::Assignment&)> chaos_should_abort;
+  /**
+   * Terminal-state callback (nullable): one call per request that
+   * finishes, drops, or sheds... runs on the planner thread, so it
+   * must not call back into the runtime. Shed submissions are NOT
+   * reported here (Submit already returned kShed synchronously).
+   */
+  std::function<void(const Completion&)> on_complete;
+  /** Trace sink (nullable, not owned). Worker threads emit
+   * concurrently, so attach an internally-synchronized sink such as
+   * trace::Tracer. */
+  trace::TraceSink* trace = nullptr;
+};
+
+/** Aggregate counters; one consistent snapshot via stats(). */
+struct RuntimeStats {
+  AdmissionCounters admission;
+  std::uint64_t completed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t aborted_assignments = 0;
+  std::uint64_t requeues = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t assignments = 0;
+  /** Requests admitted but not yet terminal. */
+  std::uint64_t active = 0;
+};
+
+/**
+ * The concurrent serving runtime. Construction starts the planner and
+ * worker threads; Drain() (or destruction) closes the front door and
+ * joins them. The Scheduler is not owned and must outlive the
+ * runtime; it is only ever invoked from the planner thread.
+ */
+class ServingRuntime {
+ public:
+  ServingRuntime(serving::Scheduler* scheduler,
+                 const cluster::Topology* topology,
+                 const costmodel::LatencyTable* table,
+                 RuntimeOptions options = RuntimeOptions{});
+
+  /** Drains (if not already) and joins every thread. */
+  ~ServingRuntime();
+
+  ServingRuntime(const ServingRuntime&) = delete;
+  ServingRuntime& operator=(const ServingRuntime&) = delete;
+
+  /**
+   * Submit one request from any thread. @p budget_us is the SLO budget
+   * relative to now; the runtime stamps arrival from its monotonic
+   * clock and assigns the id returned in @p out_id (untouched unless
+   * admitted). Blocks only under OverflowPolicy::kBlock on a full
+   * queue.
+   */
+  AdmitOutcome Submit(costmodel::Resolution resolution, int num_steps,
+                      TimeUs budget_us, RequestId* out_id = nullptr);
+
+  /**
+   * Graceful shutdown: close the front door, wait for every admitted
+   * request to reach a terminal state, then stop and join all
+   * threads. Idempotent; called by the destructor.
+   */
+  void Drain();
+
+  /** Monotonic runtime clock, microseconds since construction. */
+  TimeUs NowUs() const { return util::RoundUs(clock_.ElapsedUs()); }
+
+  /** Consistent snapshot of the aggregate counters. */
+  RuntimeStats stats() const;
+
+  /** Host-microsecond latency of Scheduler::Plan calls, aggregated
+   * across rounds (log-spaced buckets; percentiles via Snapshot). */
+  const metrics::SharedHistogram& plan_latency_us() const {
+    return plan_latency_us_;
+  }
+
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  /** One unit handed to the worker pool. */
+  struct DispatchTask {
+    serving::Assignment assignment;
+    /** Simulated execution span of the whole assignment. */
+    TimeUs span_us = 0;
+  };
+
+  /** What a worker reports back to the planner. */
+  struct CompletionMsg {
+    serving::Assignment assignment;
+    TimeUs span_us = 0;
+    bool aborted = false;
+  };
+
+  void PlannerLoop();
+  void WorkerLoop(int worker);
+
+  // Planner-thread-only helpers (no locks: all state they touch is
+  // owned by the single planner thread).
+  void ApplyCompletion(const CompletionMsg& msg);
+  void AdmitPending(std::vector<workload::TraceRequest>* pending);
+  void PlanOnce(TimeUs now);
+  void FinishRequest(serving::Request& request, TimeUs now);
+  void DropRequest(serving::Request& request, TimeUs now,
+                   metrics::DropReason reason);
+  void RemoveRequest(RequestId id, metrics::Outcome outcome,
+                     metrics::DropReason reason, TimeUs now);
+
+  serving::Scheduler* scheduler_;
+  const cluster::Topology* topology_;
+  const costmodel::LatencyTable* table_;
+  RuntimeOptions options_;
+  util::WallTimer clock_;
+
+  AdmissionQueue admissions_;
+
+  /** Serializes Drain callers; joining a thread twice is UB. */
+  util::Mutex drain_mu_;
+  bool drained_ TETRI_GUARDED_BY(drain_mu_) = false;
+
+  // --- planner wake channel + worker->planner mailbox ---
+  mutable util::Mutex planner_mu_;
+  util::CondVar planner_cv_;
+  util::CondVar drained_cv_;
+  std::vector<CompletionMsg> mailbox_ TETRI_GUARDED_BY(planner_mu_);
+  bool work_pending_ TETRI_GUARDED_BY(planner_mu_) = false;
+  bool draining_ TETRI_GUARDED_BY(planner_mu_) = false;
+  bool planner_done_ TETRI_GUARDED_BY(planner_mu_) = false;
+
+  // --- planner -> worker dispatch queue ---
+  mutable util::Mutex dispatch_mu_;
+  util::CondVar dispatch_cv_;
+  std::deque<DispatchTask> dispatch_ TETRI_GUARDED_BY(dispatch_mu_);
+  bool dispatch_closed_ TETRI_GUARDED_BY(dispatch_mu_) = false;
+
+  // --- aggregate counters (any-thread readers via stats()) ---
+  mutable util::Mutex stats_mu_;
+  RuntimeStats stats_ TETRI_GUARDED_BY(stats_mu_);
+
+  metrics::SharedHistogram plan_latency_us_;
+
+  /** Ids are assigned at Submit from any producer thread. */
+  std::atomic<RequestId> next_id_{0};
+
+  // --- planner-thread-only scheduling state ---
+  /** Active requests; node-based map so Request* stays stable for
+   * ScheduleContext::schedulable. Terminal requests are erased, so the
+   * store holds the working set, not everything ever admitted. */
+  std::unordered_map<RequestId, serving::Request> active_;
+  /** GPUs not executing anything (planner's view). */
+  GpuMask free_gpus_ = 0;
+  std::vector<workload::TraceRequest> pending_;
+  std::vector<CompletionMsg> completions_;
+  std::vector<serving::Request*> snapshot_;
+  std::int32_t round_seq_ = -1;
+
+  std::vector<std::thread> workers_;
+  std::thread planner_;
+};
+
+}  // namespace tetri::runtime
+
+#endif  // TETRI_RUNTIME_RUNTIME_H

@@ -10,6 +10,7 @@
 #include "serving/request_tracker.h"
 #include "sim/simulator.h"
 #include "util/check.h"
+#include "util/rounding.h"
 #include "util/wallclock.h"
 
 namespace tetri::serving {
@@ -85,14 +86,20 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
   if (round_based) TETRI_CHECK(tau > 0);
 
   // Drop policy: abandon queued requests whose latency already exceeds
-  // drop_timeout_factor x budget.
-  auto maybe_drop = [&](TimeUs now) {
-    for (Request* req : tracker.Schedulable(now)) {
+  // drop_timeout_factor x budget. Filters the snapshot in place so the
+  // scheduler sees exactly the survivors. The drop instant is rounded
+  // through util::RoundUs (one-rounding-rule), clamped so a deadline
+  // before arrival (negative budget) drops at the first opportunity
+  // instead of computing a drop time in the past.
+  auto maybe_drop = [&](TimeUs now, std::vector<Request*>* schedulable) {
+    std::size_t kept = 0;
+    for (Request* req : *schedulable) {
       const TimeUs budget = req->meta.deadline_us - req->meta.arrival_us;
       const TimeUs drop_at =
           req->meta.arrival_us +
-          static_cast<TimeUs>(config_.drop_timeout_factor *
-                              static_cast<double>(budget));
+          std::max<TimeUs>(
+              0, util::RoundUs(config_.drop_timeout_factor *
+                               static_cast<double>(budget)));
       if (now >= drop_at) {
         req->drop_reason = metrics::DropReason::kTimeout;
         if (tracer != nullptr) {
@@ -106,14 +113,18 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
         }
         tracker.Transition(*req, RequestState::kDropped, now);
         latents.Forget(req->meta.id, now);
+      } else {
+        (*schedulable)[kept++] = req;
       }
     }
+    schedulable->resize(kept);
   };
 
   auto invoke_scheduler = [&]() {
     const TimeUs now = simulator.Now();
-    maybe_drop(now);
+    // One snapshot per tick: drop from it, schedule the survivors.
     std::vector<Request*> schedulable = tracker.Schedulable(now);
+    maybe_drop(now, &schedulable);
     if (schedulable.empty()) return;
 
     ScheduleContext ctx;

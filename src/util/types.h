@@ -24,12 +24,14 @@ inline constexpr RequestId kInvalidRequest = -1;
  */
 using GpuMask = std::uint32_t;
 
-/** Conversions between common time units and TimeUs. */
+/** Conversions between common time units and TimeUs. Truncating casts
+ * (not util::RoundUs): these are constexpr and std::llround is not;
+ * callers pass exact unit multiples, so nothing is lost. */
 inline constexpr TimeUs UsFromMs(double ms) {
-  return static_cast<TimeUs>(ms * 1e3);
+  return static_cast<TimeUs>(ms * 1e3);  // NOLINT(tetri-rounding)
 }
 inline constexpr TimeUs UsFromSec(double sec) {
-  return static_cast<TimeUs>(sec * 1e6);
+  return static_cast<TimeUs>(sec * 1e6);  // NOLINT(tetri-rounding)
 }
 inline constexpr double MsFromUs(TimeUs us) {
   return static_cast<double>(us) / 1e3;

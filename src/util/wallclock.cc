@@ -1,6 +1,7 @@
 #include "util/wallclock.h"
 
 #include <chrono>
+#include <thread>
 
 namespace tetri::util {
 
@@ -37,6 +38,14 @@ double
 WallTimer::ElapsedSec() const
 {
   return static_cast<double>(NowNs() - start_ns_) * 1e-9;
+}
+
+void
+SleepForUs(double us)
+{
+  if (!(us > 0.0)) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::micro>(us));
 }
 
 }  // namespace tetri::util

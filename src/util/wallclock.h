@@ -36,6 +36,15 @@ class WallTimer {
   std::int64_t start_ns_ = 0;
 };
 
+/**
+ * Block the calling thread for roughly @p us host microseconds
+ * (std::this_thread::sleep_for under the hood). Like WallTimer, this
+ * is the only doorway: the concurrent serving runtime paces rounds and
+ * simulates execution spans through it, never via raw <chrono>.
+ * Negative and zero durations return immediately.
+ */
+void SleepForUs(double us);
+
 }  // namespace tetri::util
 
 #endif  // TETRI_UTIL_WALLCLOCK_H

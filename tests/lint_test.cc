@@ -290,6 +290,46 @@ TEST(LintRuleTest, Rounding)
   EXPECT_EQ(CountRule(report, "rounding"), 0);
 }
 
+TEST(LintRuleTest, RoundingStaticCastArithmetic)
+{
+  auto report = RunLint(
+      {Fixture("a/x.cc",
+               "TimeUs a = static_cast<TimeUs>(factor * budget);\n"
+               "TimeUs b = static_cast<TimeUs>(x / 2.0);\n"
+               "TimeUs c = static_cast<TimeUs>(end - begin);\n"
+               "TimeUs d = static_cast<TimeUs>(value);\n"
+               "TimeUs e = static_cast<TimeUs>(req->deadline_us);\n"
+               "TimeUs f = static_cast<TimeUs>(-1);\n"
+               "double g = static_cast<double>(span * k);\n")},
+      {"rounding"});
+  // Arithmetic inside the cast truncates a computed duration.
+  EXPECT_TRUE(Has(report, "rounding", "src/a/x.cc", 1));
+  EXPECT_TRUE(Has(report, "rounding", "src/a/x.cc", 2));
+  EXPECT_TRUE(Has(report, "rounding", "src/a/x.cc", 3));
+  // A plain value, member access, unary minus, and casts to other
+  // types carry no fractional part to lose.
+  EXPECT_FALSE(Has(report, "rounding", "src/a/x.cc", 4));
+  EXPECT_FALSE(Has(report, "rounding", "src/a/x.cc", 5));
+  EXPECT_FALSE(Has(report, "rounding", "src/a/x.cc", 6));
+  EXPECT_FALSE(Has(report, "rounding", "src/a/x.cc", 7));
+
+  // util/rounding.h is the one legal conversion site.
+  report = RunLint(
+      {Fixture("util/rounding.h",
+               "TimeUs r = static_cast<TimeUs>(us * 1e6);\n")},
+      {"rounding"});
+  EXPECT_EQ(CountRule(report, "rounding"), 0);
+
+  // A multi-line cast is flagged on the line the cast starts.
+  report = RunLint(
+      {Fixture("a/y.cc",
+               "TimeUs a =\n"
+               "    static_cast<TimeUs>(drop_timeout_factor *\n"
+               "                        static_cast<double>(budget));\n")},
+      {"rounding"});
+  EXPECT_TRUE(Has(report, "rounding", "src/a/y.cc", 2));
+}
+
 TEST(LintRuleTest, Wallclock)
 {
   const std::string body =

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Concurrent serving runtime tests: admission-queue semantics
+ * (backpressure, shedding, close), the planner/worker lifecycle
+ * end-to-end with the real TetriScheduler, the drop policy, chaos
+ * abort/requeue, trace emission, and the graceful drain protocol.
+ * Every suite name contains "Runtime" so `ctest -R Runtime` selects
+ * exactly these (the CI runtime-stress job runs them under TSan).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/tetri_scheduler.h"
+#include "costmodel/model_config.h"
+#include "costmodel/step_cost.h"
+#include "runtime/admission_queue.h"
+#include "runtime/runtime.h"
+#include "trace/trace.h"
+
+namespace tetri::runtime {
+namespace {
+
+using costmodel::Resolution;
+
+workload::TraceRequest
+MakeRequest(RequestId id, TimeUs arrival = 0, TimeUs deadline = 1000)
+{
+  workload::TraceRequest req;
+  req.id = id;
+  req.arrival_us = arrival;
+  req.deadline_us = deadline;
+  req.resolution = Resolution::k256;
+  req.num_steps = 4;
+  return req;
+}
+
+// ---------------------------------------------------------------------
+// AdmissionQueue
+// ---------------------------------------------------------------------
+
+TEST(RuntimeAdmissionQueueTest, PushDrainPreservesFifoOrder)
+{
+  AdmissionQueue queue(8, OverflowPolicy::kShed);
+  for (RequestId id = 0; id < 5; ++id) {
+    EXPECT_EQ(queue.Push(MakeRequest(id)), AdmitOutcome::kAdmitted);
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<workload::TraceRequest> out;
+  EXPECT_EQ(queue.TryDrain(&out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (RequestId id = 0; id < 5; ++id) {
+    EXPECT_EQ(out[static_cast<std::size_t>(id)].id, id);
+  }
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.TryDrain(&out), 0u);
+}
+
+TEST(RuntimeAdmissionQueueTest, ShedPolicyRefusesWhenFull)
+{
+  AdmissionQueue queue(2, OverflowPolicy::kShed);
+  EXPECT_EQ(queue.Push(MakeRequest(0)), AdmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.Push(MakeRequest(1)), AdmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.Push(MakeRequest(2)), AdmitOutcome::kShed);
+  const AdmissionCounters counters = queue.counters();
+  EXPECT_EQ(counters.admitted, 2u);
+  EXPECT_EQ(counters.shed, 1u);
+  // Draining frees the whole capacity again.
+  std::vector<workload::TraceRequest> out;
+  queue.TryDrain(&out);
+  EXPECT_EQ(queue.Push(MakeRequest(3)), AdmitOutcome::kAdmitted);
+}
+
+TEST(RuntimeAdmissionQueueTest, BlockPolicyWaitsForDrain)
+{
+  AdmissionQueue queue(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(queue.Push(MakeRequest(0)), AdmitOutcome::kAdmitted);
+
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(MakeRequest(1)), AdmitOutcome::kAdmitted);
+    pushed.store(true);
+  });
+  // The producer is blocked on a full queue until the consumer drains;
+  // keep draining until both submissions came through.
+  std::vector<workload::TraceRequest> out;
+  while (out.size() < 2) queue.TryDrain(&out);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 0);
+  EXPECT_EQ(out[1].id, 1);
+}
+
+TEST(RuntimeAdmissionQueueTest, CloseWakesBlockedProducerWithClosed)
+{
+  AdmissionQueue queue(1, OverflowPolicy::kBlock);
+  EXPECT_EQ(queue.Push(MakeRequest(0)), AdmitOutcome::kAdmitted);
+  std::thread producer([&] {
+    EXPECT_EQ(queue.Push(MakeRequest(1)), AdmitOutcome::kClosed);
+  });
+  queue.Close();
+  producer.join();
+  // Close refuses new work but never discards accepted work.
+  std::vector<workload::TraceRequest> out;
+  EXPECT_EQ(queue.WaitDrain(&out), 1u);
+  EXPECT_EQ(out[0].id, 0);
+  // Closed and empty: WaitDrain returns 0 instead of blocking.
+  EXPECT_EQ(queue.WaitDrain(&out), 0u);
+  EXPECT_EQ(queue.Push(MakeRequest(2)), AdmitOutcome::kClosed);
+  EXPECT_EQ(queue.counters().rejected_closed, 2u);
+}
+
+TEST(RuntimeAdmissionQueueTest, WaitDrainBlocksUntilPush)
+{
+  AdmissionQueue queue(4, OverflowPolicy::kBlock);
+  std::vector<workload::TraceRequest> out;
+  std::thread consumer([&] { EXPECT_EQ(queue.WaitDrain(&out), 1u); });
+  EXPECT_EQ(queue.Push(MakeRequest(42)), AdmitOutcome::kAdmitted);
+  consumer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 42);
+}
+
+// ---------------------------------------------------------------------
+// ServingRuntime
+// ---------------------------------------------------------------------
+
+struct RuntimeFixture {
+  RuntimeFixture()
+      : model(costmodel::ModelConfig::FluxDev()),
+        topo(cluster::Topology::H100Node()),
+        cost(&model, &topo),
+        table(costmodel::LatencyTable::Profile(cost, 4, 20, 5))
+  {
+  }
+  costmodel::ModelConfig model;
+  cluster::Topology topo;
+  costmodel::StepCostModel cost;
+  costmodel::LatencyTable table;
+};
+
+RuntimeFixture& F()
+{
+  static RuntimeFixture fixture;
+  return fixture;
+}
+
+/** Generous budget: nothing submitted with it should ever drop. */
+constexpr TimeUs kAmpleBudgetUs = 60'000'000;
+
+TEST(RuntimeServingTest, AllSubmissionsReachTerminalState)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.num_workers = 2;
+  std::atomic<int> completed{0};
+  options.on_complete = [&](const Completion& c) {
+    if (c.outcome == metrics::Outcome::kCompleted) completed.fetch_add(1);
+  };
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+
+  constexpr int kRequests = 50;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(runtime.Submit(Resolution::k256, 4, kAmpleBudgetUs),
+              AdmitOutcome::kAdmitted);
+  }
+  runtime.Drain();
+
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.admission.admitted, kRequests);
+  // Conservation: every admitted request reached a terminal state.
+  EXPECT_EQ(stats.completed + stats.dropped, kRequests);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(completed.load(), kRequests);
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.assignments, 0u);
+  EXPECT_GT(runtime.plan_latency_us().count(), 0u);
+}
+
+TEST(RuntimeServingTest, SubmitAfterDrainReturnsClosed)
+{
+  core::TetriScheduler scheduler(&F().table);
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table);
+  EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+            AdmitOutcome::kAdmitted);
+  runtime.Drain();
+  EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+            AdmitOutcome::kClosed);
+  // Drain is idempotent.
+  runtime.Drain();
+  EXPECT_EQ(runtime.stats().admission.rejected_closed, 1u);
+}
+
+TEST(RuntimeServingTest, NegativeBudgetIsDroppedAtFirstRound)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  std::atomic<int> dropped{0};
+  options.on_complete = [&](const Completion& c) {
+    if (c.outcome == metrics::Outcome::kDropped &&
+        c.drop_reason == metrics::DropReason::kTimeout) {
+      dropped.fetch_add(1);
+    }
+  };
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  // Deadline before arrival: the clamped drop deadline abandons the
+  // request at the first planning opportunity instead of crashing or
+  // waiting factor x |budget| in the future.
+  EXPECT_EQ(runtime.Submit(Resolution::k256, 4, -100),
+            AdmitOutcome::kAdmitted);
+  runtime.Drain();
+  EXPECT_EQ(dropped.load(), 1);
+  EXPECT_EQ(runtime.stats().dropped, 1u);
+  EXPECT_EQ(runtime.stats().completed, 0u);
+}
+
+TEST(RuntimeServingTest, ChaosAbortRequeuesAndRetries)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  std::atomic<int> aborts_left{3};
+  options.chaos_should_abort = [&](const serving::Assignment&) {
+    return aborts_left.fetch_sub(1) > 0;
+  };
+  std::atomic<int> completed{0};
+  options.on_complete = [&](const Completion& c) {
+    if (c.outcome == metrics::Outcome::kCompleted) completed.fetch_add(1);
+  };
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  constexpr int kRequests = 10;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+              AdmitOutcome::kAdmitted);
+  }
+  runtime.Drain();
+  const RuntimeStats stats = runtime.stats();
+  // The first assignments were chaos-killed, requeued, and retried to
+  // completion — no request is lost to a fault.
+  EXPECT_EQ(stats.aborted_assignments, 3u);
+  EXPECT_GT(stats.requeues, 0u);
+  EXPECT_EQ(completed.load(), kRequests);
+  EXPECT_EQ(stats.completed, kRequests);
+}
+
+TEST(RuntimeServingTest, TraceEventsCoverTheLifecycle)
+{
+  core::TetriScheduler scheduler(&F().table);
+  trace::RingBufferSink sink;
+  RuntimeOptions options;
+  options.trace = &sink;
+  {
+    ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_EQ(runtime.Submit(Resolution::k256, 3, kAmpleBudgetUs),
+                AdmitOutcome::kAdmitted);
+    }
+  }  // destructor drains
+
+  int admits = 0;
+  int dispatches = 0;
+  int completes = 0;
+  int finishes = 0;
+  int run_ends = 0;
+  for (const trace::TraceEvent& ev : sink.events()) {
+    switch (ev.kind) {
+      case trace::TraceEventKind::kAdmit: ++admits; break;
+      case trace::TraceEventKind::kDispatch: ++dispatches; break;
+      case trace::TraceEventKind::kComplete: ++completes; break;
+      case trace::TraceEventKind::kFinish: ++finishes; break;
+      case trace::TraceEventKind::kRunEnd: ++run_ends; break;
+      default: break;
+    }
+  }
+  EXPECT_EQ(admits, 5);
+  EXPECT_EQ(finishes, 5);
+  EXPECT_GT(dispatches, 0);
+  EXPECT_EQ(dispatches, completes);
+  EXPECT_EQ(run_ends, 1);
+}
+
+TEST(RuntimeServingTest, ShedCountersAddUpUnderTinyCapacity)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.queue_capacity = 1;
+  options.overflow = OverflowPolicy::kShed;
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    runtime.Submit(Resolution::k256, 1, kAmpleBudgetUs);
+  }
+  runtime.Drain();
+  const RuntimeStats stats = runtime.stats();
+  // Every submission was either admitted or shed, and every admitted
+  // one reached a terminal state.
+  EXPECT_EQ(stats.admission.admitted + stats.admission.shed, kRequests);
+  EXPECT_EQ(stats.completed + stats.dropped, stats.admission.admitted);
+}
+
+TEST(RuntimeServingTest, PacedRoundsStillCompleteEverything)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.round_interval_us = 500.0;  // pace rounds on the host clock
+  options.execution_time_scale = 0.001;  // dilate spans into host time
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+              AdmitOutcome::kAdmitted);
+  }
+  runtime.Drain();
+  EXPECT_EQ(runtime.stats().completed, kRequests);
+}
+
+// ---------------------------------------------------------------------
+// Concurrency stress (the TSan target)
+// ---------------------------------------------------------------------
+
+TEST(RuntimeStressTest, ManyProducersConserveEveryRequest)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.queue_capacity = 64;
+  options.overflow = OverflowPolicy::kBlock;  // backpressure, no loss
+  options.num_workers = 3;
+  std::atomic<int> terminal{0};
+  options.on_complete = [&](const Completion&) { terminal.fetch_add(1); };
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 150;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&runtime] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+                  AdmitOutcome::kAdmitted);
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  runtime.Drain();
+
+  constexpr int kTotal = kProducers * kPerProducer;
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.admission.admitted, kTotal);
+  EXPECT_EQ(stats.completed + stats.dropped, kTotal);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(terminal.load(), kTotal);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_GT(runtime.plan_latency_us().count(), 0u);
+}
+
+}  // namespace
+}  // namespace tetri::runtime

@@ -12,6 +12,7 @@
 #include "serving/request_tracker.h"
 #include "serving/system.h"
 #include "sim/simulator.h"
+#include "trace/trace.h"
 
 namespace tetri::serving {
 namespace {
@@ -329,6 +330,95 @@ TEST(ServingSystemTest, TimedOutRequestsAreDropped)
   baselines::FixedSpScheduler sched(1);  // hopeless for 2048
   auto result = system.Run(&sched, trace);
   EXPECT_GT(result.num_dropped, 0);
+}
+
+/** Plans nothing; every scheduler invocation only exercises the
+ * admission/drop path of the serving tick. */
+class NullScheduler : public Scheduler {
+ public:
+  std::string Name() const override { return "null"; }
+  SchedulingMode Mode() const override {
+    return SchedulingMode::kEventDriven;
+  }
+  RoundPlan Plan(const ScheduleContext&) override { return {}; }
+};
+
+std::vector<trace::TraceEvent>
+TimeoutDrops(const trace::RingBufferSink& sink)
+{
+  std::vector<trace::TraceEvent> drops;
+  for (const trace::TraceEvent& ev : sink.events()) {
+    if (ev.kind == trace::TraceEventKind::kDrop &&
+        ev.reason == trace::TraceReason::kTimeout) {
+      drops.push_back(ev);
+    }
+  }
+  return drops;
+}
+
+TEST(ServingSystemTest, DropBoundaryIsRoundedNotTruncated)
+{
+  // factor * budget = 0.0105 * 1000 = 10.5us: the one-rounding-rule
+  // (llround) puts the drop tick at arrival + 11; the old truncating
+  // cast dropped one microsecond early at arrival + 10.
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingConfig config;
+  config.drop_timeout_factor = 0.0105;
+  trace::RingBufferSink sink;
+  config.trace = &sink;
+  ServingSystem system(&topo, &model, config);
+
+  workload::Trace trace;
+  trace.requests.push_back(
+      MakeRequest(0, Resolution::k256, 0, 1000));  // drop_at = 11
+  // Probe arrivals tick the event-driven scheduler at exactly t=10 and
+  // t=11; their own budgets are too large to ever drop.
+  trace.requests.push_back(
+      MakeRequest(1, Resolution::k256, 10, 10'000'000));
+  trace.requests.push_back(
+      MakeRequest(2, Resolution::k256, 11, 10'000'000));
+
+  NullScheduler sched;
+  system.Run(&sched, trace);
+
+  const auto drops = TimeoutDrops(sink);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].request, 0);
+  // Not dropped by the t=10 tick; dropped exactly at the t=11 tick.
+  EXPECT_EQ(drops[0].time_us, 11);
+}
+
+TEST(ServingSystemTest, NegativeBudgetDropsAtArrivalNotBefore)
+{
+  // A deadline before arrival makes factor * budget negative; the
+  // clamp pins drop_at to the arrival itself, so the request is
+  // abandoned at the first tick instead of computing a drop time in
+  // the past (or, with a large factor, far in the future).
+  auto model = ModelConfig::FluxDev();
+  auto topo = Topology::H100Node();
+  ServingConfig config;
+  config.drop_timeout_factor = 10.0;
+  trace::RingBufferSink sink;
+  config.trace = &sink;
+  // A bare external auditor (no checkers installed): the standard
+  // admission checker reports deadline < arrival, which under
+  // -DTETRI_AUDIT would promote to a panic before the drop path runs.
+  audit::Auditor bare;
+  config.auditor = &bare;
+  ServingSystem system(&topo, &model, config);
+
+  workload::Trace trace;
+  trace.requests.push_back(
+      MakeRequest(0, Resolution::k256, 100, 50));  // budget = -50
+  NullScheduler sched;
+  auto result = system.Run(&sched, trace);
+
+  EXPECT_EQ(result.num_dropped, 1);
+  const auto drops = TimeoutDrops(sink);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(drops[0].request, 0);
+  EXPECT_EQ(drops[0].time_us, 100);  // at arrival, not before
 }
 
 }  // namespace

@@ -207,12 +207,30 @@ main(int argc, char** argv)
       matched, geomean, threshold, current.mode.c_str());
 
   if (!trajectory_path.empty()) {
-    std::ofstream out(trajectory_path, std::ios::app);
+    // Idempotent append: a re-run with the same label (same commit)
+    // replaces its own entry instead of duplicating it, so CI retries
+    // and local reruns keep the trajectory one-line-per-label.
+    const std::string label_key = "\"label\": \"" + label + "\"";
+    std::vector<std::string> kept;
+    bool replaced = false;
+    {
+      std::ifstream in(trajectory_path);
+      std::string existing;
+      while (std::getline(in, existing)) {
+        if (existing.find(label_key) != std::string::npos) {
+          replaced = true;
+          continue;
+        }
+        if (!existing.empty()) kept.push_back(existing);
+      }
+    }
+    std::ofstream out(trajectory_path, std::ios::trunc);
     if (!out) {
-      std::cerr << "bench_gate: cannot append to '" << trajectory_path
+      std::cerr << "bench_gate: cannot write '" << trajectory_path
                 << "'\n";
       return 2;
     }
+    for (const std::string& existing : kept) out << existing << "\n";
     char line[512];
     std::snprintf(line, sizeof(line),
                   "{\"label\": \"%s\", \"mode\": \"%s\", "
@@ -222,7 +240,8 @@ main(int argc, char** argv)
                   geomean, threshold,
                   geomean <= threshold ? "true" : "false");
     out << line << "\n";
-    std::printf("bench_gate: appended '%s' to %s\n", label.c_str(),
+    std::printf("bench_gate: %s '%s' in %s\n",
+                replaced ? "replaced" : "appended", label.c_str(),
                 trajectory_path.c_str());
   }
 

@@ -446,6 +446,43 @@ CheckMutexAnnotation(const SourceFile& f, const Emit& emit)
 // rounding
 // ---------------------------------------------------------------------
 
+/**
+ * True if @p expr contains a binary arithmetic operator. `->` is
+ * member access, and a `-` at the start of the expression or right
+ * after '(' ',' '<' or another operator is unary — neither computes a
+ * new quantity, so neither counts.
+ */
+bool
+HasBinaryArithmetic(const std::string& expr)
+{
+  auto prev_nonspace = [&](std::size_t i) -> char {
+    while (i > 0) {
+      --i;
+      if (!std::isspace(static_cast<unsigned char>(expr[i]))) {
+        return expr[i];
+      }
+    }
+    return '\0';
+  };
+  for (std::size_t i = 0; i < expr.size(); ++i) {
+    const char c = expr[i];
+    if (c == '*' || c == '/' || c == '+') return true;
+    if (c == '-') {
+      if (i + 1 < expr.size() && expr[i + 1] == '>') {
+        ++i;  // member access
+        continue;
+      }
+      const char prev = prev_nonspace(i);
+      if (prev == '\0' || prev == '(' || prev == ',' || prev == '<' ||
+          prev == '*' || prev == '/' || prev == '+' || prev == '-') {
+        continue;  // unary minus
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
 void
 CheckRounding(const SourceFile& f, const Emit& emit)
 {
@@ -477,6 +514,31 @@ CheckRounding(const SourceFile& f, const Emit& emit)
                  "util::RoundUs (util/rounding.h), the one rounding "
                  "rule");
       }
+    }
+  }
+  // static_cast<TimeUs>(a * b) truncates a *computed* duration — the
+  // exact bug class util::RoundUs exists for (half-away-from-zero,
+  // exactly once). Plain casts of an already-integral value carry no
+  // fractional part and stay legal; the heuristic is the presence of
+  // binary arithmetic inside the cast argument.
+  const std::string kCast = "static_cast<TimeUs>(";
+  for (std::size_t pos : FindToken(f.code, "static_cast")) {
+    if (f.code.compare(pos, kCast.size(), kCast) != 0) continue;
+    const std::size_t open = pos + kCast.size() - 1;
+    std::size_t end = open;
+    int depth = 0;
+    for (; end < f.code.size(); ++end) {
+      if (f.code[end] == '(') ++depth;
+      if (f.code[end] == ')' && --depth == 0) break;
+    }
+    if (end >= f.code.size()) continue;  // unbalanced; not ours to judge
+    const std::string arg = f.code.substr(open + 1, end - open - 1);
+    if (HasBinaryArithmetic(arg)) {
+      emit(f.display, LineOf(f.code, pos),
+           "'static_cast<TimeUs>(...)' truncates an arithmetic "
+           "expression; convert through util::RoundUs "
+           "(util/rounding.h) so the duration is rounded exactly "
+           "once");
     }
   }
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regression test: bench_gate trajectory appends are idempotent — a
+# re-run with the same --label replaces its own JSONL entry instead of
+# duplicating it, while distinct labels keep accumulating.
+set -euo pipefail
+
+BENCH_GATE="$1"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+cat > "$TMP/report.json" <<'EOF'
+{"mode": "smoke", "configs": [
+  {"queue_depth": 8, "num_gpus": 4, "fast_p50_us": 2.0, "fast_p99_us": 4.0}
+]}
+EOF
+TRAJ="$TMP/traj.jsonl"
+
+"$BENCH_GATE" "$TMP/report.json" "$TMP/report.json" \
+  --append-trajectory="$TRAJ" --label=abc12345 >/dev/null
+"$BENCH_GATE" "$TMP/report.json" "$TMP/report.json" \
+  --append-trajectory="$TRAJ" --label=abc12345 >/dev/null
+lines=$(wc -l < "$TRAJ")
+if [ "$lines" -ne 1 ]; then
+  echo "FAIL: expected 1 line after same-label rerun, got $lines"
+  cat "$TRAJ"
+  exit 1
+fi
+
+"$BENCH_GATE" "$TMP/report.json" "$TMP/report.json" \
+  --append-trajectory="$TRAJ" --label=def67890 >/dev/null
+lines=$(wc -l < "$TRAJ")
+if [ "$lines" -ne 2 ]; then
+  echo "FAIL: expected 2 lines after a second label, got $lines"
+  cat "$TRAJ"
+  exit 1
+fi
+grep -q '"label": "abc12345"' "$TRAJ"
+grep -q '"label": "def67890"' "$TRAJ"
+echo "bench_gate trajectory idempotency OK"
