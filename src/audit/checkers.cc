@@ -92,7 +92,8 @@ GpuConservationChecker::OnRoundPlan(const RoundAudit& round)
                  cluster::MaskToString(a.mask & used)));
     }
     used |= a.mask;
-    if (!cluster::IsPow2(cluster::Popcount(a.mask))) {
+    if (!allow_non_pow2_ &&
+        !cluster::IsPow2(cluster::Popcount(a.mask))) {
       Report(round.now,
              Msg("SP degree ", cluster::Popcount(a.mask),
                  " is not a power of two for mask ",
@@ -117,7 +118,8 @@ GpuConservationChecker::OnDispatch(const DispatchAudit& dispatch)
            Msg("dispatch oversubscribes busy GPUs ",
                cluster::MaskToString(dispatch.mask & busy_)));
   }
-  if (!cluster::IsPow2(cluster::Popcount(dispatch.mask))) {
+  if (!allow_non_pow2_ &&
+      !cluster::IsPow2(cluster::Popcount(dispatch.mask))) {
     Report(dispatch.now,
            Msg("dispatched SP degree ",
                cluster::Popcount(dispatch.mask),
@@ -504,10 +506,11 @@ CostModelSanityChecker::ValidateView(const TableView& view)
 // --- installation helpers ---
 
 void
-InstallStandardCheckers(Auditor& auditor)
+InstallStandardCheckers(Auditor& auditor, bool allow_non_pow2)
 {
   auditor.AddChecker(std::make_unique<EventTimeMonotonicityChecker>());
-  auditor.AddChecker(std::make_unique<GpuConservationChecker>());
+  auditor.AddChecker(
+      std::make_unique<GpuConservationChecker>(allow_non_pow2));
   auditor.AddChecker(std::make_unique<RequestLifecycleChecker>());
   auditor.AddChecker(std::make_unique<DeadlineAccountingChecker>());
   auditor.AddChecker(std::make_unique<LatentLifetimeChecker>());

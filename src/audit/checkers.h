@@ -56,9 +56,16 @@ class EventTimeMonotonicityChecker final : public Checker {
   void OnEventFired(TimeUs prev, TimeUs now) override;
 };
 
-/** Per-round GPU conservation and power-of-two SP degrees. */
+/**
+ * Per-round GPU conservation and power-of-two SP degrees. With
+ * @p allow_non_pow2 the degree checks are skipped (relaxed-placement
+ * schedulers legally dispatch degree-3 groups); conservation checks
+ * are unconditional.
+ */
 class GpuConservationChecker final : public Checker {
  public:
+  explicit GpuConservationChecker(bool allow_non_pow2 = false)
+      : allow_non_pow2_(allow_non_pow2) {}
   std::string_view name() const override { return "gpu-conservation"; }
   void OnRoundPlan(const RoundAudit& round) override;
   void OnDispatch(const DispatchAudit& dispatch) override;
@@ -68,6 +75,7 @@ class GpuConservationChecker final : public Checker {
  private:
   /** GPUs currently executing, mirrored from dispatch/complete. */
   GpuMask busy_ = 0;
+  const bool allow_non_pow2_;
 };
 
 /** Failed GPUs never receive work until they recover. */
@@ -184,9 +192,11 @@ class CostModelSanityChecker final : public Checker {
 
 /**
  * Install the seven runtime checkers (everything except the cost-model
- * sweep, which needs a latency table).
+ * sweep, which needs a latency table). @p allow_non_pow2 relaxes the
+ * GpuConservationChecker's power-of-two degree checks.
  */
-void InstallStandardCheckers(Auditor& auditor);
+void InstallStandardCheckers(Auditor& auditor,
+                             bool allow_non_pow2 = false);
 
 /** Install the cost-model checker and validate @p table immediately. */
 CostModelSanityChecker& InstallCostModelChecker(

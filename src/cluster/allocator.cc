@@ -15,7 +15,8 @@ GpuAllocator::GpuAllocator(const Topology* topology)
 std::optional<GpuMask>
 GpuAllocator::Allocate(int k, GpuMask prefer)
 {
-  TETRI_CHECK(IsPow2(k));
+  TETRI_CHECK(allow_non_pow2_ ? k >= 1 : IsPow2(k));
+  TETRI_CHECK(k <= topology_->num_gpus());
   const GpuMask avail = free_mask();
   if (k > Popcount(avail)) return std::nullopt;
 
@@ -30,7 +31,10 @@ GpuAllocator::Allocate(int k, GpuMask prefer)
   //    determinism.
   std::optional<GpuMask> best;
   int best_overlap = -1;
-  for (GpuMask block : AlignedBlocks(topology_->num_gpus(), k)) {
+  const std::vector<GpuMask> blocks =
+      IsPow2(k) ? AlignedBlocks(topology_->num_gpus(), k)
+                : ContiguousBlocks(topology_->num_gpus(), k);
+  for (GpuMask block : blocks) {
     if ((block & avail) != block) continue;
     const int overlap = OverlapCount(block, prefer);
     if (overlap > best_overlap) {

@@ -23,6 +23,19 @@ TetriScheduler::TetriScheduler(const costmodel::LatencyTable* table,
   TETRI_CHECK(table_ != nullptr);
   TETRI_CHECK(options_.step_granularity >= 1);
   TETRI_CHECK(options_.max_batch >= 1);
+  // Non-pow2 planning needs non-pow2 latency cells; conversely an
+  // extended table would leak non-pow2 degrees into every planning
+  // loop (they iterate table->degrees()), so a pow2-disciplined
+  // scheduler must be given a pow2-only table.
+  TETRI_CHECK_MSG(options_.allow_non_pow2 == table_->extended_degrees(),
+                  "allow_non_pow2 requires (and is required by) a table "
+                  "profiled with extended_degrees");
+  if (options_.packer != packers::PackerKind::kAuto) {
+    packers::PackerOptions popts;
+    popts.min_utilization = options_.packer_min_utilization;
+    packer_ = packers::MakePacker(options_.packer, popts);
+    TETRI_CHECK(packer_ != nullptr);
+  }
   scratch_.step_cache.Bind(table_);
 }
 
@@ -34,6 +47,11 @@ TetriScheduler::Name() const
   if (!options_.elastic_scale_up) name += "-NoElastic";
   if (!options_.selective_batching) name += "-NoBatch";
   if (options_.reference_plan) name += "-Ref";
+  if (packer_ != nullptr) {
+    name += "-";
+    name += packer_->name();
+  }
+  if (options_.allow_non_pow2) name += "-NP2";
   return name;
 }
 
@@ -366,7 +384,13 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
     scratch_.group_entry.push_back(ei);
   }
 
-  if (fast) {
+  if (packer_ != nullptr) {
+    // Pluggable Stage 2: the selected packer replaces the DP on both
+    // data paths, so reference_plan still exercises the seed profile
+    // of every other stage around an identical pack.
+    packer_->Pack(scratch_.groups.data(), num_groups, capacity,
+                  &scratch_.packed);
+  } else if (fast) {
     PackRoundInto(scratch_.groups.data(), num_groups, capacity,
                   &scratch_.pack, &scratch_.packed);
   } else {
@@ -621,6 +645,7 @@ TetriScheduler::Plan(const serving::ScheduleContext& ctx)
 
   // ---- Stage 6: placement with preservation (§4.2.3) ----
   cluster::GpuAllocator allocator(ctx.topology);
+  allocator.set_allow_non_pow2(options_.allow_non_pow2);
   allocator.SetFree(ctx.free_gpus);
   scratch_.masks.assign(num_pendings, 0);
   if (options_.placement_preservation) {

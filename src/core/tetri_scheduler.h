@@ -26,9 +26,12 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/allocation.h"
 #include "core/dp_packer.h"
 #include "costmodel/step_time_cache.h"
+#include "packers/packer.h"
 #include "serving/scheduler.h"
 
 namespace tetri::core {
@@ -75,6 +78,25 @@ struct TetriOptions {
    * the bench_micro_scheduler speedup measurement.
    */
   bool reference_plan = false;
+  /**
+   * Stage-2 packer selection (packers/packer.h). kAuto keeps the
+   * historical behaviour: the flat-arena DP when reference_plan is
+   * off, the nested-vector DP when it is on. Any other value routes
+   * Stage 2 through the named registered packer on both data paths.
+   */
+  packers::PackerKind packer = packers::PackerKind::kAuto;
+  /**
+   * Minimum pack utilization enforced by the progressive packer
+   * (SET-style admission bound); ignored by the DP packers.
+   */
+  double packer_min_utilization = 0.5;
+  /**
+   * Plan with every degree the table profiles, including non-powers
+   * of two, and place them through the relaxed allocator. Requires a
+   * table profiled with extended_degrees; illegal otherwise (the
+   * table only has pow2 cells to plan with).
+   */
+  bool allow_non_pow2 = false;
 };
 
 /** The TetriServe policy. */
@@ -208,6 +230,8 @@ class TetriScheduler : public serving::Scheduler {
   const costmodel::LatencyTable* table_;
   TetriOptions options_;
   TimeUs round_us_;
+  /** Non-null iff options_.packer != kAuto; owns the Stage-2 packer. */
+  std::unique_ptr<packers::RoundPacker> packer_;
   PlanScratch scratch_;
   trace::TraceSink* trace_ = nullptr;
   /** Ordinal of the round being planned; -1 before the first. */

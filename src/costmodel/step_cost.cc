@@ -27,7 +27,11 @@ StepCostModel::Occupancy(double tokens_per_gpu) const
 double
 StepCostModel::ComputeTimeUs(Resolution res, int degree, int batch) const
 {
-  TETRI_CHECK(cluster::IsPow2(degree) && degree <= topology_->num_gpus());
+  // Any degree in [1, node size] is modellable: the compute split,
+  // the collective formulas, and the occupancy curve are all defined
+  // for arbitrary k. The scheduler's pow2 discipline (when on) lives
+  // in the planning layers, not here.
+  TETRI_CHECK(degree >= 1 && degree <= topology_->num_gpus());
   TETRI_CHECK(batch >= 1);
   const double step_tflops =
       model_->StepTflops(LatentTokens(res)) * batch;
@@ -97,7 +101,7 @@ StepCostModel::LaunchTimeUs() const
 GpuMask
 StepCostModel::ReferenceMask(int degree) const
 {
-  TETRI_CHECK(cluster::IsPow2(degree) && degree <= topology_->num_gpus());
+  TETRI_CHECK(degree >= 1 && degree <= topology_->num_gpus());
   return cluster::FullMask(degree);
 }
 

@@ -11,10 +11,10 @@ StepTimeCache::Bind(const LatencyTable* table)
 {
   TETRI_CHECK(table != nullptr);
   table_ = table;
-  num_degrees_ = table->num_degrees();
+  max_degree_ = table->max_degree();
   max_batch_ = table->max_batch();
   slots_.assign(static_cast<std::size_t>(kNumResolutions) *
-                    num_degrees_ * max_batch_,
+                    max_degree_ * max_batch_,
                 Slot{});
   epoch_ = 1;
   hits_ = 0;
@@ -25,10 +25,10 @@ double
 StepTimeCache::StepTimeUs(Resolution res, int degree, int batch)
 {
   TETRI_CHECK(table_ != nullptr);
-  const int di = std::countr_zero(static_cast<unsigned>(degree));
+  TETRI_CHECK(degree >= 1 && degree <= max_degree_);
   const std::size_t idx =
-      (static_cast<std::size_t>(ResolutionIndex(res)) * num_degrees_ +
-       di) *
+      (static_cast<std::size_t>(ResolutionIndex(res)) * max_degree_ +
+       (degree - 1)) *
           max_batch_ +
       (batch - 1);
   TETRI_CHECK(idx < slots_.size());

@@ -58,12 +58,16 @@ class StepTimeCache {
   };
 
   const LatencyTable* table_ = nullptr;
-  int num_degrees_ = 0;
+  int max_degree_ = 0;
   int max_batch_ = 0;
   std::uint64_t epoch_ = 1;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
-  std::vector<Slot> slots_;  // [res][log2 degree][batch-1] flattened
+  // [res][degree-1][batch-1] flattened. Dense in the degree so
+  // non-power-of-two degrees (extended tables) index without
+  // collision; pow2-only tables waste the in-between slots, a few
+  // hundred bytes.
+  std::vector<Slot> slots_;
 };
 
 }  // namespace tetri::costmodel

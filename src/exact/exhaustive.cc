@@ -1,6 +1,7 @@
 #include "exact/exhaustive.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "cluster/gpu_set.h"
 #include "util/check.h"
@@ -15,6 +16,7 @@ struct SearchState {
   int num_gpus;
   const std::vector<ExactRequest>* requests;
   double timeout_seconds;
+  std::vector<int> degrees;  // searchable degrees, descending
   util::WallTimer timer;
 
   std::vector<double> gpu_free;     // per-GPU next free time (us)
@@ -85,14 +87,13 @@ Search(SearchState& st)
   }
 
   // Choose the next step to place: branch over every unfinished
-  // request, every degree (fastest first, so good schedules are found
-  // early and the bound prunes aggressively), every GPU subset.
-  std::vector<int> degrees = st.table->degrees();
-  std::sort(degrees.rbegin(), degrees.rend());
+  // request, every searchable degree (fastest first, so good schedules
+  // are found early and the bound prunes aggressively), every GPU
+  // subset.
   for (std::size_t i = 0; i < st.requests->size(); ++i) {
     const ExactRequest& req = (*st.requests)[i];
     if (st.steps_done[i] >= req.steps) continue;
-    for (int k : degrees) {
+    for (int k : st.degrees) {
       if (k > st.num_gpus) continue;
       const double step_us =
           st.table->StepTimeUs(req.resolution, k);
@@ -147,12 +148,29 @@ SolveExhaustive(const costmodel::LatencyTable& table, int num_gpus,
                 const std::vector<ExactRequest>& requests,
                 double timeout_seconds)
 {
+  ExactOptions options;
+  options.timeout_seconds = timeout_seconds;
+  return SolveExhaustive(table, num_gpus, requests, options);
+}
+
+ExactResult
+SolveExhaustive(const costmodel::LatencyTable& table, int num_gpus,
+                const std::vector<ExactRequest>& requests,
+                const ExactOptions& options)
+{
   TETRI_CHECK(num_gpus >= 1 && num_gpus <= 16);
   SearchState st;
   st.table = &table;
   st.num_gpus = num_gpus;
   st.requests = &requests;
-  st.timeout_seconds = timeout_seconds;
+  st.timeout_seconds = options.timeout_seconds;
+  for (int k : table.degrees()) {
+    if (options.allow_non_pow2 || cluster::IsPow2(k)) {
+      st.degrees.push_back(k);
+    }
+  }
+  std::sort(st.degrees.rbegin(), st.degrees.rend());
+  TETRI_CHECK(!st.degrees.empty());
   st.timer.Restart();
   st.gpu_free.assign(num_gpus, 0.0);
   st.steps_done.assign(requests.size(), 0);
@@ -161,9 +179,19 @@ SolveExhaustive(const costmodel::LatencyTable& table, int num_gpus,
   st.min_step_us.clear();
   for (const ExactRequest& req : requests) {
     st.ready.push_back(static_cast<double>(req.arrival_us));
-    st.min_step_us.push_back(table.MinStepTimeUs(req.resolution));
-    st.min_gpu_us.push_back(table.GpuTimeUs(
-        req.resolution, table.MostEfficientDegree(req.resolution)));
+    // Optimistic per-step bounds, restricted to the searchable degree
+    // set so the pruning comparisons stay tight when the search space
+    // is filtered. Still admissible: every reachable schedule pays at
+    // least these.
+    double min_step = std::numeric_limits<double>::infinity();
+    double min_gpu = std::numeric_limits<double>::infinity();
+    for (int k : st.degrees) {
+      min_step = std::min(min_step,
+                          table.StepTimeUs(req.resolution, k));
+      min_gpu = std::min(min_gpu, table.GpuTimeUs(req.resolution, k));
+    }
+    st.min_step_us.push_back(min_step);
+    st.min_gpu_us.push_back(min_gpu);
   }
 
   Search(st);

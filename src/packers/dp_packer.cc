@@ -1,4 +1,4 @@
-#include "core/dp_packer.h"
+#include "packers/dp_packer.h"
 
 #include <algorithm>
 #include <cmath>
@@ -6,7 +6,7 @@
 
 #include "util/check.h"
 
-namespace tetri::core {
+namespace tetri::packers {
 
 bool
 WorkNearlyEqual(double a, double b)
@@ -319,4 +319,4 @@ PackRoundExhaustive(const std::vector<PackGroup>& groups, int capacity)
   return best;
 }
 
-}  // namespace tetri::core
+}  // namespace tetri::packers

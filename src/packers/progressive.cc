@@ -1,0 +1,269 @@
+#include "packers/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tetri::packers {
+
+namespace {
+
+/** Floor for demands so proportional shares are always defined. */
+constexpr double kMinDemand = 1e-12;
+
+/** Survival contribution of a group under a given choice. */
+int
+ChoiceSurvives(const PackGroup& group, int choice)
+{
+  if (choice < 0) return group.survives_if_idle ? 1 : 0;
+  return group.options[choice].survives ? 1 : 0;
+}
+
+double
+ChoiceWork(const PackGroup& group, int choice)
+{
+  return choice < 0 ? 0.0 : group.options[choice].work;
+}
+
+int
+ChoiceDegree(const PackGroup& group, int choice)
+{
+  return choice < 0 ? 0 : group.options[choice].degree;
+}
+
+}  // namespace
+
+double
+GroupDemand(const PackGroup& group)
+{
+  double demand = 0.0;
+  for (const PackOption& opt : group.options) {
+    demand = std::max(demand, opt.work);
+  }
+  return std::max(demand, kMinDemand);
+}
+
+double
+PackUtilization(const PackGroup* groups, int num_groups,
+                const PackResult& result)
+{
+  double total = 0.0;
+  double max_time = 0.0;
+  int used = 0;
+  for (int i = 0; i < num_groups; ++i) {
+    const int choice = result.choice[i];
+    if (choice < 0) continue;
+    const double demand = GroupDemand(groups[i]);
+    const int degree = groups[i].options[choice].degree;
+    total += demand;
+    used += degree;
+    max_time = std::max(max_time, demand / degree);
+  }
+  if (used == 0 || max_time <= 0.0) return 1.0;
+  return total / (static_cast<double>(used) * max_time);
+}
+
+ProgressiveFillingPacker::ProgressiveFillingPacker(
+    ProgressiveOptions options)
+    : options_(options)
+{
+  TETRI_CHECK(options_.min_utilization >= 0.0 &&
+              options_.min_utilization <= 1.0);
+}
+
+void
+ProgressiveFillingPacker::Pack(const PackGroup* groups, int num_groups,
+                               int capacity, PackResult* result)
+{
+  TETRI_CHECK(capacity >= 0);
+  TETRI_CHECK(num_groups >= 0 && (num_groups == 0 || groups != nullptr));
+  TETRI_CHECK(result != nullptr);
+  result->choice.assign(num_groups, -1);
+
+  if (static_cast<int>(demand_.size()) < num_groups) {
+    demand_.resize(num_groups);
+    share_.resize(num_groups);
+  }
+  for (int i = 0; i < num_groups; ++i) demand_[i] = GroupDemand(groups[i]);
+
+  active_.clear();
+  for (int i = 0; i < num_groups; ++i) {
+    if (!groups[i].options.empty()) active_.push_back(i);
+  }
+  // More contenders than GPUs: progressive filling serves at most
+  // `capacity` groups, so keep the highest-demand ones (the DP faces
+  // the same cap implicitly — every option costs >= 1 GPU).
+  if (static_cast<int>(active_.size()) > capacity) {
+    std::stable_sort(active_.begin(), active_.end(),
+                     [&](int a, int b) { return demand_[a] > demand_[b]; });
+    active_.resize(capacity);
+    std::sort(active_.begin(), active_.end());
+  }
+
+  // SET-style progressive filling over the active groups: repeatedly
+  // hand every unplaced group the floor of its demand-proportional
+  // ideal, then fix the `extra` leftover GPUs onto the groups whose
+  // floored share is furthest below ideal (lowest share/ideal ratio).
+  // Re-run whenever the min-utilization bound evicts a group.
+  auto fill_shares = [&]() {
+    for (int i = 0; i < num_groups; ++i) share_[i] = 0;
+    unplaced_ = active_;
+    int remaining = capacity;
+    while (!unplaced_.empty() && remaining > 0) {
+      double total = 0.0;
+      for (int i : unplaced_) total += demand_[i];
+      int floored_sum = 0;
+      for (int i : unplaced_) {
+        share_[i] = static_cast<int>(
+            std::floor(demand_[i] / total * remaining));
+        floored_sum += share_[i];
+      }
+      const int extra = remaining - floored_sum;
+      if (extra <= 0) break;  // ideals were integral: all placed
+      // Lowest filled-fraction first; ties prefer higher demand, then
+      // lower index, keeping the pass deterministic.
+      std::stable_sort(
+          unplaced_.begin(), unplaced_.end(), [&](int a, int b) {
+            const double ideal_a = demand_[a] / total * remaining;
+            const double ideal_b = demand_[b] / total * remaining;
+            const double ratio_a = share_[a] / ideal_a;
+            const double ratio_b = share_[b] / ideal_b;
+            if (ratio_a != ratio_b) return ratio_a < ratio_b;
+            if (demand_[a] != demand_[b]) return demand_[a] > demand_[b];
+            return a < b;
+          });
+      const int grants = std::min<int>(extra, unplaced_.size());
+      for (int g = 0; g < grants; ++g) {
+        const int i = unplaced_[g];
+        share_[i] += 1;
+        remaining -= share_[i];
+      }
+      unplaced_.erase(unplaced_.begin(), unplaced_.begin() + grants);
+    }
+  };
+
+  // Snap a share to the group's best feasible option; `none` (the
+  // idle choice) competes under the shared DP comparator, so a
+  // non-surviving option never displaces an idle survival.
+  auto snap = [&](int i) {
+    const PackGroup& group = groups[i];
+    int best = -1;
+    for (int oi = 0; oi < static_cast<int>(group.options.size()); ++oi) {
+      const PackOption& opt = group.options[oi];
+      if (opt.degree > share_[i]) continue;
+      if (PackValueBetter(opt.survives ? 1 : 0, opt.work, opt.degree,
+                          ChoiceSurvives(group, best),
+                          ChoiceWork(group, best),
+                          ChoiceDegree(group, best))) {
+        best = oi;
+      }
+    }
+    result->choice[i] = best;
+  };
+
+  // Greedy leftover redistribution: repeatedly apply the single
+  // widening move (admission of an unchosen group or upgrade of a
+  // chosen one) with the best (survival gain, work gain, width) value.
+  // Every move widens by >= 1 GPU, so the loop terminates. When
+  // @p frozen is set only already-chosen groups may move (used after
+  // a utilization eviction, which must not re-admit what it evicted).
+  auto redistribute = [&](int* leftover, bool frozen) {
+    while (*leftover > 0) {
+      int best_i = -1;
+      int best_oi = -1;
+      int best_dsv = 0;
+      double best_dwk = 0.0;
+      int best_ddeg = 0;
+      for (int i = 0; i < num_groups; ++i) {
+        const PackGroup& group = groups[i];
+        const int cur = result->choice[i];
+        if (frozen && cur < 0) continue;
+        const int cur_sv = ChoiceSurvives(group, cur);
+        const double cur_wk = ChoiceWork(group, cur);
+        const int cur_deg = ChoiceDegree(group, cur);
+        for (int oi = 0; oi < static_cast<int>(group.options.size());
+             ++oi) {
+          const PackOption& opt = group.options[oi];
+          const int ddeg = opt.degree - cur_deg;
+          if (ddeg <= 0 || ddeg > *leftover) continue;
+          const int dsv = (opt.survives ? 1 : 0) - cur_sv;
+          const double dwk = opt.work - cur_wk;
+          const bool improves =
+              dsv > 0 || (dsv == 0 && dwk > 0.0 &&
+                          !WorkNearlyEqual(opt.work, cur_wk));
+          if (!improves) continue;
+          const bool better =
+              best_i < 0 ||
+              PackValueBetter(dsv, dwk, ddeg, best_dsv, best_dwk,
+                              best_ddeg);
+          if (better) {
+            best_i = i;
+            best_oi = oi;
+            best_dsv = dsv;
+            best_dwk = dwk;
+            best_ddeg = ddeg;
+          }
+        }
+      }
+      if (best_i < 0) break;
+      result->choice[best_i] = best_oi;
+      *leftover -= best_ddeg;
+    }
+  };
+
+  fill_shares();
+  int leftover = capacity;
+  for (int i : active_) {
+    snap(i);
+    leftover -= ChoiceDegree(groups[i], result->choice[i]);
+  }
+  redistribute(&leftover, /*frozen=*/false);
+
+  // Min-utilization bound (SET's admission test): while the chosen
+  // set's utilization is below the bound and more than one group is
+  // chosen, evict the smallest-demand chosen group and let the
+  // survivors widen into the freed GPUs. Deliberately leaves GPUs
+  // idle rather than accept a mostly-idle allocation.
+  while (options_.min_utilization > 0.0) {
+    int chosen = 0;
+    for (int i = 0; i < num_groups; ++i) {
+      if (result->choice[i] >= 0) ++chosen;
+    }
+    if (chosen <= 1) break;
+    if (PackUtilization(groups, num_groups, *result) >=
+        options_.min_utilization) {
+      break;
+    }
+    int victim = -1;
+    for (int i = 0; i < num_groups; ++i) {
+      if (result->choice[i] < 0) continue;
+      if (victim < 0 || demand_[i] < demand_[victim] ||
+          (demand_[i] == demand_[victim] && i > victim)) {
+        victim = i;
+      }
+    }
+    leftover += ChoiceDegree(groups[victim], result->choice[victim]);
+    result->choice[victim] = -1;
+    redistribute(&leftover, /*frozen=*/true);
+  }
+
+  // Final accounting, same formulas as the DP.
+  result->survivors = 0;
+  result->gpus_used = 0;
+  result->running = 0;
+  result->work = 0.0;
+  for (int i = 0; i < num_groups; ++i) {
+    const int choice = result->choice[i];
+    result->survivors += ChoiceSurvives(groups[i], choice);
+    if (choice >= 0) {
+      const PackOption& opt = groups[i].options[choice];
+      result->gpus_used += opt.degree;
+      result->work += opt.work;
+      ++result->running;
+    }
+  }
+  TETRI_CHECK(result->gpus_used <= capacity);
+}
+
+}  // namespace tetri::packers

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Utilization-driven progressive-filling round packer.
+ *
+ * Adapts SET-ISCA2023's `Cluster::try_alloc`: GPUs are handed to
+ * requests in proportion to their demand by progressive filling —
+ * each pass gives every still-unplaced group the floor of its ideal
+ * (demand-proportional) share, then grants the leftover +1 GPUs to the
+ * groups whose floored share falls shortest of ideal, fixing those in
+ * place and repeating on the remainder. The continuous shares are then
+ * snapped to each group's best feasible pack option (survival first,
+ * then work, then width — the shared DP comparator), leftover GPUs are
+ * redistributed greedily, and a min-utilization bound evicts
+ * low-demand groups whose allocation would leave the chosen set
+ * mostly idle (SET's `min_util` admission test).
+ *
+ * The packer is a *heuristic*: every result is feasible
+ * (gpus_used <= capacity, per-group option indices valid) but the
+ * survivor count is bounded above by the DP packer's, which the
+ * differential harness asserts. Its value is tolerance to
+ * fragmentation: with non-power-of-two degrees in the option groups it
+ * fills odd-sized free sets the pow2-constrained DP must strand.
+ */
+#ifndef TETRI_PACKERS_PROGRESSIVE_H
+#define TETRI_PACKERS_PROGRESSIVE_H
+
+#include <vector>
+
+#include "packers/packer.h"
+
+namespace tetri::packers {
+
+/** Tuning of the progressive-filling packer. */
+struct ProgressiveOptions {
+  /**
+   * Minimum acceptable utilization of the chosen set, measured as
+   * total demand / (gpus_used x slowest per-GPU demand); see
+   * PackUtilization. 0 disables the bound (work-conserving mode); the
+   * harness asserts the bound holds whenever more than one group is
+   * chosen.
+   */
+  double min_utilization = 0.5;
+};
+
+/**
+ * Demand proxy of one group: the GPU-work of its most productive
+ * option, floored at a tiny positive value so proportional-share
+ * arithmetic is always defined.
+ */
+double GroupDemand(const PackGroup& group);
+
+/**
+ * Utilization of a pack result, SET-style: sum of chosen groups'
+ * demands over gpus_used x max(demand_i / degree_i) — 1.0 when every
+ * allocated GPU carries the same demand density, lower when a wide
+ * allocation idles behind the slowest member. 1.0 for empty results.
+ */
+double PackUtilization(const PackGroup* groups, int num_groups,
+                       const PackResult& result);
+
+/** SET-style progressive filling with a min-utilization bound. */
+class ProgressiveFillingPacker final : public RoundPacker {
+ public:
+  explicit ProgressiveFillingPacker(ProgressiveOptions options = {});
+
+  std::string_view name() const override { return "progressive"; }
+  const ProgressiveOptions& options() const { return options_; }
+
+  void Pack(const PackGroup* groups, int num_groups, int capacity,
+            PackResult* result) override;
+
+ private:
+  ProgressiveOptions options_;
+  // Reusable scratch (grow-only, index parallel to groups).
+  std::vector<double> demand_;
+  std::vector<int> share_;
+  std::vector<int> active_;
+  std::vector<int> unplaced_;
+};
+
+}  // namespace tetri::packers
+
+#endif  // TETRI_PACKERS_PROGRESSIVE_H

@@ -31,7 +31,8 @@ ServingSystem::ServingSystem(const cluster::Topology* topology,
       cost_(model, topology),
       table_(costmodel::LatencyTable::Profile(cost_, config.max_batch,
                                               config.profile_samples,
-                                              config.seed))
+                                              config.seed,
+                                              config.extended_degrees))
 {
   TETRI_CHECK(topology_ && model_);
 }
@@ -53,7 +54,8 @@ ServingSystem::Run(Scheduler* scheduler, const workload::Trace& trace)
 #ifdef TETRI_AUDIT
   if (auditor == nullptr) {
     owned_auditor = std::make_unique<audit::Auditor>();
-    audit::InstallStandardCheckers(*owned_auditor);
+    audit::InstallStandardCheckers(*owned_auditor,
+                                   config_.extended_degrees);
     audit::InstallCostModelChecker(*owned_auditor, &table_);
     auditor = owned_auditor.get();
   }

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Golden decision traces for the progressive-filling packer: one
+ * fully traced serving run per model (FLUX.1-dev and SD3-Medium) with
+ * the progressive packer on an extended-degree table, non-pow2
+ * placement, and a scripted mid-run GPU failure (the fragmentation
+ * regime the packer exists for). The Perfetto export — every round
+ * span, pack choice, shed, and dispatch, virtual-time exact — is
+ * pinned byte for byte.
+ *
+ * Regenerate after an intentional policy change with:
+ *   TETRI_REGEN_GOLDEN=1 ./packer_golden_test
+ * and commit the diff.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/chaos.h"
+#include "core/tetri_scheduler.h"
+#include "costmodel/model_config.h"
+#include "serving/system.h"
+#include "trace/perfetto.h"
+#include "trace/trace.h"
+
+namespace tetri::packers {
+namespace {
+
+using cluster::Topology;
+using costmodel::ModelConfig;
+
+/** One traced progressive run: extended table, non-pow2 placement, a
+ * mid-run single-GPU failure, 12 mixed requests. */
+std::string
+ProgressiveSection(const ModelConfig& model, int fail_gpu)
+{
+  const auto topo = Topology::H100Node();
+
+  workload::TraceSpec spec;
+  spec.num_requests = 12;
+  spec.slo_scale = 1.5;
+  const auto trace = workload::BuildTrace(spec);
+
+  chaos::ChaosConfig config;
+  chaos::ScriptedFailure failure;
+  failure.at_us = trace.requests[trace.requests.size() / 2].arrival_us;
+  failure.gpu = fail_gpu;
+  failure.recover_after_us = UsFromSec(1.0);
+  config.scripted.push_back(failure);
+  chaos::ChaosController controller(config);
+
+  trace::Tracer tracer;
+  trace::PerfettoSink sink;
+  tracer.AddSink(&sink);
+  serving::ServingConfig sc;
+  sc.extended_degrees = true;
+  sc.on_run_setup = controller.Hook();
+  sc.trace = &tracer;
+  serving::ServingSystem system(&topo, &model, sc);
+
+  core::TetriOptions opts;
+  opts.packer = PackerKind::kProgressive;
+  opts.allow_non_pow2 = true;
+  core::TetriScheduler scheduler(&system.table(), opts);
+  EXPECT_EQ(scheduler.Name(), "TetriServe-progressive-NP2");
+  system.Run(&scheduler, trace);
+
+  const auto events = sink.events();
+  EXPECT_GT(events.size(), 100u);  // a real run, not a stub
+  return trace::PerfettoJson(events, topo.num_gpus());
+}
+
+void
+CheckGolden(const std::string& actual, const std::string& name)
+{
+  const std::string golden_path =
+      std::string(TETRI_SOURCE_DIR) + "/tests/golden/" + name;
+
+  const char* regen = std::getenv("TETRI_REGEN_GOLDEN");
+  if (regen != nullptr && *regen != '\0') {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << golden_path
+      << " (regenerate with TETRI_REGEN_GOLDEN=1)";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "progressive decision trace changed; if intentional, "
+         "regenerate with TETRI_REGEN_GOLDEN=1 and commit the diff";
+}
+
+TEST(PackerGoldenTest, ProgressiveFluxTraceMatchesCommittedGolden)
+{
+  CheckGolden(ProgressiveSection(ModelConfig::FluxDev(), 1),
+              "trace_packer_flux.golden");
+}
+
+TEST(PackerGoldenTest, ProgressiveSd3TraceMatchesCommittedGolden)
+{
+  CheckGolden(ProgressiveSection(ModelConfig::Sd3Medium(), 0),
+              "trace_packer_sd3.golden");
+}
+
+}  // namespace
+}  // namespace tetri::packers

@@ -40,9 +40,17 @@ struct Config {
   double fast_p99_us = 0.0;
 };
 
+struct PackerRow {
+  std::string packer;
+  double plan_p50_us = 0.0;
+  int frag_met = 0;
+  int frag_total = 0;
+};
+
 struct Report {
   std::string mode;
   std::vector<Config> configs;
+  std::vector<PackerRow> packers;  // optional "packers" block
 };
 
 /** Extract the number following "<key>": in @p obj, or NAN. */
@@ -55,9 +63,23 @@ NumberField(const std::string& obj, const std::string& key)
   return std::strtod(obj.c_str() + pos + needle.size(), nullptr);
 }
 
+/** Extract the string following "<key>": " in @p obj, or "". */
+std::string
+StringField(const std::string& obj, const std::string& key)
+{
+  const std::string needle = "\"" + key + "\": \"";
+  const auto pos = obj.find(needle);
+  if (pos == std::string::npos) return "";
+  const auto start = pos + needle.size();
+  const auto end = obj.find('"', start);
+  if (end == std::string::npos) return "";
+  return obj.substr(start, end - start);
+}
+
 /**
  * Minimal parse of the bench_micro_scheduler JSON shape: pull the
- * "mode" string and every {...} object inside the "configs" array.
+ * "mode" string and every {...} object inside the "configs" array
+ * (plus the optional "packers" array, when present).
  * Deliberately not a general JSON parser — the producer is ours and
  * writes flat objects with no nested braces inside configs.
  */
@@ -118,6 +140,35 @@ ParseReport(const std::string& path, Report* out)
     std::cerr << "bench_gate: no configs parsed from '" << path
               << "'\n";
     return false;
+  }
+
+  // Optional packer-matrix block (bench_micro_scheduler --packers).
+  // Older reports predate it, so absence is not an error.
+  const auto packers_pos = text.find("\"packers\"", close);
+  if (packers_pos != std::string::npos) {
+    const auto popen = text.find('[', packers_pos);
+    const auto pclose = text.find(']', packers_pos);
+    if (popen != std::string::npos && pclose != std::string::npos) {
+      std::size_t ppos = popen;
+      while (true) {
+        const auto obj_open = text.find('{', ppos);
+        if (obj_open == std::string::npos || obj_open > pclose) break;
+        const auto obj_close = text.find('}', obj_open);
+        if (obj_close == std::string::npos) break;
+        const std::string obj =
+            text.substr(obj_open, obj_close - obj_open + 1);
+        PackerRow row;
+        row.packer = StringField(obj, "packer");
+        row.plan_p50_us = NumberField(obj, "plan_p50_us");
+        row.frag_met = static_cast<int>(NumberField(obj, "frag_met"));
+        row.frag_total =
+            static_cast<int>(NumberField(obj, "frag_total"));
+        if (!row.packer.empty() && std::isfinite(row.plan_p50_us)) {
+          out->packers.push_back(row);
+        }
+        ppos = obj_close + 1;
+      }
+    }
   }
   return true;
 }
@@ -205,6 +256,33 @@ main(int argc, char** argv)
       "bench_gate: %d config(s), geomean fast_p50 ratio %.3f "
       "(threshold %.2f, current mode '%s')\n",
       matched, geomean, threshold, current.mode.c_str());
+
+  // Packer matrix (when the current report carries one): print the
+  // rows and enforce the recorded invariant — the progressive
+  // packer's SLO attainment on the fragmented-node scenario must be
+  // at least the DP's. Reports without the block (older baselines,
+  // runs without --packers) skip the check.
+  if (!current.packers.empty()) {
+    const PackerRow* dp = nullptr;
+    const PackerRow* progressive = nullptr;
+    std::printf("%12s %14s %10s %12s\n", "packer", "plan_p50_us",
+                "frag_met", "frag_total");
+    for (const PackerRow& row : current.packers) {
+      std::printf("%12s %14.3f %10d %12d\n", row.packer.c_str(),
+                  row.plan_p50_us, row.frag_met, row.frag_total);
+      if (row.packer == "dp") dp = &row;
+      if (row.packer == "progressive") progressive = &row;
+    }
+    if (dp != nullptr && progressive != nullptr &&
+        progressive->frag_met < dp->frag_met) {
+      std::cerr << "bench_gate: FAIL — progressive packer met "
+                << progressive->frag_met << "/"
+                << progressive->frag_total
+                << " SLOs on the fragmented node vs dp's "
+                << dp->frag_met << "\n";
+      return 1;
+    }
+  }
 
   if (!trajectory_path.empty()) {
     // Idempotent append: a re-run with the same label (same commit)
