@@ -555,11 +555,12 @@ RunRegression(const std::string& json_path, bool smoke,
         out,
         "  \"trace\": {\"events\": %llu, \"rounds\": %d, "
         "\"dispatches\": %d, \"steps\": %d, \"drops\": %d, "
+        "\"aborts\": %d, \"gpu_failures\": %d, "
         "\"step_p50_us\": %.3f, \"step_p90_us\": %.3f, "
         "\"step_p99_us\": %.3f, \"pack_util_p50\": %.6f, "
         "\"admission_slack_p50_us\": %.3f}\n",
         static_cast<unsigned long long>(s.num_events), s.rounds,
-        s.dispatches, s.steps, s.drops,
+        s.dispatches, s.steps, s.drops, s.aborts, s.gpu_failures,
         s.step_latency_us.Percentile(50),
         s.step_latency_us.Percentile(90),
         s.step_latency_us.Percentile(99),

@@ -22,16 +22,27 @@
  * Usage:
  *   bench_serving_runtime [--smoke] [--json=PATH]
  *                         [--min-admissions=N]
+ *                         [--chaos-seed=S] [--tenants=T]
  *
  * --min-admissions fails (exit 1) when the best cell's sustained
  * admissions/sec lands below N — the CI floor for the 100k+ target.
+ *
+ * --chaos-seed enables seeded fault injection (worker crashes,
+ * stragglers, aborts, planner stalls) with the watchdog recovering;
+ * --tenants spreads producers across T equal-weight tenants through
+ * the fair admission queue. Both report into a "chaos" JSON block
+ * placed AFTER the configs array — bench_gate's parser reads configs
+ * only, so chaos-off outputs stay gate-compatible and chaos runs are
+ * never regression-gated (recovery work is on the clock).
  */
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "cluster/topology.h"
@@ -112,10 +123,15 @@ struct CellResult {
   double plan_p50_us = 0.0;
   double plan_p99_us = 0.0;
   std::uint64_t rounds = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  runtime::RuntimeRecoveryCounters recovery;
+  std::vector<runtime::TenantRuntimeStats> tenant_stats;
 };
 
 CellResult
-RunCell(int window, int gpus, int producers, std::uint64_t requests)
+RunCell(int window, int gpus, int producers, std::uint64_t requests,
+        std::uint64_t chaos_seed, int tenants)
 {
   cluster::Topology topo = cluster::Topology::H100Node(gpus);
   core::TetriScheduler scheduler(&F().table);
@@ -125,6 +141,14 @@ RunCell(int window, int gpus, int producers, std::uint64_t requests)
   options.queue_capacity = static_cast<std::size_t>(window) * 2;
   options.overflow = runtime::OverflowPolicy::kBlock;
   options.num_workers = 2;
+  for (int t = 0; t < tenants; ++t) {
+    options.tenants.push_back({static_cast<TenantId>(t), 1});
+  }
+  if (chaos_seed != 0) {
+    options.chaos.seed = chaos_seed;
+    options.watchdog_interval_us = 1000.0;
+    options.backoff_base_us = 100.0;
+  }
   options.on_complete = [&slots](const runtime::Completion&) {
     slots.Release();
   };
@@ -147,7 +171,12 @@ RunCell(int window, int gpus, int producers, std::uint64_t requests)
                    requests % static_cast<std::uint64_t>(producers)
                ? 1
                : 0);
-      threads.emplace_back([&rt, &slots, p, share] {
+      threads.emplace_back([&rt, &slots, p, share, tenants] {
+        // Each producer submits as one tenant; equal weights make the
+        // fair drain a round-robin over producers.
+        const TenantId tenant =
+            tenants > 0 ? static_cast<TenantId>(p % tenants)
+                        : kDefaultTenant;
         for (std::uint64_t i = 0; i < share; ++i) {
           // Mixed workload: cycle resolutions so the planner sees the
           // heterogeneous shapes the scheduler is built for.
@@ -155,7 +184,7 @@ RunCell(int window, int gpus, int producers, std::uint64_t requests)
               [(i + static_cast<std::uint64_t>(p)) %
                costmodel::kAllResolutions.size()];
           slots.Acquire();
-          rt.Submit(res, 4, kAmpleBudgetUs);
+          rt.Submit(tenant, res, 4, kAmpleBudgetUs);
         }
       });
     }
@@ -164,19 +193,31 @@ RunCell(int window, int gpus, int producers, std::uint64_t requests)
     cell.elapsed_sec = timer.ElapsedUs() / 1e6;
 
     const runtime::RuntimeStats stats = rt.stats();
-    if (stats.admission.admitted != requests ||
-        stats.completed != requests) {
+    // Chaos-off every request must complete; under chaos a request may
+    // exhaust its retry budget (failed), but the drain invariant still
+    // has to partition everything admitted.
+    const bool conserved =
+        stats.admission.admitted == requests &&
+        stats.completed + stats.dropped + stats.failed == requests &&
+        (chaos_seed != 0 || stats.completed == requests);
+    if (!conserved) {
       std::fprintf(stderr,
                    "conservation violated: admitted=%llu "
-                   "completed=%llu dropped=%llu expected=%llu\n",
+                   "completed=%llu dropped=%llu failed=%llu "
+                   "expected=%llu\n",
                    static_cast<unsigned long long>(
                        stats.admission.admitted),
                    static_cast<unsigned long long>(stats.completed),
                    static_cast<unsigned long long>(stats.dropped),
+                   static_cast<unsigned long long>(stats.failed),
                    static_cast<unsigned long long>(requests));
       std::exit(2);
     }
     cell.rounds = stats.rounds;
+    cell.completed = stats.completed;
+    cell.failed = stats.failed;
+    cell.recovery = stats.recovery;
+    if (tenants > 0) cell.tenant_stats = rt.tenant_stats();
     const metrics::Histogram plan = rt.plan_latency_us().Snapshot();
     cell.plan_samples = static_cast<int>(plan.count());
     cell.plan_p50_us = plan.Percentile(50);
@@ -196,6 +237,8 @@ main(int argc, char** argv)
   bool smoke = false;
   std::string json_path;
   double min_admissions = 0.0;
+  std::uint64_t chaos_seed = 0;
+  int tenants = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
@@ -203,10 +246,15 @@ main(int argc, char** argv)
       json_path = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--min-admissions=", 17) == 0) {
       min_admissions = std::strtod(argv[i] + 17, nullptr);
+    } else if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      tenants = std::atoi(argv[i] + 10);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--json=PATH] "
-                   "[--min-admissions=N]\n",
+                   "[--min-admissions=N] [--chaos-seed=S] "
+                   "[--tenants=T]\n",
                    argv[0]);
       return 2;
     }
@@ -224,7 +272,8 @@ main(int argc, char** argv)
   double best = 0.0;
   for (int gpus : gpu_counts) {
     for (int window : windows) {
-      auto cell = tetri::RunCell(window, gpus, producers, requests);
+      auto cell = tetri::RunCell(window, gpus, producers, requests,
+                                 chaos_seed, tenants);
       std::printf("%8d %6d %10llu %12.0f %10.2fus %10.2fus %8llu\n",
                   cell.window, cell.gpus,
                   static_cast<unsigned long long>(cell.requests),
@@ -236,6 +285,23 @@ main(int argc, char** argv)
     }
   }
   std::printf("best sustained admissions/sec: %.0f\n", best);
+  if (chaos_seed != 0) {
+    std::uint64_t crashes = 0, hung = 0, stalls = 0, retries = 0;
+    for (const auto& c : cells) {
+      crashes += c.recovery.worker_crashes;
+      hung += c.recovery.hung_tasks;
+      stalls += c.recovery.planner_stalls;
+      retries += c.recovery.backoff_retries;
+    }
+    std::printf(
+        "chaos seed %llu: crashes=%llu hung=%llu stalls=%llu "
+        "retries=%llu\n",
+        static_cast<unsigned long long>(chaos_seed),
+        static_cast<unsigned long long>(crashes),
+        static_cast<unsigned long long>(hung),
+        static_cast<unsigned long long>(stalls),
+        static_cast<unsigned long long>(retries));
+  }
 
   if (!json_path.empty()) {
     std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -261,7 +327,71 @@ main(int argc, char** argv)
                    static_cast<unsigned long long>(c.rounds),
                    i + 1 < cells.size() ? "," : "");
     }
-    std::fprintf(out, "  ]\n}\n");
+    std::fprintf(out, "  ],\n");
+    // The chaos block sits AFTER configs: bench_gate's naive parser
+    // stops at the configs array, so adding fields here never breaks
+    // gating of the chaos-off cells.
+    tetri::runtime::RuntimeRecoveryCounters recovery;
+    std::uint64_t failed = 0;
+    for (const auto& c : cells) {
+      recovery.worker_crashes += c.recovery.worker_crashes;
+      recovery.workers_replaced += c.recovery.workers_replaced;
+      recovery.hung_tasks += c.recovery.hung_tasks;
+      recovery.backoff_retries += c.recovery.backoff_retries;
+      recovery.watchdog_fires += c.recovery.watchdog_fires;
+      recovery.planner_stalls += c.recovery.planner_stalls;
+      recovery.stale_completions += c.recovery.stale_completions;
+      failed += c.failed;
+    }
+    std::fprintf(
+        out,
+        "  \"chaos\": {\"seed\": %llu, \"tenants\": %d, "
+        "\"failed\": %llu, \"recovery\": {"
+        "\"worker_crashes\": %llu, \"workers_replaced\": %llu, "
+        "\"hung_tasks\": %llu, \"backoff_retries\": %llu, "
+        "\"watchdog_fires\": %llu, \"planner_stalls\": %llu, "
+        "\"stale_completions\": %llu}",
+        static_cast<unsigned long long>(chaos_seed), tenants,
+        static_cast<unsigned long long>(failed),
+        static_cast<unsigned long long>(recovery.worker_crashes),
+        static_cast<unsigned long long>(recovery.workers_replaced),
+        static_cast<unsigned long long>(recovery.hung_tasks),
+        static_cast<unsigned long long>(recovery.backoff_retries),
+        static_cast<unsigned long long>(recovery.watchdog_fires),
+        static_cast<unsigned long long>(recovery.planner_stalls),
+        static_cast<unsigned long long>(recovery.stale_completions));
+    if (tenants > 0) {
+      // Per-tenant queue-delay percentiles, merged across cells (all
+      // cells share one histogram layout).
+      std::map<tetri::TenantId,
+               std::pair<std::uint64_t, tetri::metrics::Histogram>>
+          by_tenant;
+      for (const auto& c : cells) {
+        for (const auto& t : c.tenant_stats) {
+          auto [it, fresh] = by_tenant.try_emplace(
+              t.id, t.admission.admitted, t.queue_delay_us);
+          if (!fresh) {
+            it->second.first += t.admission.admitted;
+            it->second.second.Merge(t.queue_delay_us);
+          }
+        }
+      }
+      std::fprintf(out, ", \"tenant_queue_delay\": [");
+      bool first = true;
+      for (const auto& [id, agg] : by_tenant) {
+        std::fprintf(
+            out,
+            "%s{\"tenant\": %llu, \"admitted\": %llu, "
+            "\"p50_us\": %.1f, \"p99_us\": %.1f}",
+            first ? "" : ", ", static_cast<unsigned long long>(id),
+            static_cast<unsigned long long>(agg.first),
+            agg.second.Percentile(50), agg.second.Percentile(99));
+        first = false;
+      }
+      std::fprintf(out, "]");
+    }
+    std::fprintf(out, "}\n");
+    std::fprintf(out, "}\n");
     std::fclose(out);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -1,4 +1,4 @@
-// Minimal tour of the concurrent serving runtime (DESIGN.md §12):
+// Minimal tour of the concurrent serving runtime (DESIGN.md §12, §14):
 // profile a latency table, start a ServingRuntime on top of
 // TetriScheduler, submit a mixed burst from two producer threads,
 // drain, and print the terminal accounting plus plan-latency
@@ -9,8 +9,19 @@
 // Build & run:
 //   cmake --build build --target runtime_demo
 //   ./build/examples/runtime_demo
+//
+// Flags:
+//   --chaos-seed=S  seeded fault injection: worker crashes,
+//                   stragglers, aborts, and planner stalls, with the
+//                   watchdog recovering. The same seed replays the
+//                   same schedule byte-for-byte (printed below).
+//   --tenants=T     spread the producers across T equal-weight
+//                   tenants through the fair admission queue and
+//                   print the per-tenant accounting.
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -24,9 +35,23 @@
 #include "runtime/runtime.h"
 
 int
-main()
+main(int argc, char** argv)
 {
   using tetri::costmodel::Resolution;
+
+  std::uint64_t chaos_seed = 0;
+  int tenants = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--tenants=", 10) == 0) {
+      tenants = std::atoi(argv[i] + 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--chaos-seed=S] [--tenants=T]\n",
+                    argv[0]);
+      return 2;
+    }
+  }
 
   // Cost model + scheduler, exactly as in the simulator examples.
   tetri::costmodel::ModelConfig model =
@@ -44,6 +69,14 @@ main()
   options.num_workers = 2;
   options.overflow = tetri::runtime::OverflowPolicy::kBlock;
   options.execution_time_scale = 1e-4;
+  for (int t = 0; t < tenants; ++t) {
+    options.tenants.push_back({static_cast<tetri::TenantId>(t), 1});
+  }
+  if (chaos_seed != 0) {
+    options.chaos.seed = chaos_seed;
+    options.watchdog_interval_us = 1000.0;
+    options.backoff_base_us = 100.0;
+  }
   std::atomic<int> completed{0};
   std::atomic<int> dropped{0};
   options.on_complete = [&](const tetri::runtime::Completion& c) {
@@ -56,20 +89,32 @@ main()
   tetri::runtime::ServingRuntime runtime(&scheduler, &topo, &table,
                                          options);
 
+  if (chaos_seed != 0) {
+    std::printf("chaos schedule (seed %llu):\n%s\n",
+                static_cast<unsigned long long>(chaos_seed),
+                runtime.chaos().ScheduleString().c_str());
+  }
+
   // Two producers submit a mixed burst: interactive 512px requests
   // with tight budgets racing batch 1024px requests with loose ones.
   constexpr int kPerProducer = 40;
   constexpr tetri::TimeUs kTightUs = 30'000'000;
   constexpr tetri::TimeUs kLooseUs = 120'000'000;
   std::vector<std::thread> producers;
-  producers.emplace_back([&runtime] {
+  producers.emplace_back([&runtime, tenants] {
     for (int i = 0; i < kPerProducer; ++i) {
-      runtime.Submit(Resolution::k512, 4, kTightUs);
+      const tetri::TenantId tenant =
+          tenants > 0 ? static_cast<tetri::TenantId>(i % tenants)
+                      : tetri::kDefaultTenant;
+      runtime.Submit(tenant, Resolution::k512, 4, kTightUs);
     }
   });
-  producers.emplace_back([&runtime] {
+  producers.emplace_back([&runtime, tenants] {
     for (int i = 0; i < kPerProducer; ++i) {
-      runtime.Submit(Resolution::k1024, 8, kLooseUs);
+      const tetri::TenantId tenant =
+          tenants > 0 ? static_cast<tetri::TenantId>(i % tenants)
+                      : tetri::kDefaultTenant;
+      runtime.Submit(tenant, Resolution::k1024, 8, kLooseUs);
     }
   });
   for (auto& p : producers) p.join();
@@ -87,9 +132,36 @@ main()
   std::printf("plan p50   %.2f us  (p99 %.2f us over %llu rounds)\n",
               plan.Percentile(50), plan.Percentile(99),
               static_cast<unsigned long long>(plan.count()));
+  if (chaos_seed != 0) {
+    const tetri::runtime::RuntimeRecoveryCounters& r = stats.recovery;
+    std::printf(
+        "recovery   crashes=%llu replaced=%llu hung=%llu "
+        "retries=%llu stalls=%llu stale=%llu\n",
+        static_cast<unsigned long long>(r.worker_crashes),
+        static_cast<unsigned long long>(r.workers_replaced),
+        static_cast<unsigned long long>(r.hung_tasks),
+        static_cast<unsigned long long>(r.backoff_retries),
+        static_cast<unsigned long long>(r.planner_stalls),
+        static_cast<unsigned long long>(r.stale_completions));
+  }
+  if (tenants > 0) {
+    for (const tetri::runtime::TenantRuntimeStats& t :
+         runtime.tenant_stats()) {
+      std::printf(
+          "tenant %-4llu admitted=%llu completed=%llu shed=%llu "
+          "queue_delay_p50=%.0fus\n",
+          static_cast<unsigned long long>(t.id),
+          static_cast<unsigned long long>(t.admission.admitted),
+          static_cast<unsigned long long>(t.completed),
+          static_cast<unsigned long long>(t.admission.shed),
+          t.queue_delay_us.Percentile(50));
+    }
+  }
 
   // Conservation: the drain protocol guarantees every admitted
-  // request reached a terminal state before Drain returned.
+  // request reached a terminal state before Drain returned. Failed
+  // retries surface through on_complete too, so completed + dropped
+  // covers every terminal path even under chaos.
   const bool conserved =
       stats.admission.admitted ==
       static_cast<std::uint64_t>(completed.load() + dropped.load());

@@ -286,6 +286,67 @@ RequestConservationChecker::OnRunEnd(TimeUs now)
   }
 }
 
+// --- RuntimeConservationChecker ---
+
+void
+RuntimeConservationChecker::OnRequestAdmitted(RequestId id,
+                                              TimeUs arrival_us,
+                                              TimeUs /*deadline_us*/,
+                                              int /*num_steps*/)
+{
+  if (open_.count(id) > 0 || terminal_.count(id) > 0) {
+    Report(arrival_us, Msg("request ", id, " admitted twice"));
+    return;
+  }
+  open_.insert(id);
+  ++admitted_;
+}
+
+void
+RuntimeConservationChecker::OnRequestTransition(RequestId id,
+                                                int /*from_state*/,
+                                                int to_state, TimeUs now)
+{
+  const auto to = static_cast<serving::RequestState>(to_state);
+  const bool is_terminal = to == serving::RequestState::kFinished ||
+                           to == serving::RequestState::kDropped ||
+                           to == serving::RequestState::kCancelled;
+  if (!is_terminal) return;
+  if (terminal_.count(id) > 0) {
+    Report(now, Msg("request ", id, " reached a terminal state twice"));
+    return;
+  }
+  if (open_.erase(id) == 0) {
+    Report(now, Msg("request ", id,
+                    " reached a terminal state without being admitted"));
+    return;
+  }
+  terminal_.insert(id);
+  switch (to) {
+    case serving::RequestState::kFinished: ++completed_; break;
+    case serving::RequestState::kDropped: ++dropped_; break;
+    case serving::RequestState::kCancelled: ++cancelled_; break;
+    default: break;
+  }
+}
+
+void
+RuntimeConservationChecker::OnRunEnd(TimeUs now)
+{
+  std::vector<RequestId> lost(open_.begin(), open_.end());
+  std::sort(lost.begin(), lost.end());
+  for (RequestId id : lost) {
+    Report(now, Msg("request ", id,
+                    " still open at drain: admitted but never "
+                    "reached a terminal state"));
+  }
+  if (completed_ + dropped_ + cancelled_ + lost.size() != admitted_) {
+    Report(now, Msg("terminal counts do not reconcile: completed ",
+                    completed_, " + dropped ", dropped_, " + cancelled ",
+                    cancelled_, " != admitted ", admitted_));
+  }
+}
+
 // --- DeadlineAccountingChecker ---
 
 void

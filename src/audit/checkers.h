@@ -110,6 +110,45 @@ class RequestConservationChecker final : public Checker {
   std::unordered_set<RequestId> open_;
 };
 
+/**
+ * Drain invariant of the concurrent serving runtime: every admitted
+ * request reaches exactly one terminal state, and the terminal counts
+ * reconcile exactly — completed + dropped + cancelled == admitted —
+ * under any schedule of crashes, requeues, and retries. Stricter than
+ * RequestConservationChecker: double admission, terminal transitions
+ * for unknown requests, and double terminals are violations too, so a
+ * watchdog requeue racing a late worker completion cannot silently
+ * count a request twice.
+ *
+ * Like every checker it must be fed from one thread; the runtime
+ * emits all audit notifications from its planner thread.
+ */
+class RuntimeConservationChecker final : public Checker {
+ public:
+  std::string_view name() const override {
+    return "runtime-conservation";
+  }
+  void OnRequestAdmitted(RequestId id, TimeUs arrival_us,
+                         TimeUs deadline_us, int num_steps) override;
+  void OnRequestTransition(RequestId id, int from_state, int to_state,
+                           TimeUs now) override;
+  void OnRunEnd(TimeUs now) override;
+
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t cancelled() const { return cancelled_; }
+  std::size_t open_count() const { return open_.size(); }
+
+ private:
+  std::unordered_set<RequestId> open_;
+  std::unordered_set<RequestId> terminal_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t cancelled_ = 0;
+};
+
 /** Request state-machine legality. */
 class RequestLifecycleChecker final : public Checker {
  public:

@@ -64,6 +64,10 @@ RecoveryEventKindName(RecoveryEventKind kind)
     case RecoveryEventKind::kRetryDrop: return "RetryDrop";
     case RecoveryEventKind::kCancelRequest: return "CancelRequest";
     case RecoveryEventKind::kCancelApplied: return "CancelApplied";
+    case RecoveryEventKind::kWorkerCrash: return "WorkerCrash";
+    case RecoveryEventKind::kWorkerReplace: return "WorkerReplace";
+    case RecoveryEventKind::kPlannerStall: return "PlannerStall";
+    case RecoveryEventKind::kWatchdogFire: return "WatchdogFire";
   }
   return "Unknown";
 }

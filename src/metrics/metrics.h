@@ -116,6 +116,10 @@ enum class RecoveryEventKind {
   kRetryDrop,       ///< request dropped by the retry/deadline policy
   kCancelRequest,   ///< client asked to cancel the request
   kCancelApplied,   ///< cancellation took effect
+  kWorkerCrash,     ///< runtime worker thread died mid-task
+  kWorkerReplace,   ///< watchdog spawned a replacement worker
+  kPlannerStall,    ///< planner stall window injected/detected
+  kWatchdogFire,    ///< watchdog intervened (requeue/replace sweep)
 };
 
 /**

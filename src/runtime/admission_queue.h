@@ -90,6 +90,28 @@ class AdmissionQueue {
   }
 
   /**
+   * Producer side, never blocks: enqueue @p request if there is room,
+   * shed it otherwise — regardless of the queue's overflow policy.
+   * Lets latency-critical producers opt out of backpressure on a
+   * kBlock queue.
+   */
+  AdmitOutcome TryPush(workload::TraceRequest request) {
+    const util::MutexLock lock(mu_);
+    if (closed_) {
+      ++counters_.rejected_closed;
+      return AdmitOutcome::kClosed;
+    }
+    if (items_.size() >= capacity_) {
+      ++counters_.shed;
+      return AdmitOutcome::kShed;
+    }
+    items_.push_back(std::move(request));
+    ++counters_.admitted;
+    not_empty_.Signal();
+    return AdmitOutcome::kAdmitted;
+  }
+
+  /**
    * Consumer side: move every queued submission into @p out (appended,
    * FIFO) without blocking. Returns the number taken. Draining frees
    * the whole capacity at once, so every blocked producer is released.

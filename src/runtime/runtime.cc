@@ -1,22 +1,20 @@
 #include "runtime/runtime.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <utility>
 
 #include "cluster/gpu_set.h"
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace tetri::runtime {
 
 namespace {
 
-/**
- * Poll cadence while requests sit queued with nothing in flight — the
- * one situation with no guaranteed wake signal (a completion or a
- * Submit), yet where the drop policy must still get a chance to fire.
- */
-constexpr double kQueuedPollUs = 200.0;
+/** Stream constant deriving per-(request, attempt) backoff jitter. */
+constexpr std::uint64_t kBackoffStream = 0x9E3779B97F4A7C15ULL;
 
 }  // namespace
 
@@ -28,18 +26,40 @@ ServingRuntime::ServingRuntime(serving::Scheduler* scheduler,
       topology_(topology),
       table_(table),
       options_(std::move(options)),
-      admissions_(options_.queue_capacity, options_.overflow),
+      chaos_(options_.chaos),
+      admissions_(options_.queue_capacity, options_.overflow,
+                  options_.tenants),
       plan_latency_us_(metrics::Histogram::LogSpaced(0.1, 1e7, 64))
 {
   TETRI_CHECK(scheduler_ != nullptr);
   TETRI_CHECK(topology_ != nullptr);
   TETRI_CHECK(table_ != nullptr);
   TETRI_CHECK(options_.num_workers > 0);
+  if (chaos_.enabled() && options_.chaos.worker_crashes > 0) {
+    TETRI_CHECK_MSG(options_.watchdog_interval_us > 0.0,
+                    "worker-crash chaos requires the watchdog: a crashed "
+                    "task is only ever requeued by a watchdog sweep");
+  }
   free_gpus_ = topology_->all_gpus();
   if (options_.trace != nullptr) scheduler_->set_trace(options_.trace);
+  {
+    const util::MutexLock lock(tenant_mu_);
+    for (const TenantSpec& spec : options_.tenants) {
+      tenant_weight_[spec.id] = spec.weight;
+    }
+  }
+  // Build every slot before spawning any thread: WorkerLoop indexes
+  // workers_, so the vector must never reallocate under it.
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_[static_cast<std::size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+  if (options_.watchdog_interval_us > 0.0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
   planner_ = std::thread([this] { PlannerLoop(); });
 }
@@ -47,8 +67,8 @@ ServingRuntime::ServingRuntime(serving::Scheduler* scheduler,
 ServingRuntime::~ServingRuntime() { Drain(); }
 
 AdmitOutcome
-ServingRuntime::Submit(costmodel::Resolution resolution, int num_steps,
-                       TimeUs budget_us, RequestId* out_id)
+ServingRuntime::Submit(TenantId tenant, costmodel::Resolution resolution,
+                       int num_steps, TimeUs budget_us, RequestId* out_id)
 {
   TETRI_CHECK(num_steps > 0);
   workload::TraceRequest request;
@@ -57,8 +77,33 @@ ServingRuntime::Submit(costmodel::Resolution resolution, int num_steps,
   request.deadline_us = request.arrival_us + budget_us;
   request.resolution = resolution;
   request.num_steps = num_steps;
+  request.tenant = tenant;
   const RequestId id = request.id;
   const AdmitOutcome outcome = admissions_.Push(std::move(request));
+  if (outcome == AdmitOutcome::kAdmitted) {
+    if (out_id != nullptr) *out_id = id;
+    const util::MutexLock lock(planner_mu_);
+    work_pending_ = true;
+    planner_cv_.Signal();
+  }
+  return outcome;
+}
+
+AdmitOutcome
+ServingRuntime::TrySubmit(TenantId tenant, costmodel::Resolution resolution,
+                          int num_steps, TimeUs budget_us,
+                          RequestId* out_id)
+{
+  TETRI_CHECK(num_steps > 0);
+  workload::TraceRequest request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.arrival_us = NowUs();
+  request.deadline_us = request.arrival_us + budget_us;
+  request.resolution = resolution;
+  request.num_steps = num_steps;
+  request.tenant = tenant;
+  const RequestId id = request.id;
+  const AdmitOutcome outcome = admissions_.TryPush(std::move(request));
   if (outcome == AdmitOutcome::kAdmitted) {
     if (out_id != nullptr) *out_id = id;
     const util::MutexLock lock(planner_mu_);
@@ -77,11 +122,13 @@ ServingRuntime::Drain()
   // Step 1: shut the front door. Every later Submit sees kClosed;
   // already-queued submissions stay drainable. Close() must complete
   // before the planner can observe draining_, so any Push that
-  // succeeded is visible to the planner's next TryDrain.
+  // succeeded is visible to the planner's next drain.
   admissions_.Close();
 
   // Step 2: let the planner run rounds until every admitted request is
-  // terminal and every in-flight assignment has reported back.
+  // terminal and every in-flight assignment has reported back. The
+  // watchdog stays alive here: a worker that crashes during drain
+  // still needs its task requeued or the planner would wait forever.
   {
     const util::MutexLock lock(planner_mu_);
     draining_ = true;
@@ -89,14 +136,28 @@ ServingRuntime::Drain()
     while (!planner_done_) drained_cv_.Wait(planner_mu_);
   }
 
-  // Step 3: no more dispatches can appear; close the dispatch queue so
+  // Step 3: nothing is in flight anymore, so the watchdog has nothing
+  // left to recover; stop it before tearing down the worker pool so a
+  // sweep can never race a slot join.
+  if (watchdog_.joinable()) {
+    {
+      const util::MutexLock lock(watchdog_mu_);
+      watchdog_stop_ = true;
+      watchdog_cv_.SignalAll();
+    }
+    watchdog_.join();
+  }
+
+  // Step 4: no more dispatches can appear; close the dispatch queue so
   // idle workers exit, then join everything.
   {
     const util::MutexLock lock(dispatch_mu_);
     dispatch_closed_ = true;
     dispatch_cv_.SignalAll();
   }
-  for (std::thread& worker : workers_) worker.join();
+  for (const std::unique_ptr<WorkerSlot>& slot : workers_) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
   planner_.join();
 
   if (options_.trace != nullptr) scheduler_->set_trace(nullptr);
@@ -115,46 +176,95 @@ ServingRuntime::stats() const
   return snapshot;
 }
 
+std::vector<TenantRuntimeStats>
+ServingRuntime::tenant_stats() const
+{
+  std::vector<TenantRuntimeStats> out;
+  for (const TenantId id : admissions_.tenant_ids()) {
+    TenantRuntimeStats t;
+    t.id = id;
+    t.admission = admissions_.tenant_counters(id);
+    {
+      const util::MutexLock lock(tenant_mu_);
+      const auto weight = tenant_weight_.find(id);
+      if (weight != tenant_weight_.end()) t.weight = weight->second;
+      const auto agg = tenant_agg_.find(id);
+      if (agg != tenant_agg_.end()) {
+        t.completed = agg->second.completed;
+        t.dropped = agg->second.dropped;
+        t.failed = agg->second.failed;
+        if (agg->second.queue_delay != nullptr) {
+          t.queue_delay_us = agg->second.queue_delay->Snapshot();
+        }
+      }
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+metrics::SharedHistogram&
+ServingRuntime::TenantDelayHistogram(TenantId tenant)
+{
+  const util::MutexLock lock(tenant_mu_);
+  TenantAgg& agg = tenant_agg_[tenant];
+  if (agg.queue_delay == nullptr) {
+    agg.queue_delay = std::make_unique<metrics::SharedHistogram>(
+        metrics::Histogram::LogSpaced(1.0, 1e8, 48));
+  }
+  // The pointee is address-stable (unique_ptr in a node-based map) and
+  // internally synchronized, so handing the reference out is safe.
+  return *agg.queue_delay;
+}
+
 void
 ServingRuntime::PlannerLoop()
 {
   for (;;) {
+    planner_heartbeat_us_.store(NowUs(), std::memory_order_relaxed);
     bool draining = false;
-    bool can_block = false;
     {
-      // Blocking is safe only when a wake signal is guaranteed: a
-      // completion (something is running), a Submit, or Drain. Queued
-      // requests with nothing in flight have no such signal — their
-      // drop deadline must still fire — so that case polls instead.
-      bool any_running = false;
-      bool any_queued = false;
-      for (const auto& [id, request] : active_) {
-        if (request.state == serving::RequestState::kRunning) {
-          any_running = true;
-        } else {
-          any_queued = true;
-        }
-      }
-      can_block = any_running || !any_queued;
+      // The only timed waits are the drop-deadline and retry-backoff
+      // timers; everything else blocks until a Submit, a completion,
+      // or Drain signals the CondVar.
+      const double wait_us = NextEventDelayUs(NowUs());
       const util::MutexLock lock(planner_mu_);
-      if (can_block) {
-        while (mailbox_.empty() && !work_pending_ && !draining_) {
-          planner_cv_.Wait(planner_mu_);
+      // During drain the planner still blocks while assignments are in
+      // flight — their completions signal the CondVar — and only stops
+      // waiting once nothing is active, so the exit check below can
+      // run. active_ is planner-owned, hence loop-invariant here.
+      const bool exit_ready = draining_ && active_.empty();
+      if (mailbox_.empty() && !work_pending_ && !exit_ready &&
+          admissions_.size() == 0) {
+        planner_waiting_.store(true, std::memory_order_relaxed);
+        if (wait_us == std::numeric_limits<double>::infinity()) {
+          while (mailbox_.empty() && !work_pending_ &&
+                 !(draining_ && active_.empty())) {
+            planner_cv_.Wait(planner_mu_);
+          }
+        } else if (wait_us > 0.0) {
+          planner_cv_.WaitForUs(planner_mu_, wait_us);
         }
+        planner_waiting_.store(false, std::memory_order_relaxed);
       }
       std::swap(completions_, mailbox_);
       work_pending_ = false;
       draining = draining_;
     }
-    if (!can_block && completions_.empty() && !draining) {
-      util::SleepForUs(std::max(options_.round_interval_us, kQueuedPollUs));
-    }
+    planner_heartbeat_us_.store(NowUs(), std::memory_order_relaxed);
+
+    // Injected planner stall: the heartbeat freezes while the planner
+    // sleeps outside every lock, which is exactly what the watchdog's
+    // stall detector looks for.
+    const double stall = chaos_.PlannerStallUs(plan_iter_);
+    if (stall > 0.0) util::SleepForUs(stall);
+    ++plan_iter_;
 
     for (const CompletionMsg& msg : completions_) ApplyCompletion(msg);
     completions_.clear();
 
     pending_.clear();
-    admissions_.TryDrain(&pending_);
+    admissions_.DrainFair(options_.admit_batch_limit, &pending_);
     AdmitPending(&pending_);
 
     PlanOnce(NowUs());
@@ -165,12 +275,17 @@ ServingRuntime::PlannerLoop()
         // The admission queue is closed (Close() precedes draining_)
         // and was drained above; the mailbox is empty and nothing is
         // active, so no event can ever arrive again.
+        const TimeUs now = NowUs();
         if (options_.trace != nullptr) {
           trace::TraceEvent ev;
           ev.kind = trace::TraceEventKind::kRunEnd;
-          ev.time_us = NowUs();
+          ev.time_us = now;
           options_.trace->OnEvent(ev);
         }
+        if (options_.audit != nullptr) options_.audit->OnRunEnd(now);
+        // Park the heartbeat so the watchdog's stall detector never
+        // fires on the planner's own exit.
+        planner_waiting_.store(true, std::memory_order_relaxed);
         planner_done_ = true;
         drained_cv_.SignalAll();
         return;
@@ -187,7 +302,7 @@ ServingRuntime::PlannerLoop()
 void
 ServingRuntime::WorkerLoop(int worker)
 {
-  (void)worker;
+  WorkerSlot* slot = workers_[static_cast<std::size_t>(worker)].get();
   for (;;) {
     DispatchTask task;
     {
@@ -195,9 +310,30 @@ ServingRuntime::WorkerLoop(int worker)
       while (dispatch_.empty() && !dispatch_closed_) {
         dispatch_cv_.Wait(dispatch_mu_);
       }
-      if (dispatch_.empty()) return;  // closed and fully consumed
+      if (dispatch_.empty()) {  // closed and fully consumed
+        slot->state.store(kWorkerExited, std::memory_order_release);
+        return;
+      }
       task = std::move(dispatch_.front());
       dispatch_.pop_front();
+    }
+
+    // Record pickup in the in-flight registry. The hang deadline uses
+    // the *undilated* span — the planner's expectation — so a
+    // straggler dilation pushes the task past it by design.
+    {
+      const util::MutexLock lock(inflight_mu_);
+      const auto it = inflight_.find(task.seq);
+      if (it != inflight_.end()) {
+        it->second.worker = worker;
+        if (options_.worker_hang_timeout_us > 0.0) {
+          it->second.hang_deadline_us =
+              static_cast<double>(NowUs()) +
+              static_cast<double>(task.span_us) *
+                  options_.execution_time_scale +
+              options_.worker_hang_timeout_us;
+        }
+      }
     }
 
     if (options_.trace != nullptr) {
@@ -214,11 +350,37 @@ ServingRuntime::WorkerLoop(int worker)
 
     if (options_.execution_time_scale > 0.0) {
       util::SleepForUs(static_cast<double>(task.span_us) *
-                       options_.execution_time_scale);
+                       options_.execution_time_scale *
+                       chaos_.StragglerFactor(task.seq));
     }
 
-    const bool aborted = options_.chaos_should_abort &&
-                         options_.chaos_should_abort(task.assignment);
+    if (chaos_.ShouldCrash(task.seq)) {
+      // Die without reporting and without erasing the registry entry:
+      // the watchdog owns this task now. The thread must exit — a
+      // crashed worker takes no further tasks.
+      slot->state.store(kWorkerCrashed, std::memory_order_release);
+      return;
+    }
+
+    const bool aborted =
+        chaos_.ShouldAbort(task.seq) ||
+        (options_.chaos_should_abort &&
+         options_.chaos_should_abort(task.assignment));
+
+    // Claim the completion: whoever erases the registry entry owns
+    // it. Losing the claim means the watchdog already requeued this
+    // task (hang detection); report nothing, or the members would be
+    // credited twice.
+    bool owns = false;
+    {
+      const util::MutexLock lock(inflight_mu_);
+      owns = inflight_.erase(task.seq) > 0;
+    }
+    if (!owns) {
+      const util::MutexLock lock(stats_mu_);
+      ++stats_.recovery.stale_completions;
+      continue;
+    }
 
     if (options_.trace != nullptr) {
       trace::TraceEvent ev;
@@ -234,11 +396,136 @@ ServingRuntime::WorkerLoop(int worker)
 
     {
       const util::MutexLock lock(planner_mu_);
-      mailbox_.push_back(
-          CompletionMsg{std::move(task.assignment), task.span_us, aborted});
+      CompletionMsg msg;
+      msg.seq = task.seq;
+      msg.assignment = std::move(task.assignment);
+      msg.span_us = task.span_us;
+      msg.aborted = aborted;
+      mailbox_.push_back(std::move(msg));
       planner_cv_.Signal();
     }
   }
+}
+
+void
+ServingRuntime::WatchdogLoop()
+{
+  for (;;) {
+    {
+      const util::MutexLock lock(watchdog_mu_);
+      if (!watchdog_stop_) {
+        watchdog_cv_.WaitForUs(watchdog_mu_, options_.watchdog_interval_us);
+      }
+      if (watchdog_stop_) return;
+    }
+    WatchdogSweep();
+  }
+}
+
+void
+ServingRuntime::WatchdogSweep()
+{
+  // 1) Dead workers: claim every task the corpse held, requeue it,
+  //    and spawn a replacement into the same slot.
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    WorkerSlot* slot = workers_[i].get();
+    if (slot->state.load(std::memory_order_acquire) != kWorkerCrashed) {
+      continue;
+    }
+    slot->thread.join();
+    std::vector<std::pair<std::uint64_t, InflightRecord>> claimed;
+    {
+      const util::MutexLock lock(inflight_mu_);
+      for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.worker == static_cast<int>(i)) {
+          claimed.emplace_back(it->first, std::move(it->second));
+          it = inflight_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& [seq, record] : claimed) {
+      if (options_.trace != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::TraceEventKind::kGpuFail;
+        ev.time_us = NowUs();
+        ev.mask = record.assignment.mask;
+        options_.trace->OnEvent(ev);
+      }
+      PostWatchdogRequeue(seq, std::move(record));
+    }
+    slot->state.store(kWorkerRunning, std::memory_order_release);
+    const int worker = static_cast<int>(i);
+    slot->thread = std::thread([this, worker] { WorkerLoop(worker); });
+    {
+      const util::MutexLock lock(stats_mu_);
+      ++stats_.recovery.worker_crashes;
+      ++stats_.recovery.workers_replaced;
+      ++stats_.recovery.watchdog_fires;
+    }
+  }
+
+  // 2) Hung tasks: a picked-up task past its hang deadline is claimed
+  //    and requeued; if its worker eventually reports anyway, the
+  //    missing registry entry turns that report into a counted stale
+  //    completion instead of a double credit.
+  if (options_.worker_hang_timeout_us > 0.0) {
+    const double host_now = static_cast<double>(NowUs());
+    std::vector<std::pair<std::uint64_t, InflightRecord>> hung;
+    {
+      const util::MutexLock lock(inflight_mu_);
+      for (auto it = inflight_.begin(); it != inflight_.end();) {
+        if (it->second.hang_deadline_us >= 0.0 &&
+            host_now > it->second.hang_deadline_us) {
+          hung.emplace_back(it->first, std::move(it->second));
+          it = inflight_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (auto& [seq, record] : hung) {
+      PostWatchdogRequeue(seq, std::move(record));
+    }
+    if (!hung.empty()) {
+      const util::MutexLock lock(stats_mu_);
+      stats_.recovery.hung_tasks += hung.size();
+      ++stats_.recovery.watchdog_fires;
+    }
+  }
+
+  // 3) Planner stall: a stale heartbeat while the planner is not
+  //    parked in a wait means it is wedged (or sleeping a chaos stall
+  //    window). Each frozen heartbeat value is counted once.
+  if (options_.planner_stall_timeout_us > 0.0 &&
+      !planner_waiting_.load(std::memory_order_relaxed)) {
+    const TimeUs heartbeat =
+        planner_heartbeat_us_.load(std::memory_order_relaxed);
+    if (static_cast<double>(NowUs() - heartbeat) >
+            options_.planner_stall_timeout_us &&
+        heartbeat != last_stall_heartbeat_) {
+      last_stall_heartbeat_ = heartbeat;
+      const util::MutexLock lock(stats_mu_);
+      ++stats_.recovery.planner_stalls;
+      ++stats_.recovery.watchdog_fires;
+    }
+  }
+}
+
+void
+ServingRuntime::PostWatchdogRequeue(std::uint64_t seq,
+                                    InflightRecord record)
+{
+  CompletionMsg msg;
+  msg.seq = seq;
+  msg.assignment = std::move(record.assignment);
+  msg.span_us = record.span_us;
+  msg.aborted = true;
+  msg.from_watchdog = true;
+  const util::MutexLock lock(planner_mu_);
+  mailbox_.push_back(std::move(msg));
+  planner_cv_.Signal();
 }
 
 void
@@ -248,24 +535,58 @@ ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
   const TimeUs now = NowUs();
 
   if (msg.aborted) {
-    // Chaos abort: nothing is credited; every member goes back to the
-    // queue for replanning, mirroring the engine's GPU-failure path.
+    // Abort/crash/hang: nothing is credited; every member goes back
+    // through the retry policy — exponential backoff with derived
+    // jitter, a halved SP cap, and a drop once the budget is spent.
     std::uint64_t requeued = 0;
+    std::uint64_t backoffs = 0;
     for (const RequestId id : msg.assignment.requests) {
-      auto it = active_.find(id);
+      const auto it = active_.find(id);
       if (it == active_.end()) continue;
-      it->second.state = serving::RequestState::kQueued;
+      serving::Request& request = it->second;
+      AuditTransition(id, serving::RequestState::kRunning,
+                      serving::RequestState::kQueued, now);
+      request.state = serving::RequestState::kQueued;
+      ++request.failure_retries;
       ++requeued;
+      if (options_.retry.degrade_sp) {
+        const int base = request.degree_cap > 0 ? request.degree_cap
+                                                : request.last_degree;
+        request.degree_cap = std::max(1, base / 2);
+      }
+      if (request.failure_retries > options_.retry.max_retries) {
+        DropRequest(request, now, metrics::DropReason::kRetryBudget,
+                    /*count_failed=*/true);
+        continue;
+      }
+      if (options_.retry.deadline_aware_drop) {
+        const TimeUs residual = MinResidualSpanUs(
+            request.meta.resolution, request.RemainingSteps());
+        if (now + residual > DropAtUs(request)) {
+          DropRequest(request, now, metrics::DropReason::kRetryBudget,
+                      /*count_failed=*/true);
+          continue;
+        }
+      }
+      const int attempt = request.failure_retries;
+      Rng jitter(static_cast<std::uint64_t>(id) * kBackoffStream +
+                 static_cast<std::uint64_t>(attempt));
+      const double delay = options_.backoff_base_us *
+                           std::ldexp(1.0, attempt - 1) *
+                           jitter.NextRange(0.5, 1.5);
+      not_before_[id] = now + util::RoundUsAtLeast(delay, 1);
+      ++backoffs;
     }
     const util::MutexLock lock(stats_mu_);
     ++stats_.aborted_assignments;
     stats_.requeues += requeued;
+    stats_.recovery.backoff_retries += backoffs;
     return;
   }
 
   const int degree = cluster::Popcount(msg.assignment.mask);
   for (const RequestId id : msg.assignment.requests) {
-    auto it = active_.find(id);
+    const auto it = active_.find(id);
     if (it == active_.end()) continue;
     serving::Request& request = it->second;
     const int credited =
@@ -275,6 +596,8 @@ ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
     if (request.RemainingSteps() <= 0) {
       FinishRequest(request, now);
     } else {
+      AuditTransition(id, serving::RequestState::kRunning,
+                      serving::RequestState::kQueued, now);
       request.state = serving::RequestState::kQueued;
     }
   }
@@ -284,6 +607,8 @@ void
 ServingRuntime::AdmitPending(std::vector<workload::TraceRequest>* pending)
 {
   if (pending->empty()) return;
+  const TimeUs now = NowUs();
+  std::uint64_t infeasible = 0;
   for (workload::TraceRequest& incoming : *pending) {
     serving::Request request;
     request.meta = std::move(incoming);
@@ -298,11 +623,72 @@ ServingRuntime::AdmitPending(std::vector<workload::TraceRequest>* pending)
                                      request.meta.arrival_us);
       options_.trace->OnEvent(ev);
     }
-    active_.emplace(id, std::move(request));
+    if (options_.audit != nullptr) {
+      options_.audit->OnRequestAdmitted(id, request.meta.arrival_us,
+                                        request.meta.deadline_us,
+                                        request.meta.num_steps);
+    }
+    const auto [it, inserted] = active_.emplace(id, std::move(request));
+    TETRI_CHECK(inserted);
+    // Feasibility gate: even the fastest possible residual plan,
+    // behind the current queue-delay estimate, cannot land before the
+    // drop deadline — admitting would only waste planner rounds, so
+    // the request terminates immediately (still a counted admission:
+    // conservation holds).
+    if (options_.feasibility_gate) {
+      serving::Request& admitted = it->second;
+      const TimeUs min_span = MinResidualSpanUs(
+          admitted.meta.resolution, admitted.meta.num_steps);
+      const TimeUs estimate =
+          now + util::RoundUs(queue_delay_ewma_) + min_span;
+      if (estimate > DropAtUs(admitted)) {
+        ++infeasible;
+        DropRequest(admitted, now, metrics::DropReason::kInfeasible);
+        continue;
+      }
+    }
   }
   pending->clear();
   const util::MutexLock lock(stats_mu_);
   stats_.active = active_.size();
+  stats_.infeasible_rejects += infeasible;
+}
+
+double
+ServingRuntime::NextEventDelayUs(TimeUs now) const
+{
+  double next = std::numeric_limits<double>::infinity();
+  for (const auto& [id, request] : active_) {
+    if (request.state != serving::RequestState::kQueued) continue;
+    TimeUs event = DropAtUs(request);
+    const auto gate = not_before_.find(id);
+    if (gate != not_before_.end() && gate->second > now) {
+      event = std::min(event, gate->second);
+    }
+    next = std::min(next, static_cast<double>(event - now));
+  }
+  return next < 0.0 ? 0.0 : next;
+}
+
+TimeUs
+ServingRuntime::DropAtUs(const serving::Request& request) const
+{
+  // One rounding through util::RoundUs, clamped so a deadline before
+  // arrival (negative budget) drops at the first opportunity instead
+  // of computing a drop time in the past.
+  const TimeUs budget =
+      request.meta.deadline_us - request.meta.arrival_us;
+  return request.meta.arrival_us +
+         std::max<TimeUs>(0, util::RoundUs(options_.drop_timeout_factor *
+                                           static_cast<double>(budget)));
+}
+
+TimeUs
+ServingRuntime::MinResidualSpanUs(costmodel::Resolution res,
+                                  int steps) const
+{
+  if (steps <= 0) return 0;
+  return util::RoundUsAtLeast(table_->MinStepTimeUs(res) * steps, 1);
 }
 
 void
@@ -310,11 +696,17 @@ ServingRuntime::PlanOnce(TimeUs now)
 {
   // ONE schedulable snapshot per round: the drop policy filters it and
   // the scheduler sees the survivors (same shape as the serving tick).
+  // Requests inside a retry-backoff window are invisible this round;
+  // their gate is the planner's next timed wake.
   snapshot_.clear();
   for (auto& [id, request] : active_) {
-    if (request.state == serving::RequestState::kQueued) {
-      snapshot_.push_back(&request);
+    if (request.state != serving::RequestState::kQueued) continue;
+    const auto gate = not_before_.find(id);
+    if (gate != not_before_.end()) {
+      if (gate->second > now) continue;
+      not_before_.erase(gate);
     }
+    snapshot_.push_back(&request);
   }
   std::sort(snapshot_.begin(), snapshot_.end(),
             [](const serving::Request* a, const serving::Request* b) {
@@ -324,18 +716,9 @@ ServingRuntime::PlanOnce(TimeUs now)
               return a->meta.id < b->meta.id;
             });
 
-  // Drop policy: one rounding through util::RoundUs, clamped so a
-  // deadline before arrival (negative budget) drops at the first
-  // opportunity instead of computing a drop time in the past.
   std::size_t kept = 0;
   for (serving::Request* request : snapshot_) {
-    const TimeUs budget =
-        request->meta.deadline_us - request->meta.arrival_us;
-    const TimeUs drop_at =
-        request->meta.arrival_us +
-        std::max<TimeUs>(0, util::RoundUs(options_.drop_timeout_factor *
-                                          static_cast<double>(budget)));
-    if (now >= drop_at) {
+    if (now >= DropAtUs(*request)) {
       DropRequest(*request, now, metrics::DropReason::kTimeout);
     } else {
       snapshot_[kept++] = request;
@@ -343,6 +726,28 @@ ServingRuntime::PlanOnce(TimeUs now)
   }
   snapshot_.resize(kept);
   if (snapshot_.empty()) return;
+
+  // Graceful degradation: sustained queue delay halves the SP cap of
+  // everything scheduled (smaller groups, more parallelism across
+  // requests) before the front door ever sheds. Hysteresis at half
+  // the threshold avoids flapping.
+  if (options_.degrade_queue_delay_us > 0.0) {
+    if (queue_delay_ewma_ > options_.degrade_queue_delay_us) {
+      global_degree_cap_ = std::max(1, table_->max_degree() / 2);
+    } else if (queue_delay_ewma_ <
+               0.5 * options_.degrade_queue_delay_us) {
+      global_degree_cap_ = 0;
+    }
+  }
+  const bool degraded = global_degree_cap_ > 0;
+  if (degraded) {
+    for (serving::Request* request : snapshot_) {
+      request->degree_cap =
+          request->degree_cap > 0
+              ? std::min(request->degree_cap, global_degree_cap_)
+              : global_degree_cap_;
+    }
+  }
 
   serving::ScheduleContext ctx;
   ctx.now = now;
@@ -383,17 +788,39 @@ ServingRuntime::PlanOnce(TimeUs now)
         table_->StepTimeUs(res, degree, batch) * assignment.max_steps, 1);
 
     for (const RequestId id : assignment.requests) {
-      auto it = active_.find(id);
+      const auto it = active_.find(id);
       TETRI_CHECK(it != active_.end());
       serving::Request& member = it->second;
+      AuditTransition(id, serving::RequestState::kQueued,
+                      serving::RequestState::kRunning, now);
       member.state = serving::RequestState::kRunning;
       member.last_mask = assignment.mask;
       member.last_degree = degree;
       member.degree_step_sum +=
           static_cast<double>(degree) * assignment.max_steps;
-      if (member.first_start_us < 0) member.first_start_us = now;
+      if (member.first_start_us < 0) {
+        member.first_start_us = now;
+        const double delay =
+            static_cast<double>(now - member.meta.arrival_us);
+        queue_delay_ewma_ = queue_delay_ewma_ <= 0.0
+                                ? delay
+                                : 0.8 * queue_delay_ewma_ + 0.2 * delay;
+        TenantDelayHistogram(member.meta.tenant).Add(delay);
+      }
     }
-    tasks.push_back(DispatchTask{std::move(assignment), span_us});
+
+    DispatchTask task;
+    task.seq = task_seq_++;
+    task.assignment = std::move(assignment);
+    task.span_us = span_us;
+    {
+      InflightRecord record;
+      record.assignment = task.assignment;
+      record.span_us = span_us;
+      const util::MutexLock lock(inflight_mu_);
+      inflight_.emplace(task.seq, std::move(record));
+    }
+    tasks.push_back(std::move(task));
   }
 
   const std::size_t dispatched = tasks.size();
@@ -408,11 +835,14 @@ ServingRuntime::PlanOnce(TimeUs now)
   const util::MutexLock lock(stats_mu_);
   ++stats_.rounds;
   stats_.assignments += dispatched;
+  if (degraded) ++stats_.degraded_rounds;
 }
 
 void
 ServingRuntime::FinishRequest(serving::Request& request, TimeUs now)
 {
+  AuditTransition(request.meta.id, request.state,
+                  serving::RequestState::kFinished, now);
   request.state = serving::RequestState::kFinished;
   request.completion_us = now;
   if (options_.trace != nullptr) {
@@ -424,36 +854,52 @@ ServingRuntime::FinishRequest(serving::Request& request, TimeUs now)
     options_.trace->OnEvent(ev);
   }
   RemoveRequest(request.meta.id, metrics::Outcome::kCompleted,
-                metrics::DropReason::kNone, now);
+                metrics::DropReason::kNone, now, /*count_failed=*/false);
 }
 
 void
 ServingRuntime::DropRequest(serving::Request& request, TimeUs now,
-                            metrics::DropReason reason)
+                            metrics::DropReason reason, bool count_failed)
 {
+  AuditTransition(request.meta.id, request.state,
+                  serving::RequestState::kDropped, now);
   request.state = serving::RequestState::kDropped;
   request.drop_reason = reason;
   if (options_.trace != nullptr) {
     trace::TraceEvent ev;
     ev.kind = trace::TraceEventKind::kDrop;
-    ev.reason = trace::TraceReason::kTimeout;
+    switch (reason) {
+      case metrics::DropReason::kRetryBudget:
+        ev.reason = trace::TraceReason::kRetryBudget;
+        break;
+      case metrics::DropReason::kInfeasible:
+        ev.reason = trace::TraceReason::kDeadlineInfeasible;
+        break;
+      default:
+        ev.reason = trace::TraceReason::kTimeout;
+        break;
+    }
     ev.time_us = now;
     ev.request = request.meta.id;
     ev.value = static_cast<double>(request.meta.deadline_us);
     options_.trace->OnEvent(ev);
   }
-  RemoveRequest(request.meta.id, metrics::Outcome::kDropped, reason, now);
+  RemoveRequest(request.meta.id, metrics::Outcome::kDropped, reason, now,
+                count_failed);
 }
 
 void
 ServingRuntime::RemoveRequest(RequestId id, metrics::Outcome outcome,
-                              metrics::DropReason reason, TimeUs now)
+                              metrics::DropReason reason, TimeUs now,
+                              bool count_failed)
 {
-  auto it = active_.find(id);
+  const auto it = active_.find(id);
   if (it == active_.end()) return;
+  const TenantId tenant = it->second.meta.tenant;
   if (options_.on_complete) {
     Completion completion;
     completion.id = id;
+    completion.tenant = tenant;
     completion.outcome = outcome;
     completion.drop_reason = reason;
     completion.admitted_us = it->second.meta.arrival_us;
@@ -461,14 +907,39 @@ ServingRuntime::RemoveRequest(RequestId id, metrics::Outcome outcome,
     completion.steps_done = it->second.steps_done;
     options_.on_complete(completion);
   }
+  not_before_.erase(id);
   active_.erase(it);
+  {
+    const util::MutexLock lock(tenant_mu_);
+    TenantAgg& agg = tenant_agg_[tenant];
+    if (outcome == metrics::Outcome::kCompleted) {
+      ++agg.completed;
+    } else if (count_failed) {
+      ++agg.failed;
+    } else {
+      ++agg.dropped;
+    }
+  }
   const util::MutexLock lock(stats_mu_);
   if (outcome == metrics::Outcome::kCompleted) {
     ++stats_.completed;
   } else if (outcome == metrics::Outcome::kDropped) {
-    ++stats_.dropped;
+    if (count_failed) {
+      ++stats_.failed;
+    } else {
+      ++stats_.dropped;
+    }
   }
   stats_.active = active_.size();
+}
+
+void
+ServingRuntime::AuditTransition(RequestId id, serving::RequestState from,
+                                serving::RequestState to, TimeUs now)
+{
+  if (options_.audit == nullptr) return;
+  options_.audit->OnRequestTransition(id, static_cast<int>(from),
+                                      static_cast<int>(to), now);
 }
 
 }  // namespace tetri::runtime

@@ -1,0 +1,103 @@
+#include "runtime/runtime_chaos.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "util/rng.h"
+
+namespace tetri::runtime {
+namespace {
+
+// Stream constants xor'ed into the seed so each injection category
+// draws from an independent deterministic stream: adding stragglers to
+// a config must not move where the crashes land.
+constexpr std::uint64_t kCrashStream = 0xC4A5'11D0'57A1'1C25ULL;
+constexpr std::uint64_t kStraggleStream = 0x57A6'61E2'0B5E'ED01ULL;
+constexpr std::uint64_t kAbortStream = 0xAB02'7000'1234'FEEDULL;
+constexpr std::uint64_t kStallStream = 0x51A1'1000'CAFE'F00DULL;
+
+// Sample `count` distinct indices in [0, horizon), skipping `taken`.
+std::vector<std::uint64_t> SampleDistinct(
+    std::uint64_t seed, int count, int horizon,
+    const std::unordered_set<std::uint64_t>& taken) {
+  std::vector<std::uint64_t> picked;
+  if (horizon <= 0 || count <= 0) return picked;
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> used = taken;
+  const int want =
+      std::min<int>(count, horizon - static_cast<int>(taken.size()));
+  // Rejection sampling terminates: `want` never exceeds the number of
+  // free slots in the horizon.
+  while (static_cast<int>(picked.size()) < want) {
+    const std::uint64_t idx =
+        rng.NextBelow(static_cast<std::uint64_t>(horizon));
+    if (used.insert(idx).second) picked.push_back(idx);
+  }
+  return picked;
+}
+
+}  // namespace
+
+RuntimeChaos::RuntimeChaos(const RuntimeChaosConfig& config)
+    : config_(config)
+{
+  if (!config_.Enabled()) return;
+
+  for (const std::uint64_t seq :
+       SampleDistinct(config_.seed ^ kCrashStream, config_.worker_crashes,
+                      config_.horizon_tasks, {})) {
+    crash_.insert(seq);
+  }
+  // Aborts avoid crash slots: a crashed worker never reports the
+  // abort, so overlapping the two would just shadow the abort.
+  for (const std::uint64_t seq :
+       SampleDistinct(config_.seed ^ kAbortStream, config_.aborts,
+                      config_.horizon_tasks, crash_)) {
+    abort_.insert(seq);
+  }
+  for (const std::uint64_t seq :
+       SampleDistinct(config_.seed ^ kStraggleStream, config_.stragglers,
+                      config_.horizon_tasks, {})) {
+    straggle_.emplace(seq, config_.straggler_factor);
+  }
+  for (const std::uint64_t round :
+       SampleDistinct(config_.seed ^ kStallStream, config_.planner_stalls,
+                      config_.horizon_rounds, {})) {
+    stall_.emplace(round, config_.planner_stall_us);
+  }
+
+  // Render the schedule as a sorted chaos trace so ScheduleString()
+  // depends only on the sampled sets, never on sampling order.
+  std::vector<metrics::RecoveryEvent> events;
+  const auto add = [&events](std::uint64_t index,
+                             metrics::RecoveryEventKind kind) {
+    metrics::RecoveryEvent ev;
+    ev.time_us = static_cast<TimeUs>(index);
+    ev.kind = kind;
+    events.push_back(ev);
+  };
+  for (const std::uint64_t seq : crash_) {
+    add(seq, metrics::RecoveryEventKind::kWorkerCrash);
+  }
+  for (const std::uint64_t seq : abort_) {
+    add(seq, metrics::RecoveryEventKind::kAbort);
+  }
+  for (const auto& [seq, factor] : straggle_) {
+    (void)factor;
+    add(seq, metrics::RecoveryEventKind::kStragglerStart);
+  }
+  for (const auto& [round, us] : stall_) {
+    (void)us;
+    add(round, metrics::RecoveryEventKind::kPlannerStall);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const metrics::RecoveryEvent& a,
+               const metrics::RecoveryEvent& b) {
+              if (a.time_us != b.time_us) return a.time_us < b.time_us;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  for (const metrics::RecoveryEvent& ev : events) schedule_.Add(ev);
+}
+
+}  // namespace tetri::runtime

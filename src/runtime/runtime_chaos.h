@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Deterministic chaos injection for the concurrent serving runtime.
+ *
+ * The discrete-event chaos controller (chaos/chaos.h) schedules faults
+ * against simulated time, which real threads cannot replay exactly: a
+ * wall-clock fault schedule lands on different tasks every run. The
+ * runtime adapter therefore keys every injection to a *logical* index
+ * the runtime assigns deterministically — the dispatch sequence number
+ * of a task, or the planner's iteration count — and precomputes the
+ * whole schedule at construction as a pure function of the seed. Which
+ * task crashes, which straggles, and which planning iterations stall
+ * are then identical across runs and across thread interleavings, and
+ * ScheduleString() (a chaos::ChaosTrace rendering of the schedule) is
+ * byte-identical for a given seed. That is the replay contract the
+ * chaos CI matrix asserts.
+ *
+ * All queries are const on immutable state, so worker threads, the
+ * planner, and the watchdog may consult the same RuntimeChaos instance
+ * without locks.
+ */
+#ifndef TETRI_RUNTIME_RUNTIME_CHAOS_H
+#define TETRI_RUNTIME_RUNTIME_CHAOS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "chaos/chaos.h"
+
+namespace tetri::runtime {
+
+/** Seeded fault plan for one ServingRuntime instance. */
+struct RuntimeChaosConfig {
+  /** 0 disables injection entirely. */
+  std::uint64_t seed = 0;
+  /** Worker crashes: the worker executing the chosen task dies. */
+  int worker_crashes = 2;
+  /** Straggler tasks: execution dilated by straggler_factor. */
+  int stragglers = 4;
+  double straggler_factor = 4.0;
+  /** Mid-span aborts: the task fails and its requests retry. */
+  int aborts = 2;
+  /** Planner stall windows injected before chosen plan iterations. */
+  int planner_stalls = 2;
+  double planner_stall_us = 3000.0;
+  /** Injections are sampled over the first N dispatched tasks... */
+  int horizon_tasks = 64;
+  /** ...and stalls over the first N planner iterations. */
+  int horizon_rounds = 32;
+
+  bool Enabled() const { return seed != 0; }
+};
+
+/** Immutable seeded schedule; see file comment for the determinism
+ * contract. */
+class RuntimeChaos {
+ public:
+  explicit RuntimeChaos(const RuntimeChaosConfig& config);
+
+  const RuntimeChaosConfig& config() const { return config_; }
+  bool enabled() const { return config_.Enabled(); }
+
+  /** Does the worker executing dispatch @p task_seq crash? */
+  bool ShouldCrash(std::uint64_t task_seq) const {
+    return crash_.count(task_seq) > 0;
+  }
+
+  /** Is dispatch @p task_seq aborted mid-span (requeue path)? */
+  bool ShouldAbort(std::uint64_t task_seq) const {
+    return abort_.count(task_seq) > 0;
+  }
+
+  /** Execution-time dilation for dispatch @p task_seq (1.0 = none). */
+  double StragglerFactor(std::uint64_t task_seq) const {
+    const auto it = straggle_.find(task_seq);
+    return it == straggle_.end() ? 1.0 : it->second;
+  }
+
+  /** Stall injected before planner iteration @p round (0 = none). */
+  double PlannerStallUs(std::uint64_t round) const {
+    const auto it = stall_.find(round);
+    return it == stall_.end() ? 0.0 : it->second;
+  }
+
+  /** The full schedule as a chaos trace: one event per injection,
+   * keyed by logical index, in sorted order. Byte-identical across
+   * runs with the same config. */
+  const chaos::ChaosTrace& schedule() const { return schedule_; }
+  std::string ScheduleString() const { return schedule_.ToString(); }
+
+ private:
+  RuntimeChaosConfig config_;
+  std::unordered_set<std::uint64_t> crash_;
+  std::unordered_set<std::uint64_t> abort_;
+  std::unordered_map<std::uint64_t, double> straggle_;
+  std::unordered_map<std::uint64_t, double> stall_;
+  chaos::ChaosTrace schedule_;
+};
+
+}  // namespace tetri::runtime
+
+#endif  // TETRI_RUNTIME_RUNTIME_CHAOS_H

@@ -45,6 +45,12 @@ SummarizeInto(const std::vector<TraceEvent>& events,
       case TraceEventKind::kDrop:
         ++summary->drops;
         break;
+      case TraceEventKind::kAbort:
+        ++summary->aborts;
+        break;
+      case TraceEventKind::kGpuFail:
+        ++summary->gpu_failures;
+        break;
       default:
         break;
     }

@@ -33,6 +33,11 @@ struct TraceSummary {
   int dispatches = 0;
   int steps = 0;
   int drops = 0;
+  /** kAbort events: assignments killed mid-flight and requeued. */
+  int aborts = 0;
+  /** kGpuFail events: GPU failures (sim) or worker crash/hang
+   * requeues synthesized by the runtime watchdog. */
+  int gpu_failures = 0;
 };
 
 /** Empty summary with the canonical bucket layouts installed. */

@@ -17,6 +17,7 @@
 #ifndef TETRI_UTIL_MUTEX_H
 #define TETRI_UTIL_MUTEX_H
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -77,6 +78,22 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
     cv_.wait(lock, pred);
     lock.release();
+  }
+
+  /**
+   * Wait at most @p timeout_us microseconds. Returns false when the
+   * wait ended by timeout, true when it was signalled (or woke
+   * spuriously) — callers re-check their predicate either way. A
+   * non-positive timeout returns false without sleeping.
+   */
+  bool WaitForUs(Mutex& mu, double timeout_us) TETRI_REQUIRES(mu) {
+    if (timeout_us <= 0.0) return false;
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto status =
+        cv_.wait_for(lock, std::chrono::duration<double, std::micro>(
+                               timeout_us));
+    lock.release();
+    return status == std::cv_status::no_timeout;
   }
 
   void Signal() { cv_.notify_one(); }

@@ -18,6 +18,12 @@ using RequestId = std::int64_t;
 /** Sentinel for "no request". */
 inline constexpr RequestId kInvalidRequest = -1;
 
+/** Identifier of a serving tenant (fair-admission principal). */
+using TenantId = std::int32_t;
+
+/** Tenant used when a caller does not name one. */
+inline constexpr TenantId kDefaultTenant = 0;
+
 /**
  * Bitmask over the GPUs of a single node. Bit i set means GPU i is a
  * member of the set. Nodes in this reproduction have at most 32 GPUs.

@@ -27,6 +27,9 @@ struct TraceRequest {
   costmodel::Resolution resolution = costmodel::Resolution::k256;
   /** Denoising steps (the model default unless a cache shortens it). */
   int num_steps = 0;
+  /** Fair-admission principal; kDefaultTenant unless the front door
+   * serves more than one client class. Not persisted in trace CSVs. */
+  TenantId tenant = kDefaultTenant;
   std::string prompt;
 };
 

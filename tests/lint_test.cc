@@ -350,6 +350,44 @@ TEST(LintRuleTest, Wallclock)
             0);
 }
 
+TEST(LintRuleTest, ThreadDiscipline)
+{
+  const std::string body =
+      "#include <thread>\n"
+      "std::thread t([] {});\n"
+      "t.detach();\n"
+      "std::this_thread::sleep_for(d);\n";
+  auto report =
+      RunLint({Fixture("serving/x.cc", body)}, {"thread-discipline"});
+  EXPECT_TRUE(Has(report, "thread-discipline", "src/serving/x.cc", 1));
+  EXPECT_TRUE(Has(report, "thread-discipline", "src/serving/x.cc", 2));
+  EXPECT_TRUE(Has(report, "thread-discipline", "src/serving/x.cc", 3));
+  EXPECT_TRUE(Has(report, "thread-discipline", "src/serving/x.cc", 4));
+
+  // The runtime and util layers own thread lifetimes.
+  EXPECT_EQ(CountRule(RunLint({Fixture("runtime/runtime.cc", body)},
+                              {"thread-discipline"}),
+                      "thread-discipline"),
+            0);
+  EXPECT_EQ(CountRule(RunLint({Fixture("util/wallclock.cc", body)},
+                              {"thread-discipline"}),
+                      "thread-discipline"),
+            0);
+}
+
+TEST(LintRuleTest, ThreadDisciplineIgnoresCommentsAndNolint)
+{
+  // Doc comments about threads are not violations; a NOLINT with a
+  // rationale (the parallel_for.cc pattern) absorbs a real one.
+  const std::string body =
+      "// workers run on real std::threads\n"
+      "std::thread t;  // NOLINT(tetri-thread-discipline)\n";
+  auto report =
+      RunLint({Fixture("dit/p.cc", body)}, {"thread-discipline"});
+  EXPECT_EQ(CountRule(report, "thread-discipline"), 0);
+  EXPECT_EQ(CountRule(report, kUnusedNolintRule), 0);
+}
+
 // ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------

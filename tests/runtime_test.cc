@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "costmodel/model_config.h"
 #include "costmodel/step_cost.h"
 #include "runtime/admission_queue.h"
+#include "runtime/fair_queue.h"
 #include "runtime/runtime.h"
 #include "trace/trace.h"
 
@@ -195,10 +197,35 @@ TEST(RuntimeServingTest, SubmitAfterDrainReturnsClosed)
   EXPECT_EQ(runtime.stats().admission.rejected_closed, 1u);
 }
 
-TEST(RuntimeServingTest, NegativeBudgetIsDroppedAtFirstRound)
+TEST(RuntimeServingTest, NegativeBudgetIsRejectedByFeasibilityGate)
 {
   core::TetriScheduler scheduler(&F().table);
   RuntimeOptions options;
+  std::atomic<int> infeasible{0};
+  options.on_complete = [&](const Completion& c) {
+    if (c.outcome == metrics::Outcome::kDropped &&
+        c.drop_reason == metrics::DropReason::kInfeasible) {
+      infeasible.fetch_add(1);
+    }
+  };
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  // Deadline before arrival: even the fastest residual plan cannot
+  // land before the (clamped-to-arrival) drop deadline, so the
+  // admission-time feasibility gate terminates it immediately.
+  EXPECT_EQ(runtime.Submit(Resolution::k256, 4, -100),
+            AdmitOutcome::kAdmitted);
+  runtime.Drain();
+  EXPECT_EQ(infeasible.load(), 1);
+  EXPECT_EQ(runtime.stats().dropped, 1u);
+  EXPECT_EQ(runtime.stats().infeasible_rejects, 1u);
+  EXPECT_EQ(runtime.stats().completed, 0u);
+}
+
+TEST(RuntimeServingTest, NegativeBudgetIsDroppedAtFirstRoundWithoutGate)
+{
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.feasibility_gate = false;
   std::atomic<int> dropped{0};
   options.on_complete = [&](const Completion& c) {
     if (c.outcome == metrics::Outcome::kDropped &&
@@ -207,14 +234,15 @@ TEST(RuntimeServingTest, NegativeBudgetIsDroppedAtFirstRound)
     }
   };
   ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
-  // Deadline before arrival: the clamped drop deadline abandons the
-  // request at the first planning opportunity instead of crashing or
-  // waiting factor x |budget| in the future.
+  // With the gate off, the clamped drop deadline abandons the request
+  // at the first planning opportunity instead of crashing or waiting
+  // factor x |budget| in the future.
   EXPECT_EQ(runtime.Submit(Resolution::k256, 4, -100),
             AdmitOutcome::kAdmitted);
   runtime.Drain();
   EXPECT_EQ(dropped.load(), 1);
   EXPECT_EQ(runtime.stats().dropped, 1u);
+  EXPECT_EQ(runtime.stats().infeasible_rejects, 0u);
   EXPECT_EQ(runtime.stats().completed, 0u);
 }
 
@@ -355,6 +383,196 @@ TEST(RuntimeStressTest, ManyProducersConserveEveryRequest)
   EXPECT_EQ(terminal.load(), kTotal);
   EXPECT_EQ(stats.active, 0u);
   EXPECT_GT(runtime.plan_latency_us().count(), 0u);
+}
+
+TEST(RuntimeStressTest, CloseRacesBlockedProducersLosslessly)
+{
+  // Producers block on a tiny kBlock queue while the consumer drains a
+  // few batches and then closes mid-stream. Lossless-close contract:
+  // every Push returns kAdmitted or kClosed, and everything admitted
+  // is drained — Close never discards accepted work.
+  AdmissionQueue queue(2, OverflowPolicy::kBlock);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 16;
+  std::atomic<int> admitted{0};
+  std::atomic<int> closed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto outcome =
+            queue.Push(MakeRequest(p * kPerProducer + i));
+        if (outcome == AdmitOutcome::kAdmitted) {
+          admitted.fetch_add(1);
+        } else {
+          ASSERT_EQ(outcome, AdmitOutcome::kClosed);
+          closed.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::vector<workload::TraceRequest> drained;
+  while (drained.size() < 20) queue.WaitDrain(&drained);
+  queue.Close();
+  for (std::thread& producer : producers) producer.join();
+  // Collect the tail the producers got in before Close won the race.
+  while (queue.WaitDrain(&drained) > 0) {
+  }
+  EXPECT_EQ(admitted.load() + closed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(drained.size(),
+            static_cast<std::size_t>(admitted.load()));
+  const AdmissionCounters counters = queue.counters();
+  EXPECT_EQ(counters.admitted, static_cast<std::uint64_t>(admitted.load()));
+  EXPECT_EQ(counters.rejected_closed,
+            static_cast<std::uint64_t>(closed.load()));
+  EXPECT_EQ(counters.shed, 0u);
+}
+
+TEST(RuntimeStressTest, ConcurrentTryPushShedsWithExactCounts)
+{
+  // No consumer: exactly `capacity` TryPush calls can win; every other
+  // one must shed, and the counters must account for each attempt
+  // exactly even under contention.
+  constexpr std::size_t kCapacity = 16;
+  AdmissionQueue queue(kCapacity, OverflowPolicy::kBlock);
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> shed{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // Never blocks, even though the queue's policy is kBlock.
+        const auto outcome =
+            queue.TryPush(MakeRequest(p * kPerProducer + i));
+        if (outcome == AdmitOutcome::kAdmitted) {
+          admitted.fetch_add(1);
+        } else {
+          ASSERT_EQ(outcome, AdmitOutcome::kShed);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  EXPECT_EQ(admitted.load(), static_cast<int>(kCapacity));
+  EXPECT_EQ(shed.load(),
+            kProducers * kPerProducer - static_cast<int>(kCapacity));
+  EXPECT_EQ(queue.size(), kCapacity);
+  const AdmissionCounters counters = queue.counters();
+  EXPECT_EQ(counters.admitted, kCapacity);
+  EXPECT_EQ(counters.shed, static_cast<std::uint64_t>(shed.load()));
+}
+
+TEST(RuntimeStressTest, FairQueueCloseRacesBlockedAndTryPushProducers)
+{
+  // Mixed fleet on the per-tenant queue: blocking producers on one
+  // tenant, TryPush shedders on another, Close racing both. Per-tenant
+  // accounting must reconcile exactly per tenant.
+  FairAdmissionQueue queue(2, OverflowPolicy::kBlock,
+                           {{0, 1}, {1, 1}});
+  constexpr int kPerProducer = 32;
+  std::atomic<int> blocked_admitted{0};
+  std::atomic<int> blocked_closed{0};
+  std::atomic<int> try_admitted{0};
+  std::atomic<int> try_shed{0};
+  std::atomic<int> try_closed{0};
+  std::thread blocker([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      workload::TraceRequest req = MakeRequest(i);
+      req.tenant = 0;
+      switch (queue.Push(std::move(req))) {
+        case AdmitOutcome::kAdmitted: blocked_admitted.fetch_add(1); break;
+        case AdmitOutcome::kClosed: blocked_closed.fetch_add(1); break;
+        case AdmitOutcome::kShed: FAIL() << "kBlock Push shed"; break;
+      }
+    }
+  });
+  std::thread shedder([&] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      workload::TraceRequest req = MakeRequest(1000 + i);
+      req.tenant = 1;
+      switch (queue.TryPush(std::move(req))) {
+        case AdmitOutcome::kAdmitted: try_admitted.fetch_add(1); break;
+        case AdmitOutcome::kShed: try_shed.fetch_add(1); break;
+        case AdmitOutcome::kClosed: try_closed.fetch_add(1); break;
+      }
+    }
+  });
+  std::vector<workload::TraceRequest> drained;
+  while (drained.size() < 8) queue.WaitDrainFair(0, &drained);
+  queue.Close();
+  blocker.join();
+  shedder.join();
+  while (queue.WaitDrainFair(0, &drained) > 0) {
+  }
+  EXPECT_EQ(drained.size(),
+            static_cast<std::size_t>(blocked_admitted.load() +
+                                     try_admitted.load()));
+  const TenantCounters t0 = queue.tenant_counters(0);
+  EXPECT_EQ(t0.admitted,
+            static_cast<std::uint64_t>(blocked_admitted.load()));
+  EXPECT_EQ(t0.rejected_closed,
+            static_cast<std::uint64_t>(blocked_closed.load()));
+  EXPECT_EQ(t0.shed, 0u);
+  const TenantCounters t1 = queue.tenant_counters(1);
+  EXPECT_EQ(t1.admitted, static_cast<std::uint64_t>(try_admitted.load()));
+  EXPECT_EQ(t1.shed, static_cast<std::uint64_t>(try_shed.load()));
+  EXPECT_EQ(t1.rejected_closed,
+            static_cast<std::uint64_t>(try_closed.load()));
+  EXPECT_EQ(t0.drained + t1.drained, drained.size());
+}
+
+// ---------------------------------------------------------------------
+// No-poll planner (CondVar wakeups only)
+// ---------------------------------------------------------------------
+
+TEST(RuntimeServingTest, IdlePlannerRunsNoRoundsAndWakesOnSubmit)
+{
+  core::TetriScheduler scheduler(&F().table);
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table);
+  // Idle runtime: the planner must be parked on its CondVar, not
+  // cycling a poll interval — zero rounds accumulate.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(runtime.stats().rounds, 0u);
+  // An admission into the idle queue is planned off the Submit signal,
+  // not after waiting out a poll tick.
+  EXPECT_EQ(runtime.Submit(Resolution::k256, 2, kAmpleBudgetUs),
+            AdmitOutcome::kAdmitted);
+  runtime.Drain();
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  // Event-driven round count: admit+plan, completion, drain sweep —
+  // a few rounds, not 50ms worth of poll ticks.
+  EXPECT_LE(stats.rounds, 8u);
+}
+
+TEST(RuntimeServingTest, BusyWorkersDoNotInducePollRounds)
+{
+  // While assignments execute in host time, queued work used to make
+  // the planner poll every 200us; now it blocks until a completion or
+  // drop deadline. Rounds must scale with events, not elapsed time.
+  core::TetriScheduler scheduler(&F().table);
+  RuntimeOptions options;
+  options.num_workers = 1;  // serialize execution: queue stays deep
+  options.execution_time_scale = 0.002;
+  ServingRuntime runtime(&scheduler, &F().topo, &F().table, options);
+  constexpr int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(runtime.Submit(Resolution::k256, 4, kAmpleBudgetUs),
+              AdmitOutcome::kAdmitted);
+  }
+  runtime.Drain();
+  const RuntimeStats stats = runtime.stats();
+  EXPECT_EQ(stats.completed, kRequests);
+  // Every round is caused by a submit, a completion, or the drain
+  // sweep: bounded by events with a small constant slack, regardless
+  // of how long the workers held the GPUs.
+  EXPECT_LE(stats.rounds,
+            stats.assignments + kRequests + 16u);
 }
 
 }  // namespace

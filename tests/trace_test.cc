@@ -524,6 +524,9 @@ TEST(SummaryTest, CountsMatchTheEventStream)
   EXPECT_EQ(s.dispatches, Count(run.events, TraceEventKind::kDispatch));
   EXPECT_EQ(s.steps, Count(run.events, TraceEventKind::kStep));
   EXPECT_EQ(s.drops, Count(run.events, TraceEventKind::kDrop));
+  EXPECT_EQ(s.aborts, Count(run.events, TraceEventKind::kAbort));
+  EXPECT_EQ(s.gpu_failures,
+            Count(run.events, TraceEventKind::kGpuFail));
   EXPECT_EQ(s.step_latency_us.count(),
             static_cast<std::uint64_t>(s.steps));
   EXPECT_GT(s.steps, 0);

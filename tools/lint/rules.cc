@@ -573,6 +573,51 @@ CheckWallclock(const SourceFile& f, const Emit& emit)
   }
 }
 
+// ---------------------------------------------------------------------
+// thread-discipline
+// ---------------------------------------------------------------------
+
+void
+CheckThreadDiscipline(const SourceFile& f, const Emit& emit)
+{
+  // The concurrent runtime and the util layer are the only places
+  // allowed to own threads or sleep: everything else either runs on
+  // virtual time or borrows concurrency from a managed pool, so a
+  // stray thread or sleep elsewhere is an unmanaged lifetime no
+  // drain/join protocol can see.
+  const bool allowed = f.rel.rfind("runtime/", 0) == 0 ||
+                       f.rel.rfind("util/", 0) == 0;
+  if (allowed) return;
+  struct Ban {
+    const char* token;
+    const char* why;
+  };
+  static const Ban kBans[] = {
+      {"std::thread",
+       "raw 'std::thread' outside src/runtime and src/util; thread "
+       "lifetimes belong to the runtime's managed pools"},
+      {"detach(",
+       "'detach()' orphans a thread that no drain/join protocol can "
+       "reach; keep an owned handle and join it"},
+      {"sleep_for",
+       "sleeping outside src/runtime and src/util; pace host time "
+       "through util::SleepForUs (util/wallclock.h), or run on "
+       "virtual time"},
+  };
+  for (const Ban& ban : kBans) {
+    for (std::size_t pos : FindToken(f.code, ban.token)) {
+      emit(f.display, LineOf(f.code, pos), ban.why);
+    }
+  }
+  for (std::size_t i = 0; i < f.code_lines.size(); ++i) {
+    if (f.code_lines[i].rfind("#include <thread>", 0) == 0) {
+      emit(f.display, static_cast<int>(i) + 1,
+           "#include <thread> outside src/runtime and src/util; "
+           "threads are owned by the runtime's managed pools");
+    }
+  }
+}
+
 }  // namespace
 
 void
@@ -633,6 +678,12 @@ RegisterDefaultRules(std::vector<Rule>* rules)
        "real-valued durations become TimeUs only through "
        "util::RoundUs — the one-rounding-rule helper",
        per_file(CheckRounding)});
+  rules->push_back(
+      {"thread-discipline",
+       "raw std::thread, detach(), and sleep_for stay inside "
+       "src/runtime and src/util; thread lifetimes are owned by "
+       "managed pools",
+       per_file(CheckThreadDiscipline)});
   rules->push_back(
       {"wallclock",
        "std::chrono wall-clock reads stay inside src/util and "
