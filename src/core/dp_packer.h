@@ -13,10 +13,12 @@
 namespace tetri::core {
 
 using packers::PackGroup;
+using packers::PackIncrementalScratch;
 using packers::PackOption;
 using packers::PackResult;
 using packers::PackRound;
 using packers::PackRoundExhaustive;
+using packers::PackRoundIncrementalInto;
 using packers::PackRoundInto;
 using packers::PackRoundReference;
 using packers::PackScratch;

@@ -1,0 +1,91 @@
+#include "core/plan_delta.h"
+
+namespace tetri::core {
+
+const char*
+ReplanReasonName(ReplanReason reason)
+{
+  switch (reason) {
+    case ReplanReason::kColdStart: return "cold_start";
+    case ReplanReason::kTauChanged: return "tau_changed";
+    case ReplanReason::kTableChanged: return "table_changed";
+    case ReplanReason::kOptionsChanged: return "options_changed";
+    case ReplanReason::kHealthChanged: return "health_changed";
+    case ReplanReason::kOrderDrift: return "order_drift";
+    case ReplanReason::kNumReasons: break;
+  }
+  return "unknown";
+}
+
+void
+ReplanState::ResetSlots(int num_entries)
+{
+  if (static_cast<int>(next_slots.size()) < num_entries) {
+    next_slots.resize(num_entries);
+  }
+  delta = PlanDelta{};
+  delta.full_replan = true;
+  for (int i = 0; i < num_entries; ++i) next_slots[i].carried = false;
+}
+
+bool
+DeriveRoundDelta(const std::vector<serving::Request*>& schedulable,
+                 ReplanState* state)
+{
+  const int n = static_cast<int>(schedulable.size());
+  if (static_cast<int>(state->next_slots.size()) < n) {
+    state->next_slots.resize(n);
+  }
+  PlanDelta& delta = state->delta;
+  delta = PlanDelta{};
+
+  // Two-pointer walk over two sequences strictly ascending on the
+  // static key (deadline_us, id): the cached slots are in last round's
+  // schedulable order (which passed this same check), so equal keys
+  // identify the same request and everything else is an arrival or a
+  // removal. This derives the delta from ground truth instead of
+  // trusting the caller to report changes.
+  int j = 0;
+  bool have_prev = false;
+  TimeUs prev_deadline = 0;
+  RequestId prev_id = kInvalidRequest;
+  for (int i = 0; i < n; ++i) {
+    const serving::Request* req = schedulable[i];
+    const TimeUs deadline = req->meta.deadline_us;
+    const RequestId id = req->meta.id;
+    if (have_prev && !(prev_deadline < deadline ||
+                       (prev_deadline == deadline && prev_id < id))) {
+      return false;  // order drift: cannot align against the cache
+    }
+    have_prev = true;
+    prev_deadline = deadline;
+    prev_id = id;
+
+    while (j < state->num_slots) {
+      const ReplanSlot& old = state->slots[j];
+      if (old.deadline_us < deadline ||
+          (old.deadline_us == deadline && old.id < id)) {
+        ++delta.removals;  // departed before this key
+        ++j;
+      } else {
+        break;
+      }
+    }
+    ReplanSlot& dst = state->next_slots[i];
+    if (j < state->num_slots && state->slots[j].deadline_us == deadline &&
+        state->slots[j].id == id) {
+      // Swap (not move-assign) so dst's old heap buffers stay alive in
+      // slots[j] as capacity donors for future rounds.
+      std::swap(dst, state->slots[j]);
+      dst.carried = true;
+      ++j;
+    } else {
+      dst.carried = false;
+      ++delta.arrivals;
+    }
+  }
+  delta.removals += state->num_slots - j;
+  return true;
+}
+
+}  // namespace tetri::core

@@ -30,6 +30,7 @@
 
 #include "core/allocation.h"
 #include "core/dp_packer.h"
+#include "core/plan_delta.h"
 #include "costmodel/step_time_cache.h"
 #include "packers/packer.h"
 #include "serving/scheduler.h"
@@ -97,6 +98,15 @@ struct TetriOptions {
    * table only has pow2 cells to plan with).
    */
   bool allow_non_pow2 = false;
+  /**
+   * Carry Stage-1 staircase answers, Stage-2 DP value rows, and the
+   * pure memo caches across rounds, recomputing only what each
+   * round's delta touched (plan_delta.h). Plans are bit-identical to
+   * from-scratch planning — every reuse is proven exact or the round
+   * falls back to a full replan. Requires the round-aware fast path
+   * (incompatible with reference_plan and use_continuous_planner).
+   */
+  bool incremental_replan = false;
 };
 
 /** The TetriServe policy. */
@@ -132,6 +142,31 @@ class TetriScheduler : public serving::Scheduler {
   const TetriOptions& options() const { return options_; }
 
   /**
+   * Swap the latency table and/or planning options mid-run. Re-derives
+   * the round duration, rebuilds the packer, rebinds every table-keyed
+   * cache, and — when incremental_replan is on — forces the next round
+   * to a full replan (ReplanReason::kTableChanged /
+   * kOptionsChanged). The same consistency rules as construction
+   * apply (allow_non_pow2 must match the table's extended_degrees).
+   */
+  void Reconfigure(const costmodel::LatencyTable* table,
+                   const TetriOptions& options);
+  /** Reconfigure keeping the current options. */
+  void set_table(const costmodel::LatencyTable* table) {
+    Reconfigure(table, options_);
+  }
+  /** Reconfigure keeping the current table. */
+  void set_options(const TetriOptions& options) {
+    Reconfigure(table_, options);
+  }
+
+  /** Cumulative incremental-replanning counters (plan_delta.h); all
+   * zero unless incremental_replan is on. */
+  const ReplanStats& replan_stats() const { return replan_.stats; }
+  /** The delta of the most recent incremental round. */
+  const PlanDelta& last_plan_delta() const { return replan_.delta; }
+
+  /**
    * Round duration rule (§4.2.2): granularity x the step time of the
    * reference resolution (1024px) at its most GPU-efficient degree.
    */
@@ -142,7 +177,9 @@ class TetriScheduler : public serving::Scheduler {
   /** Working entry for one schedulable request within Plan. */
   struct Entry {
     serving::Request* request = nullptr;
-    AllocationPlan alloc;
+    /** Stage-1 answer; points into scratch_.allocs (from-scratch
+     * rounds) or into the request's ReplanSlot (incremental reuse). */
+    AllocationPlan* alloc = nullptr;
     double slack_us = 0.0;   // deadline - vae - now
     bool late = false;       // definitely late already
     int chosen_degree = 0;   // 0 = not selected
@@ -209,7 +246,12 @@ class TetriScheduler : public serving::Scheduler {
     // per-resolution cache or the staircase; rebuilt on demand for the
     // rare capped request, identically on both data paths.
     std::vector<RoundDegreeInfo> capped_info;
+    /** Stage-1 plan storage for non-incremental rounds (entries hold
+     * pointers so the incremental path can alias its slot cache). */
+    std::vector<AllocationPlan> allocs;
     PackScratch pack;
+    /** Persistent full DP tables for incremental rounds (kAuto). */
+    packers::PackIncrementalScratch pack_inc;
     PackResult packed;
     costmodel::StepTimeCache step_cache;
   };
@@ -227,12 +269,21 @@ class TetriScheduler : public serving::Scheduler {
   std::vector<DegreeCost> RoundEffectiveCosts(costmodel::Resolution res,
                                               double tau) const;
 
+  /** Shared construction/Reconfigure validation and cache rebinding. */
+  void ApplyConfig();
+
   const costmodel::LatencyTable* table_;
   TetriOptions options_;
   TimeUs round_us_;
   /** Non-null iff options_.packer != kAuto; owns the Stage-2 packer. */
   std::unique_ptr<packers::RoundPacker> packer_;
   PlanScratch scratch_;
+  /** Cross-round incremental replanning state (plan_delta.h). */
+  ReplanState replan_;
+  /** Bumped by Reconfigure when the table / the options change; the
+   * replanner full-replans on any generation it has not seen. */
+  std::uint64_t table_gen_ = 0;
+  std::uint64_t options_gen_ = 0;
   trace::TraceSink* trace_ = nullptr;
   /** Ordinal of the round being planned; -1 before the first. */
   std::int32_t round_seq_ = -1;

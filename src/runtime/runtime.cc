@@ -529,6 +529,39 @@ ServingRuntime::PostWatchdogRequeue(std::uint64_t seq,
 }
 
 void
+ServingRuntime::QueueInsert(serving::Request* request)
+{
+  const QueuedRef ref{request->meta.deadline_us, request->meta.id,
+                      request};
+  const auto pos = std::lower_bound(
+      queued_.begin(), queued_.end(), ref,
+      [](const QueuedRef& a, const QueuedRef& b) {
+        if (a.deadline_us != b.deadline_us) {
+          return a.deadline_us < b.deadline_us;
+        }
+        return a.id < b.id;
+      });
+  TETRI_CHECK(pos == queued_.end() || pos->request != request);
+  queued_.insert(pos, ref);
+}
+
+void
+ServingRuntime::QueueErase(const serving::Request& request)
+{
+  const QueuedRef key{request.meta.deadline_us, request.meta.id,
+                      nullptr};
+  const auto pos = std::lower_bound(
+      queued_.begin(), queued_.end(), key,
+      [](const QueuedRef& a, const QueuedRef& b) {
+        if (a.deadline_us != b.deadline_us) {
+          return a.deadline_us < b.deadline_us;
+        }
+        return a.id < b.id;
+      });
+  if (pos != queued_.end() && pos->id == key.id) queued_.erase(pos);
+}
+
+void
 ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
 {
   free_gpus_ |= msg.assignment.mask;
@@ -547,6 +580,7 @@ ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
       AuditTransition(id, serving::RequestState::kRunning,
                       serving::RequestState::kQueued, now);
       request.state = serving::RequestState::kQueued;
+      QueueInsert(&request);  // the drop paths below erase again
       ++request.failure_retries;
       ++requeued;
       if (options_.retry.degrade_sp) {
@@ -599,6 +633,7 @@ ServingRuntime::ApplyCompletion(const CompletionMsg& msg)
       AuditTransition(id, serving::RequestState::kRunning,
                       serving::RequestState::kQueued, now);
       request.state = serving::RequestState::kQueued;
+      QueueInsert(&request);
     }
   }
 }
@@ -647,6 +682,7 @@ ServingRuntime::AdmitPending(std::vector<workload::TraceRequest>* pending)
         continue;
       }
     }
+    QueueInsert(&it->second);
   }
   pending->clear();
   const util::MutexLock lock(stats_mu_);
@@ -696,25 +732,22 @@ ServingRuntime::PlanOnce(TimeUs now)
 {
   // ONE schedulable snapshot per round: the drop policy filters it and
   // the scheduler sees the survivors (same shape as the serving tick).
+  // The queued list is carried across rounds in (deadline, id) order —
+  // maintained at every state transition rather than rebuilt and
+  // re-sorted here — so a tick over an unchanged queue hands the
+  // scheduler an unchanged schedulable sequence, the delta shape the
+  // incremental replanner's plan memo answers without replanning.
   // Requests inside a retry-backoff window are invisible this round;
   // their gate is the planner's next timed wake.
   snapshot_.clear();
-  for (auto& [id, request] : active_) {
-    if (request.state != serving::RequestState::kQueued) continue;
-    const auto gate = not_before_.find(id);
+  for (const QueuedRef& ref : queued_) {
+    const auto gate = not_before_.find(ref.id);
     if (gate != not_before_.end()) {
       if (gate->second > now) continue;
       not_before_.erase(gate);
     }
-    snapshot_.push_back(&request);
+    snapshot_.push_back(ref.request);
   }
-  std::sort(snapshot_.begin(), snapshot_.end(),
-            [](const serving::Request* a, const serving::Request* b) {
-              if (a->meta.deadline_us != b->meta.deadline_us) {
-                return a->meta.deadline_us < b->meta.deadline_us;
-              }
-              return a->meta.id < b->meta.id;
-            });
 
   std::size_t kept = 0;
   for (serving::Request* request : snapshot_) {
@@ -794,6 +827,7 @@ ServingRuntime::PlanOnce(TimeUs now)
       AuditTransition(id, serving::RequestState::kQueued,
                       serving::RequestState::kRunning, now);
       member.state = serving::RequestState::kRunning;
+      QueueErase(member);
       member.last_mask = assignment.mask;
       member.last_degree = degree;
       member.degree_step_sum +=
@@ -895,6 +929,7 @@ ServingRuntime::RemoveRequest(RequestId id, metrics::Outcome outcome,
 {
   const auto it = active_.find(id);
   if (it == active_.end()) return;
+  QueueErase(it->second);
   const TenantId tenant = it->second.meta.tenant;
   if (options_.on_complete) {
     Completion completion;

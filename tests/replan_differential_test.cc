@@ -1,0 +1,602 @@
+/**
+ * @file
+ * Replan differential-testing harness — the proof obligation for
+ * incremental round replanning (core/plan_delta.h): with
+ * TetriOptions::incremental_replan on, every round's plan must be
+ * bit-for-bit identical to what a from-scratch scheduler produces on
+ * the same inputs, across randomized churn sequences that exercise
+ * every delta source the replanner claims to handle:
+ *
+ *  - arrivals, completions, and step progress (queue membership and
+ *    RemainingSteps churn);
+ *  - GPU failures and recoveries (free-mask churn — the kHealthChanged
+ *    invalidation rule);
+ *  - SP degradation (degree_cap churn) and placement echoes
+ *    (last_mask / last_degree writes, the Stage-6 preservation inputs
+ *    the plan memo must also revalidate);
+ *  - round-window jitter (kTauChanged) and same-instant replan ticks
+ *    (the plan-memo fast path);
+ *
+ * for both degree regimes (pow2 and extended non-pow2 tables) and
+ * every Stage-2 packer routing: the built-in kAuto path, the "dp" and
+ * "staircase" plugins (which implement PackIncremental), and the
+ * "progressive" plugin (which falls back to a from-scratch Pack).
+ *
+ * The companion ReplanInvalidation suite pins each invalidation rule
+ * individually: mutating the latency table, the packer, allow_non_pow2,
+ * GPU health, or the round window mid-run must force a full replan —
+ * observed through the replan-reason counters — and still produce the
+ * from-scratch plan.
+ *
+ * The sweep is seed-pinned: every churn script is a pure function of
+ * its seed. TETRI_REPLAN_SEED=<N> reruns exactly one seed; on any
+ * divergence the harness dumps the executed op script to
+ * replan_replay_seed<N>.txt (uploaded by CI as the repro artifact).
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/gpu_set.h"
+#include "core/tetri_scheduler.h"
+#include "costmodel/model_config.h"
+#include "serving/request_tracker.h"
+#include "util/rng.h"
+#include "workload/slo.h"
+
+namespace tetri::core {
+namespace {
+
+using cluster::Topology;
+using costmodel::LatencyTable;
+using costmodel::ModelConfig;
+using packers::PackerKind;
+
+constexpr int kNumGpus = 8;
+constexpr int kRoundsPerCase = 20;
+
+// ---------------------------------------------------------------
+// Shared fixtures (profiled once; Profile dominates the suite cost)
+// ---------------------------------------------------------------
+
+struct Fixture {
+  ModelConfig model;
+  Topology topo;
+  costmodel::StepCostModel cost;
+  LatencyTable table;
+
+  explicit Fixture(bool extended)
+      : model(ModelConfig::FluxDev()),
+        topo(Topology::H100Node()),
+        cost(&model, &topo),
+        table(LatencyTable::Profile(cost, 4, 20, 5, extended)) {}
+};
+
+const Fixture&
+GetFixture(bool non_pow2)
+{
+  static const Fixture pow2(false);
+  static const Fixture extended(true);
+  return non_pow2 ? extended : pow2;
+}
+
+// ---------------------------------------------------------------
+// Plan comparison (the bit-identical contract)
+// ---------------------------------------------------------------
+
+void
+ExpectPlansIdentical(const serving::RoundPlan& a,
+                     const serving::RoundPlan& b)
+{
+  ASSERT_EQ(a.assignments.size(), b.assignments.size());
+  for (std::size_t i = 0; i < a.assignments.size(); ++i) {
+    EXPECT_EQ(a.assignments[i].requests, b.assignments[i].requests)
+        << "assignment " << i;
+    EXPECT_EQ(a.assignments[i].mask, b.assignments[i].mask)
+        << "assignment " << i;
+    EXPECT_EQ(a.assignments[i].max_steps, b.assignments[i].max_steps)
+        << "assignment " << i;
+  }
+}
+
+// ---------------------------------------------------------------
+// The churn simulation (pure function of the seed)
+// ---------------------------------------------------------------
+
+/** One differential case: a fresh (from-scratch) scheduler and an
+ * incremental scheduler plan the same randomized churn sequence in
+ * lockstep; any divergence is a contract violation. Every executed op
+ * is appended to @p log for the replay dump. */
+void
+RunReplanCase(std::uint64_t seed, bool non_pow2, PackerKind kind,
+              std::vector<std::string>* log)
+{
+  const Fixture& fx = GetFixture(non_pow2);
+
+  TetriOptions base;
+  base.packer = kind;
+  base.allow_non_pow2 = non_pow2;
+  TetriScheduler fresh(&fx.table, base);
+  TetriOptions inc_opts = base;
+  inc_opts.incremental_replan = true;
+  TetriScheduler inc(&fx.table, inc_opts);
+
+  Rng rng(seed * 2 + (non_pow2 ? 1 : 0));
+  serving::RequestTracker tracker;
+  TimeUs now = 1000000;
+  const TimeUs tau = fresh.RoundDurationUs();
+  ASSERT_EQ(tau, inc.RoundDurationUs());
+  GpuMask free_gpus = cluster::FullMask(kNumGpus);
+  RequestId next_id = 0;
+  std::vector<RequestId> live;  // admitted, not yet completed
+  int planned_rounds = 0;       // rounds with a non-empty queue
+
+  auto note = [&](const std::string& line) { log->push_back(line); };
+
+  auto admit = [&]() {
+    workload::TraceRequest meta;
+    meta.id = next_id++;
+    meta.resolution = costmodel::ResolutionFromIndex(
+        static_cast<int>(rng.NextBelow(4)));
+    meta.arrival_us = now - static_cast<TimeUs>(rng.NextBelow(200000));
+    meta.deadline_us =
+        now + static_cast<TimeUs>(
+                  workload::SloPolicy::BaseTargetSec(meta.resolution) *
+                  1e6 * rng.NextRange(0.5, 1.8));
+    meta.num_steps = 30 + static_cast<int>(rng.NextBelow(21));
+    serving::Request& req = tracker.Admit(meta);
+    req.steps_done =
+        static_cast<int>(rng.NextBelow(meta.num_steps - 1));
+    live.push_back(meta.id);
+    std::ostringstream oss;
+    oss << "admit id=" << meta.id << " res="
+        << costmodel::ResolutionIndex(meta.resolution) << " deadline="
+        << meta.deadline_us << " steps=" << meta.num_steps << " done="
+        << req.steps_done;
+    note(oss.str());
+  };
+
+  auto pick_live = [&]() -> serving::Request* {
+    if (live.empty()) return nullptr;
+    const std::size_t i = rng.NextBelow(live.size());
+    return &tracker.Get(live[i]);
+  };
+
+  // Seed queue.
+  const int initial = 1 + static_cast<int>(rng.NextBelow(12));
+  for (int i = 0; i < initial; ++i) admit();
+
+  for (int round = 0; round < kRoundsPerCase; ++round) {
+    // Random churn ops between planner ticks.
+    const int num_ops = static_cast<int>(rng.NextBelow(4));
+    for (int op = 0; op < num_ops; ++op) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.35) {
+        admit();
+      } else if (roll < 0.55) {
+        if (live.empty()) continue;
+        const std::size_t i = rng.NextBelow(live.size());
+        serving::Request& req = tracker.Get(live[i]);
+        tracker.Transition(req, serving::RequestState::kFinished, now);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        note("finish id=" + std::to_string(req.meta.id));
+      } else if (roll < 0.70) {
+        serving::Request* req = pick_live();
+        if (req == nullptr) continue;
+        req->steps_done += 1 + static_cast<int>(rng.NextBelow(5));
+        if (req->steps_done >= req->meta.num_steps) {
+          req->steps_done = req->meta.num_steps - 1;
+        }
+        note("progress id=" + std::to_string(req->meta.id) +
+             " done=" + std::to_string(req->steps_done));
+      } else if (roll < 0.78) {
+        if (cluster::Popcount(free_gpus) <= 1) continue;
+        int gpu;
+        do {
+          gpu = static_cast<int>(rng.NextBelow(kNumGpus));
+        } while ((free_gpus & (GpuMask{1} << gpu)) == 0);
+        free_gpus &= ~(GpuMask{1} << gpu);
+        note("fail gpu=" + std::to_string(gpu));
+      } else if (roll < 0.86) {
+        if (free_gpus == cluster::FullMask(kNumGpus)) continue;
+        int gpu;
+        do {
+          gpu = static_cast<int>(rng.NextBelow(kNumGpus));
+        } while ((free_gpus & (GpuMask{1} << gpu)) != 0);
+        free_gpus |= GpuMask{1} << gpu;
+        note("recover gpu=" + std::to_string(gpu));
+      } else if (roll < 0.93) {
+        serving::Request* req = pick_live();
+        if (req == nullptr) continue;
+        const int roll_cap = static_cast<int>(rng.NextBelow(5));
+        req->degree_cap = roll_cap == 4 ? 0 : 1 + roll_cap;
+        note("degrade id=" + std::to_string(req->meta.id) +
+             " cap=" + std::to_string(req->degree_cap));
+      } else {
+        // Placement echo: what the runtime writes at dispatch. The
+        // memo must see these (Stage 6 preservation reads them).
+        serving::Request* req = pick_live();
+        if (req == nullptr) continue;
+        const int degree = 1 << rng.NextBelow(3);
+        const int offset =
+            static_cast<int>(rng.NextBelow(kNumGpus - degree + 1));
+        req->last_degree = degree;
+        req->last_mask = (cluster::FullMask(degree)) << offset;
+        note("echo id=" + std::to_string(req->meta.id) +
+             " mask=" + std::to_string(req->last_mask));
+      }
+    }
+
+    // Occasional round-window jitter: a caller-driven tau change the
+    // replanner must answer with a full replan (kTauChanged).
+    TimeUs round_end = now + tau;
+    if (rng.NextDouble() < 0.05) {
+      round_end = now + static_cast<TimeUs>(
+                            static_cast<double>(tau) *
+                            rng.NextRange(0.5, 2.0));
+      note("window round_end=" + std::to_string(round_end));
+    }
+
+    auto schedulable = tracker.Schedulable(now);
+    // An empty queue (or free set) short-circuits Plan() before the
+    // replan machinery; those rounds don't count toward the stats.
+    if (!schedulable.empty()) ++planned_rounds;
+    serving::ScheduleContext ctx;
+    ctx.now = now;
+    ctx.round_end = round_end;
+    ctx.free_gpus = free_gpus;
+    ctx.schedulable = &schedulable;
+    ctx.topology = &fx.topo;
+    ctx.table = &fx.table;
+
+    // Alternate planning order across rounds: neither scheduler may
+    // mutate shared state, and alternating would catch it if one did.
+    serving::RoundPlan plan_fresh;
+    serving::RoundPlan plan_inc;
+    if ((round & 1) == 0) {
+      plan_fresh = fresh.Plan(ctx);
+      plan_inc = inc.Plan(ctx);
+    } else {
+      plan_inc = inc.Plan(ctx);
+      plan_fresh = fresh.Plan(ctx);
+    }
+    {
+      SCOPED_TRACE("round " + std::to_string(round) + " now=" +
+                   std::to_string(now));
+      ExpectPlansIdentical(plan_fresh, plan_inc);
+    }
+    if (::testing::Test::HasFailure()) return;
+
+    // Occasionally echo a planned assignment back into its members,
+    // exactly as the runtime's dispatch does.
+    if (!plan_fresh.assignments.empty() && rng.NextDouble() < 0.4) {
+      const auto& a = plan_fresh.assignments[rng.NextBelow(
+          plan_fresh.assignments.size())];
+      for (const RequestId id : a.requests) {
+        serving::Request& req = tracker.Get(id);
+        req.last_mask = a.mask;
+        req.last_degree = cluster::Popcount(a.mask);
+      }
+      note("dispatch mask=" + std::to_string(a.mask));
+    }
+
+    // Same-instant replan ticks (the paced planner loop's no-change
+    // wakeups) exercise the plan memo; otherwise advance a round.
+    if (rng.NextDouble() < 0.7) {
+      now += tau;
+      note("advance now=" + std::to_string(now));
+    } else {
+      note("tick now=" + std::to_string(now));
+    }
+  }
+
+  // Counter coherence: every round is exactly one of full or
+  // incremental, and memo hits are a subset of incremental rounds.
+  const ReplanStats& st = inc.replan_stats();
+  EXPECT_EQ(st.rounds, static_cast<std::uint64_t>(planned_rounds));
+  EXPECT_EQ(st.rounds, st.full_replans + st.incremental_rounds);
+  EXPECT_LE(st.memo_hits, st.incremental_rounds);
+  EXPECT_EQ(fresh.replan_stats().rounds, 0u);
+}
+
+/** Dump the executed op script for offline replay; returns the path. */
+std::string
+DumpReplay(const std::vector<std::string>& log, std::uint64_t seed,
+           bool non_pow2, PackerKind kind)
+{
+  const std::string path =
+      "replan_replay_seed" + std::to_string(seed) + ".txt";
+  std::ofstream out(path);
+  out << "replan differential replay\nseed " << seed
+      << (non_pow2 ? " non_pow2" : " pow2") << " packer "
+      << packers::PackerKindName(kind) << "\n";
+  for (const std::string& line : log) out << line << "\n";
+  return path;
+}
+
+/** TETRI_REPLAN_SEED pins the sweep to one seed for replay. */
+std::optional<std::uint64_t>
+PinnedSeed()
+{
+  const char* env = std::getenv("TETRI_REPLAN_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return std::strtoull(env, nullptr, 10);
+}
+
+// ---------------------------------------------------------------
+// The differential sweep
+// ---------------------------------------------------------------
+
+class ReplanDifferential : public ::testing::TestWithParam<int> {
+};
+
+TEST_P(ReplanDifferential, IncrementalPlansBitIdenticalUnderChurn)
+{
+  // Each shard covers 20 seeds x 2 degree regimes x 4 packer
+  // routings; the suite totals 320 seeds, past the 300-seed floor the
+  // harness promises.
+  const std::uint64_t base = static_cast<std::uint64_t>(GetParam()) * 20;
+  const auto pinned = PinnedSeed();
+  constexpr PackerKind kKinds[] = {PackerKind::kAuto, PackerKind::kDp,
+                                   PackerKind::kStaircase,
+                                   PackerKind::kProgressive};
+  for (std::uint64_t offset = 0; offset < 20; ++offset) {
+    const std::uint64_t seed = base + offset;
+    if (pinned.has_value() && seed != *pinned) continue;
+    for (const bool non_pow2 : {false, true}) {
+      for (const PackerKind kind : kKinds) {
+        SCOPED_TRACE("seed " + std::to_string(seed) +
+                     (non_pow2 ? " non_pow2" : " pow2") + " packer " +
+                     std::string(packers::PackerKindName(kind)));
+        std::vector<std::string> log;
+        RunReplanCase(seed, non_pow2, kind, &log);
+        if (::testing::Test::HasFailure()) {
+          const std::string path =
+              DumpReplay(log, seed, non_pow2, kind);
+          FAIL() << "plan divergence at seed " << seed
+                 << "; replay with TETRI_REPLAN_SEED=" << seed
+                 << " (op script dumped to " << path << ")";
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReplanDifferential,
+                         ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------
+// Invalidation property tests: each rule, pinned individually
+// ---------------------------------------------------------------
+
+/** A steady scenario both schedulers plan in lockstep; tests mutate
+ * one input between rounds and observe the replan-reason counters. */
+class ReplanInvalidation : public ::testing::Test {
+ protected:
+  void Init(TetriOptions base = {}, bool non_pow2 = false)
+  {
+    fx_ = &GetFixture(non_pow2);
+    base.allow_non_pow2 = non_pow2;
+    fresh_ = std::make_unique<TetriScheduler>(&fx_->table, base);
+    TetriOptions inc_opts = base;
+    inc_opts.incremental_replan = true;
+    inc_ = std::make_unique<TetriScheduler>(&fx_->table, inc_opts);
+    tau_ = fresh_->RoundDurationUs();
+    Rng rng(7);
+    for (RequestId id = 0; id < 10; ++id) {
+      workload::TraceRequest meta;
+      meta.id = id;
+      meta.resolution = costmodel::ResolutionFromIndex(
+          static_cast<int>(rng.NextBelow(4)));
+      meta.arrival_us = now_ - 100000;
+      meta.deadline_us =
+          now_ + static_cast<TimeUs>(
+                     workload::SloPolicy::BaseTargetSec(meta.resolution) *
+                     1e6 * rng.NextRange(0.8, 1.6));
+      meta.num_steps = 50;
+      tracker_.Admit(meta).steps_done =
+          static_cast<int>(rng.NextBelow(40));
+    }
+  }
+
+  /** Plan one round on both schedulers and assert bit-identity. */
+  void PlanRound(TimeUs round_end = 0)
+  {
+    schedulable_ = tracker_.Schedulable(now_);
+    serving::ScheduleContext ctx;
+    ctx.now = now_;
+    ctx.round_end = round_end != 0 ? round_end : now_ + tau_;
+    ctx.free_gpus = free_;
+    ctx.schedulable = &schedulable_;
+    ctx.topology = &fx_->topo;
+    ctx.table = &fx_->table;
+    last_fresh_ = fresh_->Plan(ctx);
+    last_inc_ = inc_->Plan(ctx);
+    ExpectPlansIdentical(last_fresh_, last_inc_);
+  }
+
+  /** Two rounds to get past kColdStart into warm incremental state. */
+  void Warm()
+  {
+    PlanRound();
+    now_ += tau_;
+    PlanRound();
+    ASSERT_GE(Stats().incremental_rounds, 1u);
+  }
+
+  const ReplanStats& Stats() const { return inc_->replan_stats(); }
+  std::uint64_t Reason(ReplanReason r) const
+  {
+    return Stats().reasons[static_cast<int>(r)];
+  }
+
+  const Fixture* fx_ = nullptr;
+  serving::RequestTracker tracker_;
+  std::vector<serving::Request*> schedulable_;
+  std::unique_ptr<TetriScheduler> fresh_;
+  std::unique_ptr<TetriScheduler> inc_;
+  TimeUs now_ = 1000000;
+  TimeUs tau_ = 0;
+  GpuMask free_ = cluster::FullMask(kNumGpus);
+  serving::RoundPlan last_fresh_;
+  serving::RoundPlan last_inc_;
+};
+
+TEST_F(ReplanInvalidation, ColdStartThenIncrementalSteadyState)
+{
+  Init();
+  PlanRound();
+  EXPECT_EQ(Reason(ReplanReason::kColdStart), 1u);
+  EXPECT_EQ(Stats().full_replans, 1u);
+  now_ += tau_;
+  PlanRound();
+  EXPECT_EQ(Stats().incremental_rounds, 1u);
+  EXPECT_FALSE(inc_->last_plan_delta().full_replan);
+  EXPECT_GT(Stats().slots_reused + Stats().slots_replanned, 0u);
+}
+
+TEST_F(ReplanInvalidation, TableSwapForcesFullReplan)
+{
+  Init();
+  Warm();
+  // A byte-identical re-profile at a different address: the swap must
+  // still invalidate (generation check, not pointer luck), and the
+  // plans must stay identical because the contents are identical.
+  const LatencyTable table2 =
+      LatencyTable::Profile(fx_->cost, 4, 20, 5, false);
+  fresh_->set_table(&table2);
+  inc_->set_table(&table2);
+  now_ += tau_;
+  const std::uint64_t before = Stats().full_replans;
+  PlanRound();
+  EXPECT_EQ(Reason(ReplanReason::kTableChanged), 1u);
+  EXPECT_EQ(Stats().full_replans, before + 1);
+}
+
+TEST_F(ReplanInvalidation, PackerSwitchForcesFullReplan)
+{
+  Init();
+  Warm();
+  TetriOptions switched = inc_->options();
+  switched.packer = PackerKind::kDp;
+  inc_->set_options(switched);
+  TetriOptions fresh_switched = fresh_->options();
+  fresh_switched.packer = PackerKind::kDp;
+  fresh_->set_options(fresh_switched);
+  now_ += tau_;
+  PlanRound();
+  EXPECT_GE(Reason(ReplanReason::kOptionsChanged), 1u);
+  // And the next unperturbed round is incremental again.
+  const std::uint64_t inc_before = Stats().incremental_rounds;
+  now_ += tau_;
+  PlanRound();
+  EXPECT_EQ(Stats().incremental_rounds, inc_before + 1);
+}
+
+TEST_F(ReplanInvalidation, NonPow2ReconfigureForcesFullReplan)
+{
+  Init();
+  Warm();
+  const Fixture& ext = GetFixture(true);
+  TetriOptions switched = inc_->options();
+  switched.allow_non_pow2 = true;
+  inc_->Reconfigure(&ext.table, switched);
+  TetriOptions fresh_switched = fresh_->options();
+  fresh_switched.allow_non_pow2 = true;
+  fresh_->Reconfigure(&ext.table, fresh_switched);
+  fx_ = &ext;  // both schedulers now plan against the extended table
+  now_ += tau_;
+  PlanRound();
+  EXPECT_GE(Reason(ReplanReason::kOptionsChanged), 1u);
+  EXPECT_GE(Reason(ReplanReason::kTableChanged), 1u);
+}
+
+TEST_F(ReplanInvalidation, GpuHealthChangeForcesFullReplan)
+{
+  Init();
+  Warm();
+  free_ &= ~GpuMask{1};  // fail GPU 0
+  now_ += tau_;
+  PlanRound();
+  EXPECT_EQ(Reason(ReplanReason::kHealthChanged), 1u);
+  free_ |= GpuMask{1};  // recovery invalidates just the same
+  now_ += tau_;
+  PlanRound();
+  EXPECT_EQ(Reason(ReplanReason::kHealthChanged), 2u);
+}
+
+TEST_F(ReplanInvalidation, RoundWindowChangeForcesFullReplan)
+{
+  Init();
+  Warm();
+  now_ += tau_;
+  PlanRound(now_ + 2 * tau_);
+  EXPECT_EQ(Reason(ReplanReason::kTauChanged), 1u);
+}
+
+TEST_F(ReplanInvalidation, UnsortedScheduleForcesFullReplan)
+{
+  Init();
+  Warm();
+  now_ += tau_;
+  schedulable_ = tracker_.Schedulable(now_);
+  ASSERT_GE(schedulable_.size(), 2u);
+  std::swap(schedulable_[0], schedulable_[1]);
+  serving::ScheduleContext ctx;
+  ctx.now = now_;
+  ctx.round_end = now_ + tau_;
+  ctx.free_gpus = free_;
+  ctx.schedulable = &schedulable_;
+  ctx.topology = &fx_->topo;
+  ctx.table = &fx_->table;
+  // Same (mis-ordered) input to both: the incremental scheduler must
+  // detect the drift, full-replan, and still match from-scratch.
+  const auto plan_fresh = fresh_->Plan(ctx);
+  const auto plan_inc = inc_->Plan(ctx);
+  ExpectPlansIdentical(plan_fresh, plan_inc);
+  EXPECT_EQ(Reason(ReplanReason::kOrderDrift), 1u);
+}
+
+TEST_F(ReplanInvalidation, MemoServesUnchangedTickAndSeesMutations)
+{
+  Init();
+  Warm();
+  // An exact repeat at the same instant is a memo hit.
+  PlanRound();
+  EXPECT_EQ(Stats().memo_hits, 1u);
+  // A placement echo (a field only Stage 6 reads) defeats the memo:
+  // the replan is real, and still bit-identical.
+  serving::Request& req = *tracker_.Schedulable(now_)[0];
+  req.last_mask = GpuMask{0b11};
+  req.last_degree = 2;
+  PlanRound();
+  EXPECT_EQ(Stats().memo_hits, 1u);
+  // Step progress at the same instant likewise defeats the memo and
+  // shows up in the delta.
+  req.steps_done += 3;
+  PlanRound();
+  EXPECT_EQ(Stats().memo_hits, 1u);
+  EXPECT_GE(inc_->last_plan_delta().steps_changed, 1);
+  // With the queue quiescent again, the memo resumes.
+  PlanRound();
+  EXPECT_EQ(Stats().memo_hits, 2u);
+}
+
+TEST_F(ReplanInvalidation, DegradeCapDefeatsMemoAndReplansSlot)
+{
+  Init();
+  Warm();
+  serving::Request& req = *tracker_.Schedulable(now_)[0];
+  req.degree_cap = 1;
+  PlanRound();
+  EXPECT_EQ(Stats().memo_hits, 0u);
+  EXPECT_GE(inc_->last_plan_delta().cap_changed, 1);
+}
+
+}  // namespace
+}  // namespace tetri::core
